@@ -1,0 +1,24 @@
+"""Small helpers shared by the benchmark files."""
+
+from __future__ import annotations
+
+
+def print_table(title: str, rows: list[dict[str, object]]) -> None:
+    """Print an experiment's result rows in a compact aligned table."""
+    print(f"\n## {title}")
+    if not rows:
+        print("(no rows)")
+        return
+    keys = list(rows[0].keys())
+    header = " | ".join(f"{key:>18s}" for key in keys)
+    print(header)
+    print("-" * len(header))
+    for row in rows:
+        cells = []
+        for key in keys:
+            value = row.get(key)
+            if isinstance(value, float):
+                cells.append(f"{value:>18.3f}")
+            else:
+                cells.append(f"{str(value):>18s}")
+        print(" | ".join(cells))

@@ -1,0 +1,115 @@
+"""A1/A2 — design-choice ablations called out in DESIGN.md.
+
+A1: the device-side discovery cache (client keeps per-cell results for a short
+TTL on top of the resolver's DNS cache) — how much of the federated overhead
+measured in E2/E3 it removes for a user who stays in one place.
+
+A2: the discovery naming level — coarser cells mean fewer DNS names and
+lookups but more false-positive server contacts; finer cells the reverse.
+This is the central tuning knob of the §5.1 naming scheme.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.core.federation import Federation
+from repro.geometry.point import LatLng
+from repro.spatialindex.covering import CoveringOptions
+from repro.worldgen.indoor import generate_store
+from repro.worldgen.outdoor import generate_city
+
+from _util import print_table
+
+ANCHOR = LatLng(40.4420, -79.9580)
+
+
+def _small_world(config: FederationConfig) -> tuple[Federation, LatLng]:
+    federation = Federation(config=config)
+    city = generate_city(rows=4, cols=4, seed=5)
+    federation.add_map_server("city.maps.example", city.map_data, is_world_provider=True)
+    store = generate_store("store.maps.example", ANCHOR, seed=6)
+    server = federation.add_map_server("store.maps.example", store.map_data)
+    store.equip_map_server(server)
+    return federation, store.entrance
+
+
+def test_a1_device_cache_ablation(benchmark):
+    """Repeated same-place discovery with and without the device-side cache."""
+    rows = []
+    for label, ttl in (("no device cache", 0.0), ("device cache (60 s TTL)", 60.0)):
+        federation, entrance = _small_world(
+            FederationConfig(device_discovery_cache_ttl_seconds=ttl)
+        )
+        client = federation.client()
+        client.discover(entrance, uncertainty_meters=60.0)  # warm everything
+        federation.reset_network_stats()
+        repeats = 20
+        for _ in range(repeats):
+            client.discover(entrance, uncertainty_meters=60.0)
+        rows.append(
+            {
+                "configuration": label,
+                "msgs_per_discovery": federation.network.stats.messages_sent / repeats,
+                "sim_latency_ms": federation.network.stats.total_latency_ms / repeats,
+            }
+        )
+    print_table("A1 device-side discovery cache", rows)
+    assert rows[1]["msgs_per_discovery"] < rows[0]["msgs_per_discovery"]
+    benchmark.extra_info["cached_msgs"] = rows[1]["msgs_per_discovery"]
+
+    federation, entrance = _small_world(FederationConfig(device_discovery_cache_ttl_seconds=60.0))
+    client = federation.client()
+    client.discover(entrance, uncertainty_meters=60.0)
+    benchmark(lambda: client.discover(entrance, uncertainty_meters=60.0))
+
+
+def test_a2_discovery_level_ablation(benchmark):
+    """Sweep the discovery/registration cell level (the §5.1 naming granularity)."""
+    rng = random.Random(9)
+    rows = []
+    for level in (14, 16, 18):
+        config = FederationConfig(
+            discovery_level=level,
+            discovery_ancestor_levels=max(4, level - 10),
+            registration_covering=CoveringOptions(min_level=max(10, level - 4), max_level=level, max_cells=64),
+        )
+        federation, entrance = _small_world(config)
+        client = federation.client()
+
+        # Cost: DNS records published + lookups for a cold discovery.
+        records = federation.registry.total_records
+        federation.resolver.cache.flush()
+        federation.reset_network_stats()
+        result = client.discover(entrance, uncertainty_meters=60.0)
+        cold_messages = federation.network.stats.messages_sent
+
+        # Precision: how often a probe 250 m away still discovers the store
+        # (a false positive the client must filter).
+        false_positives = 0
+        probes = 24
+        for index in range(probes):
+            probe = entrance.destination(360.0 * index / probes, 250.0)
+            if "store.maps.example" in client.discover(probe, uncertainty_meters=10.0).server_ids:
+                false_positives += 1
+
+        rows.append(
+            {
+                "cell_level": level,
+                "dns_records": records,
+                "cold_discovery_msgs": float(cold_messages),
+                "servers_found": len(result.server_ids),
+                "false_positive_rate_250m": false_positives / probes,
+            }
+        )
+    print_table("A2 discovery naming level ablation", rows)
+    # Finer levels should reduce distant false positives.
+    assert rows[-1]["false_positive_rate_250m"] <= rows[0]["false_positive_rate_250m"]
+    benchmark.extra_info["levels"] = [row["cell_level"] for row in rows]
+
+    federation, entrance = _small_world(FederationConfig())
+    client = federation.client()
+    benchmark(lambda: client.discover(entrance, uncertainty_meters=60.0))

@@ -1,0 +1,148 @@
+"""E10 — Section 4.1: the preprocessing/query trade-off of contraction hierarchies.
+
+The centralized pipeline (and each federated map server) can preprocess its
+road graph with contraction hierarchies to make queries cheap.  This
+experiment reproduces the characteristic trade-off: preprocessing cost grows
+with graph size, while queries settle far fewer vertices than plain Dijkstra
+and return identical distances.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.geometry.point import LatLng
+from repro.routing.contraction import build_contraction_hierarchy
+from repro.routing.graph import RoutingGraph
+from repro.routing.shortest_path import astar, bidirectional_dijkstra, dijkstra
+
+from _util import print_table
+
+
+def _grid_graph(rows: int, cols: int, drop_probability: float = 0.1, seed: int = 0) -> RoutingGraph:
+    rng = random.Random(seed)
+    graph = RoutingGraph()
+    origin = LatLng(40.0, -80.0)
+    for i in range(rows):
+        for j in range(cols):
+            graph.add_vertex(i * cols + j, origin.destination(0.0, i * 100.0).destination(90.0, j * 100.0))
+    for i in range(rows):
+        for j in range(cols):
+            vertex = i * cols + j
+            if j + 1 < cols and rng.random() > drop_probability:
+                graph.connect(vertex, vertex + 1)
+            if i + 1 < rows and rng.random() > drop_probability:
+                graph.connect(vertex, vertex + cols)
+    return graph
+
+
+def test_e10_preprocessing_vs_query_speedup(benchmark):
+    rows = []
+    for side in (6, 10, 14):
+        graph = _grid_graph(side, side, seed=side)
+        start = time.perf_counter()
+        hierarchy = build_contraction_hierarchy(graph)
+        preprocess_seconds = time.perf_counter() - start
+
+        rng = random.Random(1)
+        dijkstra_settled = 0
+        ch_settled = 0
+        query_count = 0
+        for _ in range(20):
+            source = rng.randrange(graph.vertex_count)
+            target = rng.randrange(graph.vertex_count)
+            try:
+                plain = dijkstra(graph, source, target)
+                fast = hierarchy.query(source, target)
+            except Exception:
+                continue
+            assert fast.cost == pytest.approx(plain.cost, rel=1e-9)
+            dijkstra_settled += plain.settled_vertices
+            ch_settled += fast.settled_vertices
+            query_count += 1
+
+        rows.append(
+            {
+                "vertices": graph.vertex_count,
+                "shortcuts": hierarchy.shortcut_count,
+                "preprocess_s": preprocess_seconds,
+                "dijkstra_settled/query": dijkstra_settled / max(1, query_count),
+                "ch_settled/query": ch_settled / max(1, query_count),
+            }
+        )
+    print_table("E10 contraction hierarchies: preprocessing vs query work", rows)
+    # CH queries settle no more vertices than Dijkstra (usually far fewer).
+    for row in rows:
+        assert row["ch_settled/query"] <= row["dijkstra_settled/query"] * 1.05
+    benchmark.extra_info["largest_graph_shortcuts"] = rows[-1]["shortcuts"]
+
+    graph = _grid_graph(8, 8, seed=99)
+    benchmark(lambda: build_contraction_hierarchy(graph))
+
+
+def test_e10_query_algorithm_comparison(benchmark):
+    """Query-time comparison of Dijkstra, A*, bidirectional and CH on one graph."""
+    graph = _grid_graph(12, 12, seed=7)
+    hierarchy = build_contraction_hierarchy(graph)
+    rng = random.Random(2)
+    pairs = [(rng.randrange(graph.vertex_count), rng.randrange(graph.vertex_count)) for _ in range(20)]
+
+    def timed(fn) -> tuple[float, float]:
+        start = time.perf_counter()
+        settled = 0
+        for source, target in pairs:
+            try:
+                settled += fn(source, target).settled_vertices
+            except Exception:
+                continue
+        return (time.perf_counter() - start) * 1000.0 / len(pairs), settled / len(pairs)
+
+    rows = []
+    for name, fn in (
+        ("dijkstra", lambda s, t: dijkstra(graph, s, t)),
+        ("astar", lambda s, t: astar(graph, s, t)),
+        ("bidirectional", lambda s, t: bidirectional_dijkstra(graph, s, t)),
+        ("contraction hierarchy", lambda s, t: hierarchy.query(s, t)),
+    ):
+        per_query_ms, settled = timed(fn)
+        rows.append({"algorithm": name, "ms_per_query": per_query_ms, "settled_per_query": settled})
+    print_table("E10 query algorithms on a 144-vertex graph", rows)
+    assert rows[-1]["settled_per_query"] <= rows[0]["settled_per_query"]
+    source, target = pairs[0]
+    benchmark(lambda: hierarchy.query(source, target))
+
+
+def test_e10_city_graph_ablation(benchmark, bench_scenario):
+    """The same ablation on the generated city graph used by the experiments."""
+    from repro.routing.graph import graph_from_map
+
+    graph = graph_from_map(bench_scenario.city.map_data)
+    start = time.perf_counter()
+    hierarchy = build_contraction_hierarchy(graph)
+    preprocess_seconds = time.perf_counter() - start
+    rng = random.Random(5)
+    vertices = list(graph.vertices())
+    settled_plain = 0
+    settled_ch = 0
+    for _ in range(15):
+        source, target = rng.choice(vertices), rng.choice(vertices)
+        plain = dijkstra(graph, source, target)
+        fast = hierarchy.query(source, target)
+        assert fast.cost == pytest.approx(plain.cost, rel=1e-9)
+        settled_plain += plain.settled_vertices
+        settled_ch += fast.settled_vertices
+    rows = [
+        {
+            "graph": "scenario city",
+            "vertices": graph.vertex_count,
+            "preprocess_s": preprocess_seconds,
+            "dijkstra_settled": settled_plain / 15,
+            "ch_settled": settled_ch / 15,
+        }
+    ]
+    print_table("E10 city road graph", rows)
+    source, target = rng.choice(vertices), rng.choice(vertices)
+    benchmark(lambda: hierarchy.query(source, target))

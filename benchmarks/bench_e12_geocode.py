@@ -1,0 +1,102 @@
+"""E12 — Section 4 / 5.2: forward and reverse geocoding over federated maps.
+
+Measures the two-stage federated geocode flow (coarse world-map lookup, then
+precise lookup in discovered maps): success rate and positional error for
+street addresses and for indoor destinations, the per-query fan-out, and
+reverse-geocode precision indoors versus the centralized baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.mapserver.geocode import Address
+from repro.simulation.metrics import Summary
+
+from _util import print_table
+
+
+def test_e12_street_address_geocoding(benchmark, bench_scenario, bench_client):
+    """Street addresses resolve through the world provider with small error."""
+    addresses = list(bench_scenario.city.building_addresses.items())[:20]
+    error = Summary("error")
+    resolved = 0
+    fanout = Summary("fanout")
+    for address, location in addresses:
+        result = bench_client.geocode(f"{address}, {bench_scenario.city.city_name}")
+        fanout.observe(result.servers_consulted)
+        if result.best is None:
+            continue
+        resolved += 1
+        error.observe(result.best.location.distance_to(location))
+    rows = [
+        {
+            "queries": len(addresses),
+            "resolved_fraction": resolved / len(addresses),
+            "mean_error_m": error.mean,
+            "mean_servers_consulted": fanout.mean,
+        }
+    ]
+    print_table("E12 federated forward geocode: street addresses", rows)
+    assert rows[0]["resolved_fraction"] > 0.9
+    assert rows[0]["mean_error_m"] < 30.0
+    benchmark.extra_info.update(rows[0])
+    address, _ = addresses[0]
+    benchmark(lambda: bench_client.geocode(f"{address}, {bench_scenario.city.city_name}"))
+
+
+def test_e12_indoor_destination_geocoding(benchmark, bench_scenario, bench_client):
+    """Indoor destinations (store entrances) resolve via the two-stage flow."""
+    rows = []
+    for store in bench_scenario.stores:
+        entrance_address = None
+        for node in store.map_data.nodes():
+            if "addr:full" in node.tags:
+                entrance_address = node.tags["addr:full"]
+                break
+        query = f"{store.name} entrance, {entrance_address}"
+        result = bench_client.geocode(query)
+        error = result.best.location.distance_to(store.entrance) if result.best else float("nan")
+        rows.append(
+            {
+                "store": store.name,
+                "resolved": result.best is not None,
+                "error_m": error,
+                "coarse_stage_used": result.coarse_location is not None,
+            }
+        )
+    print_table("E12 federated forward geocode: indoor destinations", rows)
+    assert all(row["resolved"] for row in rows)
+    store = bench_scenario.stores[0]
+    entrance_address = next(
+        node.tags["addr:full"] for node in store.map_data.nodes() if "addr:full" in node.tags
+    )
+    benchmark(lambda: bench_client.geocode(f"{store.name} entrance, {entrance_address}"))
+
+
+def test_e12_reverse_geocode_precision(benchmark, bench_scenario, bench_client):
+    """Reverse geocoding an indoor point: federated snaps to the shelf, the
+    centralized baseline can only snap to an outdoor feature far away."""
+    store = bench_scenario.stores[0]
+    rng = random.Random(4)
+    federated_distance = Summary("federated")
+    centralized_distance = Summary("centralized")
+    samples = list(store.product_locations.values())[:10]
+    for location in samples:
+        federated = bench_client.reverse_geocode(location, max_distance_meters=150.0)
+        if federated.best is not None:
+            federated_distance.observe(federated.best.distance_meters)
+        central = bench_scenario.centralized.reverse_geocode(location, max_distance_meters=500.0)
+        if central is not None:
+            centralized_distance.observe(central.distance_meters)
+    rows = [
+        {"system": "federated", "mean_snap_distance_m": federated_distance.mean, "answers": federated_distance.count},
+        {"system": "centralized", "mean_snap_distance_m": centralized_distance.mean, "answers": centralized_distance.count},
+    ]
+    print_table("E12 reverse geocode of indoor points", rows)
+    assert federated_distance.mean < centralized_distance.mean
+    benchmark.extra_info["federated_snap_m"] = federated_distance.mean
+    location = samples[0]
+    benchmark(lambda: bench_client.reverse_geocode(location, max_distance_meters=150.0))

@@ -1,0 +1,110 @@
+"""E1 — Figure 1: the centralized architecture serving the five base services.
+
+Measures, for the centralized baseline, the request latency (wall clock via
+pytest-benchmark), and the simulated message count / network latency per
+request for each of the five location-based services of Section 4.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.localization.cues import CueBundle, GnssCue
+from repro.mapserver.geocode import Address
+from repro.tiles.tile_math import tile_for_point
+
+from _util import print_table
+
+
+@pytest.fixture(scope="module")
+def central(bench_scenario):
+    return bench_scenario.centralized
+
+
+def _measure_network(system, fn, repeats: int = 20) -> dict[str, float]:
+    system.network.reset_stats()
+    for _ in range(repeats):
+        fn()
+    stats = system.network.stats
+    return {
+        "messages_per_request": stats.messages_sent / repeats,
+        "sim_latency_ms": stats.total_latency_ms / repeats,
+    }
+
+
+def test_e1_geocode(benchmark, bench_scenario, central):
+    address = Address.parse(f"{next(iter(bench_scenario.city.building_addresses))}, {bench_scenario.city.city_name}")
+    result = benchmark(lambda: central.geocode(address))
+    assert result
+    info = _measure_network(central, lambda: central.geocode(address))
+    benchmark.extra_info.update(info)
+    print_table("E1 centralized geocode", [{"service": "geocode", **info}])
+
+
+def test_e1_search(benchmark, bench_scenario, central):
+    near = bench_scenario.city.bounds.center
+    result = benchmark(lambda: central.search("cafe", near=near, radius_meters=2000.0))
+    assert result
+    info = _measure_network(central, lambda: central.search("cafe", near=near, radius_meters=2000.0))
+    benchmark.extra_info.update(info)
+    print_table("E1 centralized search", [{"service": "search", **info}])
+
+
+def test_e1_routing(benchmark, bench_scenario, central):
+    rng = random.Random(0)
+    pairs = [
+        (bench_scenario.city.random_street_point(rng), bench_scenario.city.random_street_point(rng))
+        for _ in range(10)
+    ]
+    iterator = iter(range(10**9))
+
+    def route_once():
+        index = next(iterator) % len(pairs)
+        return central.route(*pairs[index])
+
+    benchmark(route_once)
+    info = _measure_network(central, route_once)
+    benchmark.extra_info.update(info)
+    print_table("E1 centralized routing", [{"service": "routing", **info}])
+
+
+def test_e1_localization(benchmark, bench_scenario, central):
+    center = bench_scenario.city.bounds.center
+    cues = CueBundle(gnss=GnssCue(center, accuracy_meters=10.0))
+    result = benchmark(lambda: central.localize(cues))
+    assert result is not None
+    info = _measure_network(central, lambda: central.localize(cues))
+    benchmark.extra_info.update(info)
+    print_table("E1 centralized localization", [{"service": "localization", **info}])
+
+
+def test_e1_tiles(benchmark, bench_scenario, central):
+    coordinate = tile_for_point(bench_scenario.city.bounds.center, 17)
+    result = benchmark(lambda: central.get_tile(coordinate))
+    assert result is not None
+    info = _measure_network(central, lambda: central.get_tile(coordinate))
+    benchmark.extra_info.update(info)
+    print_table("E1 centralized tiles", [{"service": "tiles", **info}])
+
+
+def test_e1_preprocessing_pipeline(benchmark, bench_scenario):
+    """The Figure-1 offline stage: ingest + preprocess the whole world map."""
+    from repro.centralized.preprocess import preprocess_world_map
+
+    world_map = bench_scenario.centralized.world_map
+    report = benchmark.pedantic(
+        lambda: preprocess_world_map(world_map, use_contraction_hierarchy=False),
+        rounds=3,
+        iterations=1,
+    )
+    rows = [
+        {
+            "graph_vertices": report.report.graph_vertices,
+            "geocode_entries": report.report.geocode_entries,
+            "search_entries": report.report.search_entries,
+        }
+    ]
+    benchmark.extra_info.update(rows[0])
+    print_table("E1 centralized preprocessing", rows)

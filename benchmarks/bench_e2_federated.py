@@ -1,0 +1,126 @@
+"""E2 — Figure 2: the OpenFLAME federated architecture serving the same services.
+
+Runs the five base services through the federated client against the same
+world as E1 and reports the federation overhead (messages and simulated
+latency per request, DNS lookups) relative to the one-exchange centralized
+baseline.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.mapserver.geocode import Address
+
+from _util import print_table
+
+
+@pytest.fixture(scope="module")
+def warm_client(bench_scenario):
+    """A client whose resolver cache has been warmed with one pass of queries."""
+    client = bench_scenario.federation.client()
+    store = bench_scenario.stores[0]
+    client.search("seaweed", near=store.entrance, radius_meters=300.0)
+    return client
+
+
+def _measure_network(scenario, fn, repeats: int = 10) -> dict[str, float]:
+    scenario.federation.reset_network_stats()
+    for _ in range(repeats):
+        fn()
+    stats = scenario.federation.network.stats
+    return {
+        "messages_per_request": stats.messages_sent / repeats,
+        "sim_latency_ms": stats.total_latency_ms / repeats,
+    }
+
+
+def test_e2_federated_search(benchmark, bench_scenario, warm_client):
+    store = bench_scenario.stores[0]
+    result = benchmark(lambda: warm_client.search("seaweed", near=store.entrance, radius_meters=300.0))
+    assert len(result) > 0
+    info = _measure_network(
+        bench_scenario, lambda: warm_client.search("seaweed", near=store.entrance, radius_meters=300.0)
+    )
+    benchmark.extra_info.update(info)
+    print_table("E2 federated search", [{"service": "search", **info}])
+
+
+def test_e2_federated_geocode(benchmark, bench_scenario, warm_client):
+    address = Address.parse(
+        f"{next(iter(bench_scenario.city.building_addresses))}, {bench_scenario.city.city_name}"
+    )
+    result = benchmark(lambda: warm_client.geocoder.geocode(address))
+    assert result.best is not None
+    info = _measure_network(bench_scenario, lambda: warm_client.geocoder.geocode(address))
+    benchmark.extra_info.update(info)
+    print_table("E2 federated geocode", [{"service": "geocode", **info}])
+
+
+def test_e2_federated_routing(benchmark, bench_scenario, warm_client):
+    rng = random.Random(1)
+    pairs = [
+        (bench_scenario.city.random_street_point(rng), bench_scenario.city.random_street_point(rng))
+        for _ in range(8)
+    ]
+    counter = iter(range(10**9))
+
+    def route_once():
+        index = next(counter) % len(pairs)
+        return warm_client.route(*pairs[index])
+
+    benchmark(route_once)
+    info = _measure_network(bench_scenario, route_once)
+    benchmark.extra_info.update(info)
+    print_table("E2 federated routing", [{"service": "routing", **info}])
+
+
+def test_e2_federated_localization(benchmark, bench_scenario, warm_client):
+    store = bench_scenario.stores[0]
+    rng = random.Random(2)
+    true_local = store.random_interior_point(rng)
+    true_geo = store.local_to_geographic(true_local)
+    cues = store.sense_cues(true_local, rng)
+    result = benchmark(lambda: warm_client.localize(true_geo, cues))
+    assert result.best is not None
+    info = _measure_network(bench_scenario, lambda: warm_client.localize(true_geo, cues))
+    benchmark.extra_info.update(info)
+    print_table("E2 federated localization", [{"service": "localization", **info}])
+
+
+def test_e2_federated_tiles(benchmark, bench_scenario, warm_client):
+    store = bench_scenario.stores[0]
+    viewport = BoundingBox.around(store.entrance, 50.0)
+    result = benchmark(lambda: warm_client.render_viewport(viewport, zoom=19))
+    assert result.tiles_downloaded > 0
+    info = _measure_network(bench_scenario, lambda: warm_client.render_viewport(viewport, zoom=19))
+    benchmark.extra_info.update(info)
+    print_table("E2 federated tiles", [{"service": "tiles", **info}])
+
+
+def test_e2_overhead_summary(benchmark, bench_scenario, warm_client):
+    """The headline comparison row: federated vs centralized message counts."""
+    store = bench_scenario.stores[0]
+    central = bench_scenario.centralized
+
+    federated = _measure_network(
+        bench_scenario, lambda: warm_client.search("seaweed", near=store.entrance, radius_meters=300.0)
+    )
+    central.network.reset_stats()
+    for _ in range(10):
+        central.search("seaweed", near=store.entrance, radius_meters=300.0)
+    centralized = {
+        "messages_per_request": central.network.stats.messages_sent / 10,
+        "sim_latency_ms": central.network.stats.total_latency_ms / 10,
+    }
+    rows = [
+        {"architecture": "federated (Fig 2)", **federated},
+        {"architecture": "centralized (Fig 1)", **centralized},
+    ]
+    benchmark.extra_info["federated_messages"] = federated["messages_per_request"]
+    benchmark.extra_info["centralized_messages"] = centralized["messages_per_request"]
+    print_table("E2 search overhead: federated vs centralized", rows)
+    benchmark(lambda: warm_client.search("seaweed", near=store.entrance, radius_meters=300.0))

@@ -1,0 +1,98 @@
+"""E4 — Section 5.1: cell coverings as DNS names.
+
+How many domain names does a map registration need, and how much does the
+covering over-approximate the true region (the "fuzzy boundary")?  Sweeps the
+covering level limit and the region size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.spatialindex.covering import (
+    CoveringOptions,
+    RegionCoverer,
+    covering_area_square_meters,
+)
+
+from _util import print_table
+
+CENTER = LatLng(40.44, -79.95)
+
+
+def test_e4_covering_size_vs_level(benchmark):
+    """Covering size and over-approximation for a store-sized region."""
+    region = Polygon.regular(CENTER, 40.0, sides=8)
+    rows = []
+    for max_level in (13, 15, 17, 19):
+        coverer = RegionCoverer(CoveringOptions(min_level=11, max_level=max_level, max_cells=128))
+        cells = coverer.cover_polygon(region)
+        rows.append(
+            {
+                "max_level": max_level,
+                "cells (DNS names)": len(cells),
+                "blowup_factor": covering_area_square_meters(cells) / region.area_square_meters(),
+            }
+        )
+    print_table("E4 covering of a 40 m store vs max level", rows)
+    # Finer levels trade more names for a tighter region approximation.
+    assert rows[-1]["blowup_factor"] < rows[0]["blowup_factor"]
+    benchmark.extra_info["finest_cells"] = rows[-1]["cells (DNS names)"]
+    coverer = RegionCoverer(CoveringOptions(min_level=11, max_level=17, max_cells=128))
+    benchmark(lambda: coverer.cover_polygon(region))
+
+
+def test_e4_covering_size_vs_region_size(benchmark):
+    """From a store to a campus to a whole city district."""
+    rows = []
+    for radius in (30.0, 150.0, 600.0, 2_000.0):
+        region = Polygon.regular(CENTER, radius, sides=10)
+        coverer = RegionCoverer(CoveringOptions(min_level=11, max_level=17, max_cells=256))
+        cells = coverer.cover_polygon(region)
+        rows.append(
+            {
+                "region_radius_m": radius,
+                "cells (DNS names)": len(cells),
+                "blowup_factor": covering_area_square_meters(cells) / region.area_square_meters(),
+            }
+        )
+    print_table("E4 covering size vs region size (levels 11-17)", rows)
+    assert all(row["cells (DNS names)"] <= 256 for row in rows)
+    benchmark.extra_info["largest_region_cells"] = rows[-1]["cells (DNS names)"]
+    region = Polygon.regular(CENTER, 600.0, sides=10)
+    coverer = RegionCoverer(CoveringOptions(min_level=11, max_level=17, max_cells=256))
+    benchmark(lambda: coverer.cover_polygon(region))
+
+
+def test_e4_boundary_fuzziness_false_positive_rate(benchmark):
+    """How often does a point just outside the region still discover it?
+
+    The covering over-approximation means nearby-but-outside clients discover
+    the server and must filter it out afterwards; this quantifies how often,
+    as a function of distance from the boundary.
+    """
+    region = Polygon.regular(CENTER, 50.0, sides=12)
+    coverer = RegionCoverer(CoveringOptions(min_level=13, max_level=17, max_cells=64))
+    cells = coverer.cover_polygon(region)
+
+    rows = []
+    for extra_distance in (10.0, 50.0, 150.0, 400.0):
+        hits = 0
+        samples = 72
+        for step in range(samples):
+            bearing = 360.0 * step / samples
+            probe = CENTER.destination(bearing, 50.0 + extra_distance)
+            if any(cell.contains_point(probe) for cell in cells):
+                hits += 1
+        rows.append(
+            {
+                "meters_outside": extra_distance,
+                "discovery_false_positive_rate": hits / samples,
+            }
+        )
+    print_table("E4 fuzzy-boundary false positives", rows)
+    # Fuzziness decays with distance: far-away points rarely sweep the server in.
+    assert rows[-1]["discovery_false_positive_rate"] <= rows[0]["discovery_false_positive_rate"]
+    benchmark(lambda: coverer.cover_polygon(region))

@@ -1,0 +1,102 @@
+"""E5 — Section 5.2 Routing: quality of stitched federated routes.
+
+For random origin/destination pairs, compares the federated stitched route
+against the centralized optimum over the same data (route stretch), and
+reports how many servers/legs each route needed.  Also measures the
+street-to-shelf scenario where only the federation can complete the route.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.metrics import Summary
+
+from _util import print_table
+
+
+def test_e5_outdoor_route_stretch(benchmark, bench_scenario, bench_client):
+    """Outdoor routes: the federation should match the centralized optimum."""
+    rng = random.Random(3)
+    stretch = Summary("stretch")
+    pairs = []
+    for _ in range(15):
+        origin = bench_scenario.city.random_street_point(rng)
+        destination = bench_scenario.city.random_street_point(rng)
+        if origin.distance_to(destination) < 100.0:
+            continue
+        pairs.append((origin, destination))
+
+    for origin, destination in pairs:
+        federated = bench_client.route(origin, destination)
+        central = bench_scenario.centralized.route(origin, destination)
+        assert central is not None
+        optimal = max(central.cost, 1.0)
+        stretch.observe(federated.length_meters / optimal)
+
+    rows = [
+        {
+            "routes": stretch.count,
+            "mean_stretch": stretch.mean,
+            "max_stretch": stretch.maximum,
+        }
+    ]
+    print_table("E5 outdoor route stretch (federated / centralized optimum)", rows)
+    assert stretch.mean < 1.3
+    benchmark.extra_info["mean_stretch"] = stretch.mean
+    origin, destination = pairs[0]
+    benchmark(lambda: bench_client.route(origin, destination))
+
+
+def test_e5_street_to_shelf_routes(benchmark, bench_scenario, bench_client):
+    """Indoor destinations: only the federation reaches the shelf."""
+    from repro.worldgen.scenario import outdoor_point_near
+
+    rows = []
+    reach_gap = Summary("gap")
+    for index, store in enumerate(bench_scenario.stores):
+        origin = outdoor_point_near(bench_scenario, index, 180.0)
+        shelf = next(iter(store.product_locations.values()))
+        federated = bench_client.route(origin, shelf)
+        central_polyline = bench_scenario.centralized.route_locations(origin, shelf)
+        central_gap = central_polyline[-1].distance_to(shelf) if central_polyline else float("nan")
+        reach_gap.observe(federated.route.points[-1].distance_to(shelf))
+        rows.append(
+            {
+                "store": store.name,
+                "federated_legs": federated.legs_used,
+                "federated_end_gap_m": federated.route.points[-1].distance_to(shelf),
+                "centralized_end_gap_m": central_gap,
+            }
+        )
+    print_table("E5 street-to-shelf routes", rows)
+    assert reach_gap.maximum < 5.0
+    store = bench_scenario.stores[0]
+    from repro.worldgen.scenario import outdoor_point_near as _near
+
+    origin = _near(bench_scenario, 0, 180.0)
+    shelf = next(iter(store.product_locations.values()))
+    benchmark(lambda: bench_client.route(origin, shelf))
+
+
+def test_e5_per_server_work(benchmark, bench_scenario, bench_client):
+    """How much of the route computation each map server performed."""
+    from repro.worldgen.scenario import outdoor_point_near
+
+    store = bench_scenario.stores[0]
+    origin = outdoor_point_near(bench_scenario, 0, 200.0)
+    shelf = next(iter(store.product_locations.values()))
+
+    before = {sid: server.stats.requests_by_service.get("routing", 0) for sid, server in bench_scenario.federation.servers.items()}
+    result = bench_client.route(origin, shelf)
+    after = {sid: server.stats.requests_by_service.get("routing", 0) for sid, server in bench_scenario.federation.servers.items()}
+    rows = [
+        {"server": sid, "routing_requests": after[sid] - before[sid]}
+        for sid in sorted(after)
+        if after[sid] - before[sid] > 0
+    ]
+    print_table("E5 per-server routing requests for one street-to-shelf query", rows)
+    assert result.servers_consulted >= len(rows) > 0
+    benchmark(lambda: bench_client.route(origin, shelf))

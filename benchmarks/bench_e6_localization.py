@@ -1,0 +1,104 @@
+"""E6 — Section 5.2 Localization + Section 2: indoor localization accuracy.
+
+Compares indoor localization error of (a) the coarse GNSS-style fix the
+centralized provider is limited to, and (b) the federated flow where store
+map servers localize against their private beacon/image fingerprints and the
+client selects the most plausible result.  Also sweeps sensor noise.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.metrics import Summary, percentile
+
+from _util import print_table
+
+
+def test_e6_indoor_error_federated_vs_gnss(benchmark, bench_scenario, bench_client):
+    store = bench_scenario.stores[0]
+    rng = random.Random(5)
+    federated_errors = []
+    gnss_errors = []
+    for _ in range(30):
+        true_local = store.random_interior_point(rng)
+        true_geo = store.local_to_geographic(true_local)
+        cues = store.sense_cues(true_local, rng)
+        fix = bench_client.localize(true_geo, cues)
+        assert fix.best is not None
+        federated_errors.append(fix.location.distance_to(true_geo))
+        central = bench_scenario.centralized.localize(cues)
+        gnss_errors.append(central.location.distance_to(true_geo))
+
+    rows = [
+        {
+            "system": "federated (store map servers)",
+            "mean_error_m": sum(federated_errors) / len(federated_errors),
+            "p90_error_m": percentile(federated_errors, 0.9),
+        },
+        {
+            "system": "centralized (GNSS only)",
+            "mean_error_m": sum(gnss_errors) / len(gnss_errors),
+            "p90_error_m": percentile(gnss_errors, 0.9),
+        },
+    ]
+    print_table("E6 indoor localization error", rows)
+    assert rows[0]["mean_error_m"] < rows[1]["mean_error_m"]
+    benchmark.extra_info["federated_mean_error_m"] = rows[0]["mean_error_m"]
+    benchmark.extra_info["gnss_mean_error_m"] = rows[1]["mean_error_m"]
+
+    true_local = store.random_interior_point(rng)
+    cues = store.sense_cues(true_local, rng)
+    benchmark(lambda: bench_client.localize(store.local_to_geographic(true_local), cues))
+
+
+def test_e6_error_vs_sensor_noise(benchmark, bench_scenario, bench_client):
+    """Localization degrades gracefully as cue noise grows."""
+    store = bench_scenario.stores[1]
+    rows = []
+    for rssi_noise in (1.0, 3.0, 6.0, 10.0):
+        rng = random.Random(int(rssi_noise * 10))
+        errors = Summary("err")
+        for _ in range(15):
+            true_local = store.random_interior_point(rng)
+            true_geo = store.local_to_geographic(true_local)
+            cues = store.sense_cues(true_local, rng, rssi_noise_db=rssi_noise, image_noise=rssi_noise / 10.0)
+            fix = bench_client.localize(true_geo, cues)
+            if fix.best is not None:
+                errors.observe(fix.location.distance_to(true_geo))
+        rows.append({"rssi_noise_db": rssi_noise, "mean_error_m": errors.mean, "max_error_m": errors.maximum})
+    print_table("E6 localization error vs sensor noise", rows)
+    assert rows[0]["mean_error_m"] <= rows[-1]["mean_error_m"] + 3.0
+    rng = random.Random(0)
+    true_local = store.random_interior_point(rng)
+    cues = store.sense_cues(true_local, rng)
+    benchmark(lambda: bench_client.localize(store.local_to_geographic(true_local), cues))
+
+
+def test_e6_technology_breakdown(benchmark, bench_scenario, bench_client):
+    """Which advertised technology wins, and with what accuracy."""
+    store = bench_scenario.stores[2]
+    rng = random.Random(9)
+    by_technology: dict[str, Summary] = {}
+    for trial in range(30):
+        true_local = store.random_interior_point(rng)
+        true_geo = store.local_to_geographic(true_local)
+        cues = store.sense_cues(true_local, rng, include_fiducial=(trial % 3 == 0))
+        fix = bench_client.localize(true_geo, cues)
+        if fix.best is None:
+            continue
+        technology = fix.best.result.cue_type.value
+        by_technology.setdefault(technology, Summary(technology)).observe(
+            fix.location.distance_to(true_geo)
+        )
+    rows = [
+        {"technology": name, "wins": summary.count, "mean_error_m": summary.mean}
+        for name, summary in sorted(by_technology.items())
+    ]
+    print_table("E6 winning localization technology", rows)
+    assert rows
+    true_local = store.random_interior_point(rng)
+    cues = store.sense_cues(true_local, rng)
+    benchmark(lambda: bench_client.localize(store.local_to_geographic(true_local), cues))

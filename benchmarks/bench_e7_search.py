@@ -1,0 +1,106 @@
+"""E7 — Section 2 / Section 5.2: location-based search over federated maps.
+
+The grocery-store walkthrough's search step: recall of indoor product queries
+under (a) the federation, where stores answer from their own inventories, and
+(b) the centralized provider, which never obtained the indoor maps.  Also
+reports the ablation where stores *do* hand over their data, and the fan-out
+cost per federated query.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.worldgen.scenario import build_scenario
+
+from _util import print_table
+
+
+def _recall(system_search, stores, queries_per_store: int = 8) -> float:
+    hits = 0
+    total = 0
+    for store in stores:
+        near = store.entrance.destination(180.0, 60.0)
+        for product in store.products[:queries_per_store]:
+            total += 1
+            results = system_search(product.name, near)
+            found = any(
+                product.name in (label or "") for label in results
+            )
+            if found:
+                hits += 1
+    return hits / total if total else 0.0
+
+
+def test_e7_indoor_search_recall(benchmark, bench_scenario, bench_client):
+    stores = bench_scenario.stores
+
+    def federated_search(query, near):
+        result = bench_client.search(query, near=near, radius_meters=300.0, limit=10)
+        return [r.tag_dict().get("product") or r.label for r in result.results]
+
+    def centralized_search(query, near):
+        results = bench_scenario.centralized.search(query, near=near, radius_meters=300.0, limit=10)
+        return [r.tag_dict().get("product") or r.label for r in results]
+
+    federated_recall = _recall(federated_search, stores)
+    centralized_recall = _recall(centralized_search, stores)
+    rows = [
+        {"system": "federated (Fig 2)", "indoor_product_recall": federated_recall},
+        {"system": "centralized, indoor maps withheld (Fig 1)", "indoor_product_recall": centralized_recall},
+    ]
+    print_table("E7 indoor product search recall", rows)
+    assert federated_recall > 0.9
+    assert centralized_recall < 0.1
+    benchmark.extra_info["federated_recall"] = federated_recall
+    benchmark.extra_info["centralized_recall"] = centralized_recall
+
+    store = stores[0]
+    benchmark(lambda: bench_client.search("seaweed", near=store.entrance, radius_meters=300.0))
+
+
+def test_e7_centralized_with_ingested_indoor_ablation(benchmark):
+    """Ablation: if stores did share their maps, the centralized recall recovers.
+
+    This isolates the cause of E7's gap: it is data availability (the paper's
+    privacy/ownership argument), not the search algorithm.
+    """
+    scenario = build_scenario(store_count=2, centralized_ingests_indoor=True, seed=51)
+
+    def centralized_search(query, near):
+        results = scenario.centralized.search(query, near=near, radius_meters=300.0, limit=10)
+        return [r.tag_dict().get("product") or r.label for r in results]
+
+    recall = _recall(centralized_search, scenario.stores)
+    rows = [{"system": "centralized, indoor maps ingested (ablation)", "indoor_product_recall": recall}]
+    print_table("E7 ablation: centralized with ingested indoor maps", rows)
+    assert recall > 0.9
+    store = scenario.stores[0]
+    benchmark(lambda: scenario.centralized.search("seaweed", near=store.entrance, radius_meters=300.0))
+
+
+def test_e7_fanout_cost(benchmark, bench_scenario, bench_client):
+    """How many servers a federated search touches, near and far from stores."""
+    store = bench_scenario.stores[0]
+    rng = random.Random(1)
+    near_store = bench_client.search("seaweed", near=store.entrance, radius_meters=300.0)
+    downtown = bench_client.search("cafe", near=bench_scenario.city.random_street_point(rng), radius_meters=300.0)
+    rows = [
+        {
+            "query location": "next to a store",
+            "servers_consulted": near_store.servers_consulted,
+            "servers_with_results": near_store.servers_with_results,
+            "dns_lookups": near_store.dns_lookups,
+        },
+        {
+            "query location": "random street corner",
+            "servers_consulted": downtown.servers_consulted,
+            "servers_with_results": downtown.servers_with_results,
+            "dns_lookups": downtown.dns_lookups,
+        },
+    ]
+    print_table("E7 federated search fan-out", rows)
+    assert near_store.servers_consulted >= downtown.servers_with_results
+    benchmark(lambda: bench_client.search("seaweed", near=store.entrance, radius_meters=300.0))

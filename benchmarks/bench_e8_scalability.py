@@ -1,0 +1,121 @@
+"""E8 — Section 1: scalability of map management under federation.
+
+The paper argues that federation lets map management scale because each
+organization registers and maintains only its own map.  This experiment
+measures (a) the cost of adding the N-th map server (DNS records created,
+registration time), (b) how discovery cost at a client evolves as the number
+of independent maps grows, and (c) the total discovery-zone size — contrasted
+with the centralized model where each new organization's data must be
+re-ingested and re-preprocessed centrally.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import pytest
+
+from repro.centralized.system import CentralizedMapSystem
+from repro.core.federation import Federation
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.osm.builder import MapBuilder
+
+from _util import print_table
+
+ANCHOR = LatLng(40.40, -79.99)
+
+
+def _venue_map(index: int, rng: random.Random):
+    anchor = ANCHOR.destination(rng.uniform(0, 360), rng.uniform(50.0, 4_000.0))
+    builder = MapBuilder(name=f"venue-{index}")
+    entrance = builder.add_node(anchor, {"name": f"venue {index} entrance", "entrance": "main"})
+    other = builder.add_node(anchor.destination(45.0, 20.0), {"name": f"venue {index} hall"})
+    builder.add_way([entrance, other], {"indoor_path": "yes"})
+    map_data = builder.build()
+    map_data.set_coverage(Polygon.regular(anchor, 40.0, sides=6))
+    return map_data, anchor
+
+
+def test_e8_registration_and_discovery_vs_server_count(benchmark):
+    rows = []
+    rng = random.Random(0)
+    for server_count in (10, 50, 150):
+        federation = Federation()
+        locations = []
+        start = time.perf_counter()
+        for index in range(server_count):
+            map_data, anchor = _venue_map(index, rng)
+            federation.add_map_server(f"venue-{index}.example", map_data)
+            locations.append(anchor)
+        registration_seconds = time.perf_counter() - start
+
+        client = federation.client()
+        federation.reset_network_stats()
+        probe_count = 20
+        found_total = 0
+        for _ in range(probe_count):
+            probe = rng.choice(locations)
+            found_total += len(client.discover(probe, uncertainty_meters=60.0).server_ids)
+        messages_per_discovery = federation.network.stats.messages_sent / probe_count
+
+        rows.append(
+            {
+                "map_servers": server_count,
+                "registration_s_total": registration_seconds,
+                "dns_records": federation.registry.total_records,
+                "records_per_server": federation.registry.total_records / server_count,
+                "msgs_per_discovery": messages_per_discovery,
+                "mean_servers_found": found_total / probe_count,
+            }
+        )
+
+    print_table("E8 federation growth", rows)
+    # Per-server registration cost stays flat and discovery cost does not blow
+    # up with the number of independent maps.
+    assert rows[-1]["records_per_server"] <= rows[0]["records_per_server"] * 2.0
+    assert rows[-1]["msgs_per_discovery"] <= rows[0]["msgs_per_discovery"] * 3.0
+    benchmark.extra_info["records_per_server"] = rows[-1]["records_per_server"]
+
+    federation = Federation()
+    rng2 = random.Random(1)
+    counter = iter(range(10**9))
+
+    def register_one():
+        index = next(counter)
+        map_data, _ = _venue_map(index, rng2)
+        federation.add_map_server(f"bench-venue-{index}.example", map_data)
+
+    benchmark(register_one)
+
+
+def test_e8_centralized_reingestion_cost(benchmark):
+    """The centralized counterpart: every new organization forces re-ingestion.
+
+    The cost of keeping the central database current grows with the *total*
+    data volume, not with the size of the newcomer's map.
+    """
+    rng = random.Random(3)
+    rows = []
+    for organization_count in (10, 50, 150):
+        central = CentralizedMapSystem(use_contraction_hierarchy=False)
+        for index in range(organization_count):
+            map_data, _ = _venue_map(index, rng)
+            central.ingest(map_data)
+        start = time.perf_counter()
+        central.preprocess()
+        preprocess_seconds = time.perf_counter() - start
+        rows.append(
+            {
+                "organizations": organization_count,
+                "world_nodes": central.world_map.node_count,
+                "preprocess_s": preprocess_seconds,
+            }
+        )
+    print_table("E8 centralized ingestion/preprocessing growth", rows)
+    assert rows[-1]["preprocess_s"] >= rows[0]["preprocess_s"]
+    central = CentralizedMapSystem(use_contraction_hierarchy=False)
+    map_data, _ = _venue_map(0, rng)
+    central.ingest(map_data)
+    benchmark(central.preprocess)

@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_e*.py`` file regenerates one experiment from EXPERIMENTS.md.
+Expensive world construction is session-scoped; benchmark functions measure
+the steady-state request path and attach the experiment's headline numbers
+(recall, error, stretch, message counts) to ``benchmark.extra_info`` so they
+appear in the saved benchmark data as well as on stdout.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.worldgen.scenario import FederatedScenario, build_scenario
+
+
+@pytest.fixture(scope="session")
+def bench_scenario() -> FederatedScenario:
+    """The standard benchmark world: a 6x6 city, three stores, no campus."""
+    return build_scenario(store_count=3, include_campus=False, city_rows=6, city_cols=6, seed=42)
+
+
+@pytest.fixture(scope="session")
+def bench_scenario_with_campus() -> FederatedScenario:
+    """A separate world including the campus (used by the privacy experiment)."""
+    return build_scenario(store_count=1, include_campus=True, city_rows=5, city_cols=5, seed=43)
+
+
+@pytest.fixture(scope="session")
+def bench_client(bench_scenario: FederatedScenario):
+    return bench_scenario.federation.client()
+
+
+@pytest.fixture()
+def bench_rng() -> random.Random:
+    return random.Random(2024)

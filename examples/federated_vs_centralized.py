@@ -1,0 +1,102 @@
+"""Compare the federated architecture (Figure 2) against the centralized one (Figure 1).
+
+Run with::
+
+    python examples/federated_vs_centralized.py
+
+For the same synthetic world the script measures, side by side:
+
+* search recall for indoor products (the centralized provider never got the
+  stores' private maps);
+* indoor localization error (GNSS-only vs the stores' cue-based services);
+* end-to-end request latency and message counts for the outdoor services
+  (the federation pays a discovery overhead, amortised by DNS caching).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.simulation.metrics import Summary
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+
+def main() -> None:
+    scenario = build_scenario(store_count=3, include_campus=False, seed=17)
+    federation = scenario.federation
+    centralized = scenario.centralized
+    client = federation.client()
+    rng = random.Random(5)
+
+    # ------------------------------------------------------------------
+    # Indoor product search recall.
+    # ------------------------------------------------------------------
+    total_queries = 0
+    federated_hits = 0
+    centralized_hits = 0
+    for store in scenario.stores:
+        user_location = store.entrance.destination(180.0, 80.0)
+        for product in store.products[:10]:
+            total_queries += 1
+            fed = client.search(product.name, near=user_location, radius_meters=300.0)
+            if any(product.name in r.label or product.name in (r.tag_dict().get("product") or "") for r in fed.results):
+                federated_hits += 1
+            central = centralized.search(product.name, near=user_location, radius_meters=300.0)
+            if central:
+                centralized_hits += 1
+
+    print("=== Indoor product search recall ===")
+    print(f"  queries               : {total_queries}")
+    print(f"  federated recall      : {federated_hits / total_queries:.2f}")
+    print(f"  centralized recall    : {centralized_hits / total_queries:.2f}   (indoor maps were never shared)")
+
+    # ------------------------------------------------------------------
+    # Indoor localization error.
+    # ------------------------------------------------------------------
+    federated_error = Summary("federated")
+    gnss_error = Summary("gnss")
+    store = scenario.stores[0]
+    for _ in range(25):
+        true_local = store.random_interior_point(rng)
+        true_geo = store.local_to_geographic(true_local)
+        cues = store.sense_cues(true_local, rng)
+        fix = client.localize(true_geo, cues)
+        if fix.best is not None:
+            federated_error.observe(fix.location.distance_to(true_geo))
+        central_fix = centralized.localize(cues)
+        if central_fix is not None:
+            gnss_error.observe(central_fix.location.distance_to(true_geo))
+
+    print("\n=== Indoor localization error (meters) ===")
+    print(f"  federated (store map servers): mean {federated_error.mean:.2f}  max {federated_error.maximum:.2f}")
+    print(f"  centralized (GNSS only)      : mean {gnss_error.mean:.2f}  max {gnss_error.maximum:.2f}")
+
+    # ------------------------------------------------------------------
+    # Outdoor service cost: latency and messages per request.
+    # ------------------------------------------------------------------
+    request_count = 30
+    origin_destinations = [
+        (scenario.city.random_street_point(rng), scenario.city.random_street_point(rng))
+        for _ in range(request_count)
+    ]
+
+    federation.reset_network_stats()
+    for origin, destination in origin_destinations:
+        client.route(origin, destination)
+    federated_messages = federation.network.stats.messages_sent
+    federated_latency = federation.network.stats.total_latency_ms
+
+    federation.reset_network_stats()
+    for origin, destination in origin_destinations:
+        centralized.route(origin, destination)
+    central_messages = federation.network.stats.messages_sent
+    central_latency = federation.network.stats.total_latency_ms
+
+    print("\n=== Outdoor routing: cost per request ===")
+    print(f"  federated  : {federated_messages / request_count:5.1f} messages, {federated_latency / request_count:6.1f} ms")
+    print(f"  centralized: {central_messages / request_count:5.1f} messages, {central_latency / request_count:6.1f} ms")
+    print("  (the federated overhead is DNS discovery; repeated queries hit the resolver cache)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""The Section 2 walkthrough: navigate a user to a product on a store shelf.
+
+Run with::
+
+    python examples/grocery_navigation.py
+
+The user stands on the sidewalk, searches for "wasabi seaweed", and the
+application (a) discovers the grocery store's own map server, (b) finds the
+shelf, (c) computes a route whose outdoor leg comes from the city map and
+whose indoor leg comes from the store's map, and (d) tracks the user along
+the route — with GNSS outdoors and the store's beacon/image localization
+indoors — printing the live position error at each step.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.localization.imu import DeadReckoningTracker, MotionUpdate
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+
+def main() -> None:
+    scenario = build_scenario(store_count=1, include_campus=False, seed=13)
+    client = scenario.federation.client()
+    store = scenario.stores[0]
+    rng = random.Random(3)
+
+    user_location = outdoor_point_near(scenario, store_index=0, distance_meters=180.0)
+    print(f"User is standing at {user_location} (on the street)")
+
+    # ------------------------------------------------------------------
+    # 1. Search for the product.
+    # ------------------------------------------------------------------
+    hits = client.search("wasabi seaweed", near=user_location, radius_meters=400.0)
+    if not hits.results:
+        print("No store nearby stocks the product.")
+        return
+    target = hits.results[0]
+    print(f"Found: {target.label!r} stocked by {target.map_name}")
+    print(f"  ({hits.servers_consulted} map servers consulted, {hits.dns_lookups} DNS lookups)")
+
+    # ------------------------------------------------------------------
+    # 2. Route from the sidewalk to the shelf.
+    # ------------------------------------------------------------------
+    route = client.route(user_location, target.location)
+    print("\nRoute:")
+    print(f"  total length : {route.length_meters:.1f} m")
+    for leg in route.route.legs:
+        print(f"  leg from {leg.server_id:25s} {leg.length_meters():7.1f} m")
+    print(f"  hand-over gap (connectors): {route.route.connector_meters:.1f} m")
+
+    # ------------------------------------------------------------------
+    # 3. Walk the route, localizing continuously.
+    # ------------------------------------------------------------------
+    print("\nWalking the route:")
+    points = route.route.points
+    tracker = DeadReckoningTracker(anchor=user_location, anchor_accuracy_meters=8.0, drift_rate=0.08)
+    inside_store = False
+
+    for index in range(1, len(points)):
+        previous, current = points[index - 1], points[index]
+        step = previous.distance_to(current)
+        if step <= 0.01:
+            continue
+        tracker.apply(MotionUpdate(previous.initial_bearing_to(current), step))
+
+        # Decide which cues the device can sense at this point.
+        if store.map_data.covers_point(current):
+            inside_store = True
+        if inside_store:
+            local = store.geographic_to_local(current)
+            cues = store.sense_cues(local, rng, gnss_error_meters=18.0)
+        else:
+            from repro.localization.cues import CueBundle, GnssCue
+
+            noisy = current.destination(rng.uniform(0, 360), abs(rng.gauss(0.0, 8.0)))
+            cues = CueBundle(gnss=GnssCue(noisy, accuracy_meters=10.0))
+
+        fix = client.localize(current, cues, tracker=tracker)
+        if fix.best is None:
+            continue
+        error = fix.location.distance_to(current)
+        tracker.re_anchor(fix.location, fix.accuracy_meters or 5.0)
+        where = "indoors " if inside_store else "outdoors"
+        print(
+            f"  step {index:2d} [{where}] fix from {fix.best.result.server_id:22s} "
+            f"({fix.best.result.cue_type.value:8s}) error {error:5.1f} m"
+        )
+
+    print("\nArrived at the shelf.")
+    print(f"Network messages for the whole task: {client.network_messages}")
+
+
+if __name__ == "__main__":
+    main()

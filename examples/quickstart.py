@@ -1,0 +1,97 @@
+"""Quickstart: build a small federation and use every location-based service.
+
+Run with::
+
+    python examples/quickstart.py
+
+The script builds a synthetic city, deploys it as the outdoor "world
+provider" map server, adds one grocery store with its own private map, and
+then exercises discovery, search, geocoding, routing, localization and tile
+rendering through the :class:`repro.core.OpenFlameClient` public API.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.geometry.bbox import BoundingBox
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+
+def main() -> None:
+    # One call wires everything: a city map server (world provider), two
+    # store map servers with indoor maps + localization databases, and the
+    # DNS-based discovery layer that ties them together.
+    scenario = build_scenario(store_count=2, include_campus=False, seed=7)
+    federation = scenario.federation
+    client = federation.client()
+    store = scenario.stores[0]
+
+    print("=== Federation ===")
+    print(f"map servers deployed : {federation.server_count}")
+    print(f"discovery DNS records: {federation.registry.total_records}")
+
+    # ------------------------------------------------------------------
+    # Discovery: what map servers cover the user's coarse location?
+    # ------------------------------------------------------------------
+    user_location = outdoor_point_near(scenario, store_index=0, distance_meters=150.0)
+    discovery = client.discover(user_location, uncertainty_meters=100.0)
+    print("\n=== Discovery near the user ===")
+    print(f"servers: {list(discovery.server_ids)}")
+    print(f"DNS lookups: {discovery.dns_lookups}")
+
+    # ------------------------------------------------------------------
+    # Location-based search: the Section 2 "seaweed" query.
+    # ------------------------------------------------------------------
+    hits = client.search("wasabi seaweed", near=user_location, radius_meters=400.0)
+    print("\n=== Search: 'wasabi seaweed' near me ===")
+    for result in hits.results[:3]:
+        print(f"  {result.label:45s}  {result.distance_meters:6.1f} m  (from {result.map_name})")
+
+    # ------------------------------------------------------------------
+    # Geocoding a street address.
+    # ------------------------------------------------------------------
+    address = next(iter(scenario.city.building_addresses))
+    geocoded = client.geocode(f"{address}, {scenario.city.city_name}")
+    print(f"\n=== Geocode '{address}' ===")
+    if geocoded.best is not None:
+        print(f"  -> {geocoded.best.label} at {geocoded.best.location}")
+
+    # ------------------------------------------------------------------
+    # Routing: street -> store shelf, stitched across two map servers.
+    # ------------------------------------------------------------------
+    shelf = store.product_locations["wasabi seaweed snack"]
+    route = client.route(user_location, shelf)
+    print("\n=== Route to the seaweed shelf ===")
+    print(f"  length  : {route.length_meters:.1f} m")
+    print(f"  servers : {list(route.servers)}")
+    print(f"  points  : {len(route.route.points)}")
+
+    # ------------------------------------------------------------------
+    # Localization: indoors, the store's map server localizes the device.
+    # ------------------------------------------------------------------
+    rng = random.Random(1)
+    true_position = store.random_interior_point(rng)
+    true_geo = store.local_to_geographic(true_position)
+    cues = store.sense_cues(true_position, rng)
+    fix = client.localize(true_geo, cues)
+    print("\n=== Indoor localization ===")
+    if fix.best is not None:
+        error = fix.location.distance_to(true_geo)
+        print(f"  served by : {fix.best.result.server_id} ({fix.best.result.cue_type.value})")
+        print(f"  error     : {error:.2f} m (GNSS error was {cues.gnss.location.distance_to(true_geo):.1f} m)")
+
+    # ------------------------------------------------------------------
+    # Tiles: composite view of the storefront area.
+    # ------------------------------------------------------------------
+    viewport = BoundingBox.around(store.entrance, 60.0)
+    view = client.render_viewport(viewport, zoom=19)
+    print("\n=== Stitched viewport around the storefront ===")
+    print(f"  tiles     : {len(view.composites)} from {view.servers_consulted} servers")
+    print(f"  coverage  : {view.coverage_fraction:.3f}")
+
+    print(f"\nTotal network messages used by this session: {client.network_messages}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""OpenFLAME reproduction: a federated mapping infrastructure for the Spatial Web.
+
+This package reproduces the system described in "Uniting the World by
+Dividing it: Federated Maps to Enable Spatial Applications" (HotOS 2025):
+
+* ``repro.core`` — the public API: :class:`~repro.core.Federation` and
+  :class:`~repro.core.OpenFlameClient`.
+* ``repro.mapserver`` — independently operated map servers with per-service
+  access policies.
+* ``repro.discovery`` / ``repro.dns`` — DNS-based map server discovery.
+* ``repro.services`` — the federated client-side location-based services.
+* ``repro.centralized`` — the centralized baseline architecture (Figure 1).
+* ``repro.worldgen`` — synthetic cities, stores and campuses for experiments.
+
+Quickstart::
+
+    from repro.worldgen import build_scenario
+
+    scenario = build_scenario(store_count=1)
+    client = scenario.federation.client()
+    hits = client.search("seaweed", near=scenario.stores[0].entrance)
+    print(hits.labels())
+"""
+
+from repro.core import (
+    Federation,
+    FederationConfig,
+    FederationConfigError,
+    OpenFlameClient,
+    OpenFlameError,
+    ServiceUnavailableError,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Federation",
+    "FederationConfig",
+    "FederationConfigError",
+    "OpenFlameClient",
+    "OpenFlameError",
+    "ServiceUnavailableError",
+    "__version__",
+]

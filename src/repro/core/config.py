@@ -1,0 +1,32 @@
+"""Configuration for a federation instance."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.naming import DEFAULT_DISCOVERY_SUFFIX
+from repro.simulation.network import LatencyModel
+from repro.spatialindex.covering import CoveringOptions
+
+
+@dataclass(frozen=True, slots=True)
+class FederationConfig:
+    """Tunables shared by every component of one federation.
+
+    ``registration_covering`` controls how map coverage regions are converted
+    into DNS records; ``discovery_level`` is the cell level used for client
+    discovery queries; ``registration_ttl_seconds`` is the TTL on discovery
+    records (long, because map server addresses rarely change — Section 5.1).
+    """
+
+    discovery_suffix: str = DEFAULT_DISCOVERY_SUFFIX
+    discovery_level: int = 17
+    discovery_ancestor_levels: int = 8
+    registration_covering: CoveringOptions = field(
+        default_factory=lambda: CoveringOptions(min_level=13, max_level=17, max_cells=64)
+    )
+    registration_ttl_seconds: float = 3600.0
+    device_discovery_cache_ttl_seconds: float = 0.0
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    default_routing_algorithm: str = "dijkstra"
+    route_stitch_max_gap_meters: float = 250.0

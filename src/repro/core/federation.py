@@ -1,0 +1,154 @@
+"""Wiring a federation together: DNS, discovery, map servers, client context.
+
+:class:`Federation` is the deployment-side object: it owns the simulated
+network, the DNS namespace (root server, the spatial discovery zone and its
+authoritative server, a recursive resolver), the discovery registry, and the
+directory of reachable map servers.  Applications then obtain an
+:class:`repro.core.client.OpenFlameClient` from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import FederationConfig
+from repro.core.errors import FederationConfigError
+from repro.discovery.discoverer import Discoverer
+from repro.discovery.naming import SpatialNaming
+from repro.discovery.registry import DiscoveryRegistry, Registration
+from repro.dns.records import RecordType
+from repro.dns.resolver import RecursiveResolver, StubResolver
+from repro.dns.server import NameServer
+from repro.dns.zone import Zone
+from repro.geometry.polygon import Polygon
+from repro.mapserver.auth import Credential
+from repro.mapserver.policy import AccessPolicy
+from repro.mapserver.server import MapServer
+from repro.osm.mapdata import MapData
+from repro.services.context import FederationContext
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.network import SimulatedNetwork
+
+
+@dataclass
+class Federation:
+    """A running OpenFLAME federation (Figure 2)."""
+
+    config: FederationConfig = field(default_factory=FederationConfig)
+    network: SimulatedNetwork = field(init=False)
+    naming: SpatialNaming = field(init=False)
+    registry: DiscoveryRegistry = field(init=False)
+    root_server: NameServer = field(init=False)
+    resolver: RecursiveResolver = field(init=False)
+    stub_resolver: StubResolver = field(init=False)
+    servers: dict[str, MapServer] = field(default_factory=dict)
+    world_provider_id: str | None = None
+
+    def __post_init__(self) -> None:
+        clock = SimulatedClock()
+        self.network = SimulatedNetwork(clock=clock, latency=self.config.latency)
+        self.naming = SpatialNaming(self.config.discovery_suffix)
+        self.registry = DiscoveryRegistry(
+            naming=self.naming,
+            covering_options=self.config.registration_covering,
+            ttl_seconds=self.config.registration_ttl_seconds,
+        )
+
+        # Root name server delegates the discovery suffix to the registry's
+        # authoritative server.
+        root_zone = Zone(origin="")
+        root_zone.add(self.naming.suffix, RecordType.NS, self.registry.authority.server_id)
+        self.root_server = NameServer(server_id="root", zones={"": root_zone})
+        self.resolver = RecursiveResolver(
+            root=self.root_server,
+            servers={
+                "root": self.root_server,
+                self.registry.authority.server_id: self.registry.authority,
+            },
+            network=self.network,
+        )
+        self.stub_resolver = StubResolver(recursive=self.resolver, network=self.network)
+
+    # ------------------------------------------------------------------
+    # Map server lifecycle
+    # ------------------------------------------------------------------
+    def add_map_server(
+        self,
+        server_id: str,
+        map_data: MapData,
+        policy: AccessPolicy | None = None,
+        coverage: Polygon | None = None,
+        routing_algorithm: str | None = None,
+        is_world_provider: bool = False,
+    ) -> MapServer:
+        """Deploy a map server and register it in the discovery DNS."""
+        if server_id in self.servers:
+            raise FederationConfigError(f"map server {server_id!r} is already deployed")
+        if coverage is not None:
+            map_data.set_coverage(coverage)
+        server = MapServer(
+            server_id=server_id,
+            map_data=map_data,
+            policy=policy or AccessPolicy(),
+            routing_algorithm=routing_algorithm or self.config.default_routing_algorithm,
+        )
+        self.servers[server_id] = server
+        self.registry.register_region(server_id, server.coverage)
+        if is_world_provider:
+            self.world_provider_id = server_id
+        return server
+
+    def remove_map_server(self, server_id: str) -> None:
+        """Tear down a map server and withdraw its discovery records."""
+        if server_id not in self.servers:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        del self.servers[server_id]
+        self.registry.deregister(server_id)
+        if self.world_provider_id == server_id:
+            self.world_provider_id = None
+
+    def registration_for(self, server_id: str) -> Registration | None:
+        return self.registry.registrations.get(server_id)
+
+    @property
+    def world_provider(self) -> MapServer | None:
+        if self.world_provider_id is None:
+            return None
+        return self.servers.get(self.world_provider_id)
+
+    # ------------------------------------------------------------------
+    # Client-side context
+    # ------------------------------------------------------------------
+    def build_context(self, credential: Credential | None = None) -> FederationContext:
+        """Build the client-side context (discoverer + directory + network)."""
+        discoverer = Discoverer(
+            resolver=self.stub_resolver,
+            naming=self.naming,
+            query_level=self.config.discovery_level,
+            ancestor_levels=self.config.discovery_ancestor_levels,
+            device_cache_ttl_seconds=self.config.device_discovery_cache_ttl_seconds,
+        )
+        context = FederationContext(
+            discoverer=discoverer,
+            directory=self.servers,
+            network=self.network,
+        )
+        if credential is not None:
+            context.credential = credential
+        return context
+
+    def client(self, credential: Credential | None = None):
+        """Create an :class:`repro.core.client.OpenFlameClient` for this federation."""
+        from repro.core.client import OpenFlameClient
+
+        return OpenFlameClient(federation=self, credential=credential)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def server_count(self) -> int:
+        return len(self.servers)
+
+    def reset_network_stats(self) -> None:
+        self.network.reset_stats()

@@ -1,0 +1,167 @@
+"""Client-side map server discovery.
+
+Section 5.1: "The discovery query would involve the coarse location of the
+device obtained from ubiquitous sources like the GPS.  The discovery system
+would then respond to the query with a list of map providers for the region."
+
+The :class:`Discoverer` converts a coarse location (a point plus an
+uncertainty radius, or a region) into spatial domain names, resolves them
+through the caching DNS resolver, and returns a de-duplicated list of map
+server identifiers.
+
+Naming-level convention: registrations are published at cell levels *no finer
+than* ``query_level`` (the registry enforces its own ``max_level``; the
+federation configures both from one value).  A discovery query therefore
+always enumerates cells at exactly ``query_level`` and, for each, also checks
+its ancestor names up to ``ancestor_levels`` levels coarser — so any
+registration at an equal or coarser level is guaranteed to be met by the
+walk, while the DNS cache absorbs the repeated coarse-level lookups.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.discovery.naming import SpatialNaming
+from repro.discovery.registry import MAP_SERVER_RECORD_TYPE
+from repro.dns.records import SrvData
+from repro.dns.resolver import StubResolver
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.spatialindex.cellid import CellId
+from repro.spatialindex.covering import cells_at_level, normalize_covering
+
+
+@dataclass(frozen=True, slots=True)
+class DiscoveryResult:
+    """The outcome of one discovery query."""
+
+    server_ids: tuple[str, ...]
+    cells_queried: tuple[CellId, ...]
+    dns_lookups: int
+
+    def __contains__(self, server_id: str) -> bool:
+        return server_id in self.server_ids
+
+
+@dataclass
+class Discoverer:
+    """Resolves coarse locations to the map servers covering them.
+
+    ``device_cache_ttl_seconds`` enables a small device-side cache of per-cell
+    discovery results (on top of the resolver's own DNS cache): a device that
+    keeps querying the same few cells — the common case for a user walking
+    around one store or one block — stops issuing DNS traffic entirely for
+    the cached cells until the TTL lapses.  Set it to 0 to disable.
+    """
+
+    resolver: StubResolver
+    naming: SpatialNaming = None  # type: ignore[assignment]
+    query_level: int = 17
+    ancestor_levels: int = 9
+    max_query_cells: int = 24
+    device_cache_ttl_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.naming is None:
+            self.naming = SpatialNaming()
+        self._cell_cache: dict[str, tuple[float, tuple[str, ...]]] = {}
+        self.device_cache_hits = 0
+        self.device_cache_misses = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def discover_at(self, location: LatLng, uncertainty_meters: float = 0.0) -> DiscoveryResult:
+        """Discover map servers around a coarse device location."""
+        if uncertainty_meters <= 0.0:
+            cells = [CellId.from_point(location, self.query_level)]
+        else:
+            box = BoundingBox.around(location, uncertainty_meters)
+            cells = cells_at_level(box, self.query_level, self.max_query_cells)
+        return self._discover_cells(cells)
+
+    def discover_region(self, region: Polygon | BoundingBox) -> DiscoveryResult:
+        """Discover map servers intersecting a region (e.g. a viewport)."""
+        box = region if isinstance(region, BoundingBox) else region.bounding_box
+        cells = cells_at_level(box, self.query_level, self.max_query_cells)
+        return self._discover_cells(cells)
+
+    def discover_along(self, waypoints: list[LatLng], corridor_meters: float = 200.0) -> DiscoveryResult:
+        """Discover every map server along a path of waypoints (for routing)."""
+        if not waypoints:
+            raise ValueError("waypoints must be non-empty")
+        all_cells: list[CellId] = []
+        for waypoint in waypoints:
+            box = BoundingBox.around(waypoint, corridor_meters)
+            all_cells.extend(cells_at_level(box, self.query_level, self.max_query_cells))
+        return self._discover_cells(normalize_covering(all_cells))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _discover_cells(self, cells: list[CellId]) -> DiscoveryResult:
+        servers: list[str] = []
+        seen: set[str] = set()
+        name_results: dict[str, list[str]] = {}
+        lookups = 0
+
+        for cell in cells:
+            cached = self._cached_cell_servers(cell)
+            if cached is not None:
+                self.device_cache_hits += 1
+                cell_servers: list[str] = list(cached)
+            else:
+                self.device_cache_misses += 1
+                cell_servers = []
+                for name in self._names_for_cell(cell):
+                    if name not in name_results:
+                        lookups += 1
+                        name_results[name] = [
+                            SrvData.decode(data).target
+                            for data in self.resolver.resolve_data(name, MAP_SERVER_RECORD_TYPE)
+                        ]
+                    cell_servers.extend(name_results[name])
+                self._store_cell_servers(cell, cell_servers)
+
+            for server_id in cell_servers:
+                if server_id not in seen:
+                    seen.add(server_id)
+                    servers.append(server_id)
+
+        return DiscoveryResult(tuple(servers), tuple(cells), lookups)
+
+    def _cached_cell_servers(self, cell: CellId) -> tuple[str, ...] | None:
+        if self.device_cache_ttl_seconds <= 0.0:
+            return None
+        entry = self._cell_cache.get(cell.token)
+        if entry is None:
+            return None
+        expires_at, cached_servers = entry
+        if self.resolver.network.clock.now() >= expires_at:
+            del self._cell_cache[cell.token]
+            return None
+        return cached_servers
+
+    def _store_cell_servers(self, cell: CellId, cell_servers: list[str]) -> None:
+        if self.device_cache_ttl_seconds <= 0.0:
+            return
+        expires_at = self.resolver.network.clock.now() + self.device_cache_ttl_seconds
+        self._cell_cache[cell.token] = (expires_at, tuple(dict.fromkeys(cell_servers)))
+
+    def _names_for_cell(self, cell: CellId) -> list[str]:
+        """Names to query for a cell: the cell itself plus a few ancestors.
+
+        Registrations may live at coarser cells than the query level (large
+        providers cover whole districts with one record), so each query also
+        walks up the hierarchy.  The walk is bounded by ``ancestor_levels``.
+        """
+        names = []
+        current = cell
+        for _ in range(self.ancestor_levels + 1):
+            names.append(self.naming.cell_to_name(current))
+            if current.is_root:
+                break
+            current = current.parent()
+        return names

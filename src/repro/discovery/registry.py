@@ -1,0 +1,131 @@
+"""Registering map servers in the discovery DNS.
+
+A map operator registers its map by (1) computing a cell covering of the
+map's coverage region and (2) publishing one record per covering cell naming
+the map server.  Because coverings over-approximate regions, nearby clients
+may discover servers whose precise polygon does not contain them — exactly
+the boundary fuzziness Section 3 accepts, and the reason clients filter
+discovered servers afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.records import RecordType, ResourceRecord, SrvData
+from repro.dns.server import NameServer
+from repro.dns.zone import Zone
+from repro.discovery.naming import SpatialNaming
+from repro.geometry.polygon import Polygon
+from repro.spatialindex.cellid import CellId
+from repro.spatialindex.covering import CoveringOptions, RegionCoverer
+
+MAP_SERVER_RECORD_TYPE = RecordType.SRV
+"""Record type used to advertise map servers under spatial names."""
+
+DEFAULT_REGISTRATION_TTL = 3600.0
+"""TTL for registration records — map server addresses change rarely (§5.1)."""
+
+
+@dataclass(frozen=True, slots=True)
+class Registration:
+    """The result of registering one map server."""
+
+    server_id: str
+    cells: tuple[CellId, ...]
+    record_count: int
+
+
+@dataclass
+class DiscoveryRegistry:
+    """Owns the spatial DNS zone and registers map servers into it.
+
+    In a real deployment each organization would run its own authoritative
+    servers for the sub-zones delegated to it; for the prototype a single
+    authoritative :class:`NameServer` hosts the whole spatial zone, which is
+    sufficient to measure query counts, caching and latency.
+    """
+
+    naming: SpatialNaming = field(default_factory=SpatialNaming)
+    covering_options: CoveringOptions = field(default_factory=CoveringOptions)
+    ttl_seconds: float = DEFAULT_REGISTRATION_TTL
+    zone: Zone = field(init=False)
+    authority: NameServer = field(init=False)
+    registrations: dict[str, Registration] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.zone = Zone(origin=self.naming.suffix, default_ttl=self.ttl_seconds)
+        self.authority = NameServer(server_id=f"ns.{self.naming.suffix}")
+        self.authority.host_zone(self.zone)
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register_covering(self, server_id: str, cells: list[CellId]) -> Registration:
+        """Register ``server_id`` under an explicit list of cells."""
+        if not cells:
+            raise ValueError("cannot register a map server with an empty covering")
+        if server_id in self.registrations:
+            raise ValueError(f"map server {server_id!r} is already registered")
+        record_count = 0
+        for cell in cells:
+            name = self.naming.cell_to_name(cell)
+            data = SrvData(target=server_id).encode()
+            self.zone.add(name, MAP_SERVER_RECORD_TYPE, data, self.ttl_seconds)
+            record_count += 1
+        registration = Registration(server_id, tuple(cells), record_count)
+        self.registrations[server_id] = registration
+        return registration
+
+    def register_region(self, server_id: str, region: Polygon) -> Registration:
+        """Register a map server for a polygonal coverage region."""
+        coverer = RegionCoverer(self.covering_options)
+        cells = coverer.cover_polygon(region)
+        return self.register_covering(server_id, cells)
+
+    def update_region(self, server_id: str, region: Polygon) -> Registration:
+        """Re-register a map server for a new coverage region.
+
+        Maps evolve — a store is extended, a campus adds a building.  The
+        update withdraws the old covering records and publishes the new ones;
+        clients keep working throughout because stale cached records only
+        over-approximate coverage until their TTL lapses.
+        """
+        if server_id not in self.registrations:
+            raise ValueError(f"map server {server_id!r} is not registered")
+        self.deregister(server_id)
+        return self.register_region(server_id, region)
+
+    def deregister(self, server_id: str) -> int:
+        """Remove a map server's records; returns the number of records removed."""
+        registration = self.registrations.pop(server_id, None)
+        if registration is None:
+            return 0
+        removed = 0
+        data = SrvData(target=server_id).encode()
+        for cell in registration.cells:
+            name = self.naming.cell_to_name(cell)
+            existing = self.zone.records_at(name, MAP_SERVER_RECORD_TYPE)
+            keep = [r for r in existing if r.data != data]
+            self.zone.remove_records(name, MAP_SERVER_RECORD_TYPE)
+            for record in keep:
+                self.zone.add_record(record)
+            removed += len(existing) - len(keep)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def registered_servers(self) -> list[str]:
+        return sorted(self.registrations)
+
+    def records_for_cell(self, cell: CellId) -> list[ResourceRecord]:
+        return self.zone.records_at(self.naming.cell_to_name(cell), MAP_SERVER_RECORD_TYPE)
+
+    def servers_at_cell(self, cell: CellId) -> list[str]:
+        """Server ids registered exactly at ``cell`` (not ancestors/descendants)."""
+        return [SrvData.decode(r.data).target for r in self.records_for_cell(cell)]
+
+    @property
+    def total_records(self) -> int:
+        return self.zone.record_count

@@ -1,0 +1,136 @@
+"""TTL-based DNS caching.
+
+The paper's case for DNS-based discovery leans heavily on caching: "the
+address of the map servers are not expected to change frequently so the
+system would benefit from a ubiquitous caching mechanism" (Section 5.1).  The
+cache honours per-record TTLs against a simulated clock and also performs
+negative caching of NXDOMAIN answers — important because most spatial cells
+have no map server registered and repeated discovery of empty cells must stay
+cheap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.records import RecordType, ResourceRecord, normalize_name
+from repro.simulation.clock import SimulatedClock
+
+DEFAULT_NEGATIVE_TTL_SECONDS = 60.0
+
+
+@dataclass
+class CacheStats:
+    hits: int = 0
+    misses: int = 0
+    negative_hits: int = 0
+    insertions: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses + self.negative_hits
+        return (self.hits + self.negative_hits) / total if total else 0.0
+
+
+@dataclass
+class _PositiveEntry:
+    records: list[ResourceRecord]
+    expires_at: float
+
+
+@dataclass
+class _NegativeEntry:
+    expires_at: float
+
+
+@dataclass
+class DnsCache:
+    """A TTL cache for DNS answers keyed by (name, type)."""
+
+    clock: SimulatedClock
+    max_entries: int = 10_000
+    negative_ttl_seconds: float = DEFAULT_NEGATIVE_TTL_SECONDS
+    stats: CacheStats = field(default_factory=CacheStats)
+    _positive: dict[tuple[str, RecordType], _PositiveEntry] = field(default_factory=dict)
+    _negative: dict[tuple[str, RecordType], _NegativeEntry] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get(self, name: str, record_type: RecordType) -> list[ResourceRecord] | None:
+        """Cached answer records, or None on a miss.
+
+        A negative-cache hit returns an empty list (distinct from None).
+        """
+        key = (normalize_name(name), record_type)
+        now = self.clock.now()
+
+        negative = self._negative.get(key)
+        if negative is not None:
+            if negative.expires_at > now:
+                self.stats.negative_hits += 1
+                return []
+            del self._negative[key]
+
+        entry = self._positive.get(key)
+        if entry is None:
+            self.stats.misses += 1
+            return None
+        if entry.expires_at <= now:
+            del self._positive[key]
+            self.stats.evictions += 1
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return list(entry.records)
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def put(self, name: str, record_type: RecordType, records: list[ResourceRecord]) -> None:
+        """Cache a positive answer using the minimum TTL across records."""
+        if not records:
+            self.put_negative(name, record_type)
+            return
+        key = (normalize_name(name), record_type)
+        ttl = min(record.ttl_seconds for record in records)
+        if ttl <= 0:
+            return
+        self._evict_if_full()
+        self._positive[key] = _PositiveEntry(list(records), self.clock.now() + ttl)
+        self.stats.insertions += 1
+
+    def put_negative(self, name: str, record_type: RecordType, ttl: float | None = None) -> None:
+        """Cache the absence of records at ``name``/``record_type``."""
+        key = (normalize_name(name), record_type)
+        ttl_value = self.negative_ttl_seconds if ttl is None else ttl
+        if ttl_value <= 0:
+            return
+        self._negative[key] = _NegativeEntry(self.clock.now() + ttl_value)
+        self.stats.insertions += 1
+
+    def _evict_if_full(self) -> None:
+        if len(self._positive) < self.max_entries:
+            return
+        now = self.clock.now()
+        expired = [key for key, entry in self._positive.items() if entry.expires_at <= now]
+        for key in expired:
+            del self._positive[key]
+            self.stats.evictions += 1
+        if len(self._positive) >= self.max_entries:
+            # Evict the entry closest to expiry.
+            victim = min(self._positive, key=lambda k: self._positive[k].expires_at)
+            del self._positive[victim]
+            self.stats.evictions += 1
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def flush(self) -> None:
+        self._positive.clear()
+        self._negative.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._positive) + len(self._negative)

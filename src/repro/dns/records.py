@@ -1,0 +1,115 @@
+"""DNS resource records and domain-name utilities.
+
+The discovery layer (Section 5.1) repurposes the DNS: spatial cells become
+hierarchical domain names and map servers are advertised as records under
+those names.  This module models the small subset of the DNS data model the
+system needs — names, record types, records with TTLs — with the same
+hierarchy/suffix semantics as the real thing.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum
+
+_LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?$")
+
+
+class RecordType(str, Enum):
+    """Supported resource-record types."""
+
+    A = "A"
+    AAAA = "AAAA"
+    NS = "NS"
+    CNAME = "CNAME"
+    TXT = "TXT"
+    SRV = "SRV"
+    SOA = "SOA"
+    PTR = "PTR"
+
+
+def normalize_name(name: str) -> str:
+    """Canonicalise a domain name: lower-case, no trailing dot, no whitespace."""
+    cleaned = name.strip().lower().rstrip(".")
+    if not cleaned:
+        return ""
+    return cleaned
+
+
+def validate_name(name: str) -> None:
+    """Raise ``ValueError`` if ``name`` is not a syntactically valid domain name."""
+    normalized = normalize_name(name)
+    if not normalized:
+        raise ValueError("empty domain name")
+    if len(normalized) > 253:
+        raise ValueError(f"domain name too long ({len(normalized)} chars)")
+    for label in normalized.split("."):
+        if not _LABEL_RE.match(label):
+            raise ValueError(f"invalid DNS label {label!r} in {name!r}")
+
+
+def name_labels(name: str) -> list[str]:
+    """Split a name into labels, least significant (leftmost) first."""
+    normalized = normalize_name(name)
+    return normalized.split(".") if normalized else []
+
+
+def is_subdomain(name: str, zone: str) -> bool:
+    """True if ``name`` is within ``zone`` (inclusive)."""
+    name_n = normalize_name(name)
+    zone_n = normalize_name(zone)
+    if not zone_n:
+        return True
+    return name_n == zone_n or name_n.endswith("." + zone_n)
+
+
+def parent_name(name: str) -> str:
+    """The name with its leftmost label removed (empty string for a TLD)."""
+    labels = name_labels(name)
+    if len(labels) <= 1:
+        return ""
+    return ".".join(labels[1:])
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceRecord:
+    """A single DNS resource record."""
+
+    name: str
+    record_type: RecordType
+    data: str
+    ttl_seconds: float = 300.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "name", normalize_name(self.name))
+        if self.ttl_seconds < 0:
+            raise ValueError("TTL must be non-negative")
+
+    def matches(self, name: str, record_type: RecordType) -> bool:
+        return self.name == normalize_name(name) and self.record_type == record_type
+
+
+@dataclass(frozen=True, slots=True)
+class SrvData:
+    """Parsed contents of an SRV-style record: a service endpoint.
+
+    Map servers are advertised as SRV-like records whose data encodes the
+    server identifier (and, optionally, priority/weight for load sharing).
+    """
+
+    target: str
+    port: int = 443
+    priority: int = 0
+    weight: int = 0
+
+    def encode(self) -> str:
+        return f"{self.priority} {self.weight} {self.port} {self.target}"
+
+    @classmethod
+    def decode(cls, data: str) -> "SrvData":
+        parts = data.split(maxsplit=3)
+        if len(parts) != 4:
+            raise ValueError(f"malformed SRV data {data!r}")
+        priority, weight, port, target = parts
+        return cls(target=target, port=int(port), priority=int(priority), weight=int(weight))

@@ -1,0 +1,174 @@
+"""A recursive, caching DNS resolver over the simulated namespace.
+
+The resolver walks delegations from a root name server down to the
+authoritative server for a name, caching both answers and referrals, and
+charging every server exchange against the simulated network so experiments
+can report discovery latency and message counts (experiments E2/E3/E8).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.cache import DnsCache
+from repro.dns.message import DnsResponse, Question, ResponseCode
+from repro.dns.records import RecordType, ResourceRecord, normalize_name
+from repro.dns.server import NameServer
+from repro.simulation.network import SimulatedNetwork
+
+
+class ResolutionError(Exception):
+    """Raised when a name cannot be resolved (loop, missing glue, depth limit)."""
+
+
+@dataclass
+class ResolverStats:
+    queries: int = 0
+    authoritative_exchanges: int = 0
+    cache_answers: int = 0
+    nxdomain: int = 0
+
+
+@dataclass
+class RecursiveResolver:
+    """A caching recursive resolver.
+
+    ``root`` is the root name server; ``servers`` maps a name-server identifier
+    (the data of NS records) to the :class:`NameServer` that answers for it —
+    the moral equivalent of glue records plus routing.
+    """
+
+    root: NameServer
+    servers: dict[str, NameServer]
+    network: SimulatedNetwork
+    cache: DnsCache = field(default=None)  # type: ignore[assignment]
+    max_referrals: int = 16
+    stats: ResolverStats = field(default_factory=ResolverStats)
+
+    def __post_init__(self) -> None:
+        if self.cache is None:
+            self.cache = DnsCache(clock=self.network.clock)
+
+    def register_server(self, server: NameServer) -> None:
+        """Make an authoritative server reachable by its identifier."""
+        self.servers[server.server_id] = server
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def resolve(self, name: str, record_type: RecordType) -> DnsResponse:
+        """Resolve ``name``/``record_type``, using the cache when possible."""
+        self.stats.queries += 1
+        question = Question(name, record_type)
+
+        cached = self.cache.get(name, record_type)
+        if cached is not None:
+            self.stats.cache_answers += 1
+            code = ResponseCode.NOERROR if cached else ResponseCode.NXDOMAIN
+            return DnsResponse(question, code=code, answers=cached, from_cache=True)
+
+        response = self._resolve_iteratively(question)
+        if response.code == ResponseCode.NOERROR and response.answers:
+            self.cache.put(name, record_type, response.answers)
+        elif response.code in (ResponseCode.NXDOMAIN, ResponseCode.NOERROR):
+            self.cache.put_negative(name, record_type)
+            if response.code == ResponseCode.NXDOMAIN:
+                self.stats.nxdomain += 1
+        return response
+
+    def resolve_data(self, name: str, record_type: RecordType) -> list[str]:
+        """Resolve and return just the answer data strings (empty on NXDOMAIN)."""
+        response = self.resolve(name, record_type)
+        if response.code != ResponseCode.NOERROR:
+            return []
+        return [r.data for r in response.answers if r.record_type == record_type]
+
+    def _resolve_iteratively(self, question: Question) -> DnsResponse:
+        server = self.root
+        for _ in range(self.max_referrals):
+            self.network.resolver_authority_exchange()
+            self.stats.authoritative_exchanges += 1
+            response = server.handle(question)
+
+            if response.code in (ResponseCode.NXDOMAIN, ResponseCode.SERVFAIL, ResponseCode.REFUSED):
+                return response
+
+            if response.answers:
+                answers = self._chase_cname(question, response)
+                return answers
+
+            if response.is_referral:
+                next_server = self._server_for_referral(response)
+                if next_server is None:
+                    return DnsResponse(question, code=ResponseCode.SERVFAIL)
+                server = next_server
+                continue
+
+            # NODATA: the name exists but has no records of the requested type.
+            return response
+
+        raise ResolutionError(f"referral limit exceeded while resolving {question.name!r}")
+
+    def _chase_cname(self, question: Question, response: DnsResponse) -> DnsResponse:
+        """If the answer is only a CNAME, restart resolution at the target."""
+        direct = [r for r in response.answers if r.record_type == question.record_type]
+        if direct:
+            return response
+        cnames = [r for r in response.answers if r.record_type == RecordType.CNAME]
+        if not cnames:
+            return response
+        target = cnames[0].data
+        chained = self.resolve(target, question.record_type)
+        merged = list(response.answers) + list(chained.answers)
+        return DnsResponse(question, code=chained.code, answers=merged)
+
+    def _server_for_referral(self, response: DnsResponse) -> NameServer | None:
+        for ns_record in response.authority:
+            if ns_record.record_type != RecordType.NS:
+                continue
+            server = self.servers.get(normalize_name(ns_record.data))
+            if server is not None:
+                return server
+        return None
+
+
+@dataclass
+class StubResolver:
+    """A client-side stub: forwards every query to one recursive resolver.
+
+    The stub charges the client→resolver hop so that end-to-end discovery
+    latency seen by a client includes both the access hop and whatever the
+    recursive resolver had to do upstream.
+    """
+
+    recursive: RecursiveResolver
+    network: SimulatedNetwork
+
+    def resolve(self, name: str, record_type: RecordType) -> DnsResponse:
+        self.network.client_resolver_exchange()
+        return self.recursive.resolve(name, record_type)
+
+    def resolve_data(self, name: str, record_type: RecordType) -> list[str]:
+        response = self.resolve(name, record_type)
+        if response.code != ResponseCode.NOERROR:
+            return []
+        return [r.data for r in response.answers if r.record_type == record_type]
+
+
+def build_namespace(
+    network: SimulatedNetwork,
+    zones: dict[str, list[ResourceRecord]] | None = None,
+) -> tuple[NameServer, RecursiveResolver]:
+    """Convenience helper: build a root server plus resolver in one call."""
+    from repro.dns.zone import Zone
+
+    root_zone = Zone(origin="")
+    root = NameServer(server_id="root", zones={"": root_zone})
+    resolver = RecursiveResolver(root=root, servers={"root": root}, network=network)
+    if zones:
+        for origin, records in zones.items():
+            zone = Zone(origin=origin)
+            for record in records:
+                zone.add_record(record)
+            root.host_zone(zone)
+    return root, resolver

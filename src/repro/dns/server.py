@@ -1,0 +1,78 @@
+"""Authoritative DNS name servers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.message import DnsResponse, Question, ResponseCode
+from repro.dns.records import RecordType
+from repro.dns.zone import Zone
+
+
+@dataclass
+class NameServer:
+    """An authoritative server hosting one or more zones.
+
+    The server answers a question from the most specific zone it hosts: an
+    exact match yields an authoritative answer, a name under a delegation
+    yields a referral, and an unknown name inside a hosted zone yields
+    NXDOMAIN.
+    """
+
+    server_id: str
+    zones: dict[str, Zone] = field(default_factory=dict)
+    queries_served: int = 0
+
+    def host_zone(self, zone: Zone) -> None:
+        """Start serving ``zone``; replaces any previously hosted zone with the same origin."""
+        self.zones[zone.origin] = zone
+
+    def zone_for(self, name: str) -> Zone | None:
+        """The most specific hosted zone containing ``name``."""
+        best: Zone | None = None
+        for zone in self.zones.values():
+            if zone.in_zone(name):
+                if best is None or len(zone.origin) > len(best.origin):
+                    best = zone
+        return best
+
+    def handle(self, question: Question) -> DnsResponse:
+        """Answer a DNS question authoritatively."""
+        self.queries_served += 1
+        zone = self.zone_for(question.name)
+        if zone is None:
+            return DnsResponse(question, code=ResponseCode.REFUSED)
+
+        delegation = zone.covering_delegation(question.name)
+        if delegation is not None and delegation != question.name:
+            authority = zone.delegation_records(delegation)
+            additional = []
+            for ns_record in authority:
+                additional.extend(zone.records_at(ns_record.data, RecordType.A))
+            return DnsResponse(
+                question,
+                code=ResponseCode.NOERROR,
+                authority=authority,
+                additional=additional,
+                authoritative=False,
+            )
+
+        answers = zone.records_at(question.name, question.record_type)
+        if answers:
+            return DnsResponse(question, answers=answers, authoritative=True)
+
+        # CNAME chasing within the same zone.
+        cnames = zone.records_at(question.name, RecordType.CNAME)
+        if cnames:
+            target = cnames[0].data
+            target_answers = zone.records_at(target, question.record_type)
+            return DnsResponse(
+                question,
+                answers=list(cnames) + target_answers,
+                authoritative=True,
+            )
+
+        if zone.contains_name(question.name) or question.name == zone.origin:
+            # The name exists but has no records of this type (NODATA).
+            return DnsResponse(question, code=ResponseCode.NOERROR, authoritative=True)
+        return DnsResponse(question, code=ResponseCode.NXDOMAIN, authoritative=True)

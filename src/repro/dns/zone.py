@@ -1,0 +1,124 @@
+"""DNS zones: independently managed portions of the namespace.
+
+A map in OpenFLAME "is conceptually equivalent to a zone in a traditional
+naming system like the DNS" (Section 3).  Zones hold resource records,
+support wildcard-free exact-name lookup, and record delegations (child zones
+served elsewhere).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dns.records import (
+    RecordType,
+    ResourceRecord,
+    is_subdomain,
+    normalize_name,
+    validate_name,
+)
+
+
+class ZoneError(Exception):
+    """Raised for invalid zone manipulation."""
+
+
+@dataclass
+class Zone:
+    """One zone of the DNS namespace.
+
+    ``origin`` is the zone apex (e.g. ``"maps.example"``).  Records must live
+    at or below the apex.  Delegations are represented by NS records for a
+    child name; lookups below a delegation return a referral.
+    """
+
+    origin: str
+    default_ttl: float = 300.0
+    _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(default_factory=dict)
+    _delegations: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        self.origin = normalize_name(self.origin)
+        if self.origin:
+            validate_name(self.origin)
+
+    # ------------------------------------------------------------------
+    # Record management
+    # ------------------------------------------------------------------
+    def add_record(self, record: ResourceRecord) -> None:
+        """Add a record, enforcing that it belongs to this zone."""
+        if not is_subdomain(record.name, self.origin):
+            raise ZoneError(f"record {record.name!r} is outside zone {self.origin!r}")
+        key = (record.name, record.record_type)
+        bucket = self._records.setdefault(key, [])
+        if record in bucket:
+            return
+        bucket.append(record)
+        if record.record_type == RecordType.NS and record.name != self.origin:
+            self._delegations.add(record.name)
+
+    def add(self, name: str, record_type: RecordType, data: str, ttl: float | None = None) -> ResourceRecord:
+        """Convenience wrapper building and adding a record."""
+        record = ResourceRecord(name, record_type, data, ttl if ttl is not None else self.default_ttl)
+        self.add_record(record)
+        return record
+
+    def remove_records(self, name: str, record_type: RecordType | None = None) -> int:
+        """Remove records at ``name`` (optionally only of one type); returns count."""
+        name_n = normalize_name(name)
+        removed = 0
+        for key in list(self._records):
+            key_name, key_type = key
+            if key_name != name_n:
+                continue
+            if record_type is not None and key_type != record_type:
+                continue
+            removed += len(self._records.pop(key))
+            if key_type == RecordType.NS:
+                self._delegations.discard(key_name)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def records_at(self, name: str, record_type: RecordType | None = None) -> list[ResourceRecord]:
+        """All records at exactly ``name`` (of ``record_type`` if given)."""
+        name_n = normalize_name(name)
+        if record_type is not None:
+            return list(self._records.get((name_n, record_type), []))
+        out: list[ResourceRecord] = []
+        for (key_name, _), bucket in self._records.items():
+            if key_name == name_n:
+                out.extend(bucket)
+        return out
+
+    def covering_delegation(self, name: str) -> str | None:
+        """The delegated child zone that covers ``name``, if any."""
+        name_n = normalize_name(name)
+        best: str | None = None
+        for delegated in self._delegations:
+            if delegated == self.origin:
+                continue
+            if is_subdomain(name_n, delegated):
+                if best is None or len(delegated) > len(best):
+                    best = delegated
+        return best
+
+    def delegation_records(self, child: str) -> list[ResourceRecord]:
+        return self.records_at(child, RecordType.NS)
+
+    def contains_name(self, name: str) -> bool:
+        """True if any record exists at exactly ``name``."""
+        name_n = normalize_name(name)
+        return any(key_name == name_n for key_name, _ in self._records)
+
+    def names(self) -> set[str]:
+        """All names with at least one record."""
+        return {key_name for key_name, _ in self._records}
+
+    @property
+    def record_count(self) -> int:
+        return sum(len(bucket) for bucket in self._records.values())
+
+    def in_zone(self, name: str) -> bool:
+        return is_subdomain(name, self.origin)

@@ -1,0 +1,94 @@
+"""IMU dead reckoning and motion-consistency checks.
+
+Section 5.2 (Localization): after collecting localization results from
+several discovered servers, "the client then selects the best one by
+comparing these results with its own IMU sensors or local SLAM algorithm."
+
+:class:`DeadReckoningTracker` integrates step-like motion updates from an
+anchor pose; :func:`consistency_score` quantifies how well a candidate
+localization result agrees with where dead reckoning says the device should
+be.  The fusion layer uses that score to reject outlier results from
+overlapping or unrelated maps.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.geometry.point import LatLng
+
+
+@dataclass(frozen=True, slots=True)
+class MotionUpdate:
+    """One dead-reckoning increment: a heading and a travelled distance."""
+
+    heading_degrees: float
+    distance_meters: float
+
+    def __post_init__(self) -> None:
+        if self.distance_meters < 0:
+            raise ValueError("distance must be non-negative")
+
+
+@dataclass
+class DeadReckoningTracker:
+    """Integrates motion updates from the last anchored position.
+
+    ``drift_rate`` models accumulating IMU error: the tracker's position
+    uncertainty grows by ``drift_rate`` meters for every meter travelled since
+    the last anchor.
+    """
+
+    anchor: LatLng
+    drift_rate: float = 0.05
+    anchor_accuracy_meters: float = 1.0
+    _position: LatLng = field(init=False)
+    _travelled: float = field(init=False, default=0.0)
+
+    def __post_init__(self) -> None:
+        self._position = self.anchor
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def apply(self, update: MotionUpdate) -> LatLng:
+        """Advance the estimate by one motion update and return the new position."""
+        self._position = self._position.destination(update.heading_degrees, update.distance_meters)
+        self._travelled += update.distance_meters
+        return self._position
+
+    def re_anchor(self, location: LatLng, accuracy_meters: float = 1.0) -> None:
+        """Reset the tracker at an externally provided (trusted) fix."""
+        self.anchor = location
+        self._position = location
+        self._travelled = 0.0
+        self.anchor_accuracy_meters = accuracy_meters
+
+    # ------------------------------------------------------------------
+    # State
+    # ------------------------------------------------------------------
+    @property
+    def position(self) -> LatLng:
+        return self._position
+
+    @property
+    def travelled_meters(self) -> float:
+        return self._travelled
+
+    @property
+    def uncertainty_meters(self) -> float:
+        """Current position uncertainty: anchor accuracy plus accumulated drift."""
+        return self.anchor_accuracy_meters + self.drift_rate * self._travelled
+
+
+def consistency_score(tracker: DeadReckoningTracker, candidate: LatLng) -> float:
+    """How consistent a candidate fix is with dead reckoning, in (0, 1].
+
+    1.0 means the candidate coincides with the dead-reckoned position; the
+    score decays with the candidate's distance measured in units of the
+    tracker's current uncertainty.
+    """
+    distance = tracker.position.distance_to(candidate)
+    scale = max(tracker.uncertainty_meters, 1.0)
+    return math.exp(-0.5 * (distance / scale) ** 2)

@@ -1,0 +1,110 @@
+"""A particle filter for fusing motion updates with position fixes.
+
+This is the "local SLAM algorithm" stand-in of Section 5.2: a client that
+keeps a particle filter alive can fuse dead-reckoned motion with the
+(possibly conflicting) localization results returned by multiple map servers
+and obtain both a fused estimate and a dispersion-based uncertainty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.geometry.point import LatLng, meters_per_degree_latitude, meters_per_degree_longitude
+from repro.localization.imu import MotionUpdate
+
+
+@dataclass
+class ParticleFilter:
+    """A planar particle filter over latitude/longitude.
+
+    Internally particles live in a local east/north meter frame around the
+    initial position, which keeps the arithmetic simple and exact enough for
+    building-scale tracking.
+    """
+
+    particle_count: int = 300
+    motion_noise_meters: float = 0.3
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.particle_count < 10:
+            raise ValueError("particle_count must be at least 10")
+        self._rng = np.random.default_rng(self.seed)
+        self._origin: LatLng | None = None
+        self._particles = np.zeros((self.particle_count, 2))
+        self._weights = np.full(self.particle_count, 1.0 / self.particle_count)
+
+    # ------------------------------------------------------------------
+    # Frame helpers
+    # ------------------------------------------------------------------
+    def _to_xy(self, location: LatLng) -> np.ndarray:
+        assert self._origin is not None
+        east = (location.longitude - self._origin.longitude) * meters_per_degree_longitude(
+            self._origin.latitude
+        )
+        north = (location.latitude - self._origin.latitude) * meters_per_degree_latitude()
+        return np.array([east, north])
+
+    def _to_latlng(self, xy: np.ndarray) -> LatLng:
+        assert self._origin is not None
+        lng = self._origin.longitude + xy[0] / meters_per_degree_longitude(self._origin.latitude)
+        lat = self._origin.latitude + xy[1] / meters_per_degree_latitude()
+        return LatLng(lat, lng)
+
+    # ------------------------------------------------------------------
+    # Filter steps
+    # ------------------------------------------------------------------
+    def initialize(self, location: LatLng, spread_meters: float = 5.0) -> None:
+        """Seed particles around an initial fix."""
+        self._origin = location
+        self._particles = self._rng.normal(0.0, spread_meters, size=(self.particle_count, 2))
+        self._weights = np.full(self.particle_count, 1.0 / self.particle_count)
+
+    @property
+    def initialized(self) -> bool:
+        return self._origin is not None
+
+    def predict(self, update: MotionUpdate) -> None:
+        """Propagate particles by a motion update plus noise."""
+        self._require_initialized()
+        heading = np.radians(update.heading_degrees)
+        step = np.array([np.sin(heading), np.cos(heading)]) * update.distance_meters
+        noise = self._rng.normal(0.0, self.motion_noise_meters, size=self._particles.shape)
+        self._particles = self._particles + step + noise
+
+    def update(self, fix: LatLng, accuracy_meters: float) -> None:
+        """Reweight particles against an external position fix and resample."""
+        self._require_initialized()
+        sigma = max(accuracy_meters, 0.5)
+        fix_xy = self._to_xy(fix)
+        squared = ((self._particles - fix_xy) ** 2).sum(axis=1)
+        likelihood = np.exp(-0.5 * squared / sigma**2) + 1e-12
+        self._weights = self._weights * likelihood
+        self._weights /= self._weights.sum()
+        if self.effective_sample_size() < self.particle_count / 2:
+            self._resample()
+
+    def estimate(self) -> tuple[LatLng, float]:
+        """Weighted mean position and RMS dispersion (meters)."""
+        self._require_initialized()
+        mean_xy = (self._particles * self._weights[:, None]).sum(axis=0)
+        deviations = self._particles - mean_xy
+        variance = (self._weights * (deviations**2).sum(axis=1)).sum()
+        return self._to_latlng(mean_xy), float(np.sqrt(max(variance, 0.0)))
+
+    def effective_sample_size(self) -> float:
+        return float(1.0 / (self._weights**2).sum())
+
+    def _resample(self) -> None:
+        indices = self._rng.choice(
+            self.particle_count, size=self.particle_count, replace=True, p=self._weights
+        )
+        self._particles = self._particles[indices]
+        self._weights = np.full(self.particle_count, 1.0 / self.particle_count)
+
+    def _require_initialized(self) -> None:
+        if self._origin is None:
+            raise RuntimeError("particle filter must be initialized with a first fix")

@@ -1,0 +1,45 @@
+"""Principals and credentials presented to map servers.
+
+Section 5.3 describes three levels of access control — user-level,
+service-level and application-level.  A :class:`Credential` carries the
+attributes those policies inspect: who the user is (and the domain of their
+authenticated email), which application is making the request, and any bearer
+tokens the map operator may have issued.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True, slots=True)
+class Credential:
+    """The identity attached to a map-server request."""
+
+    user_id: str = "anonymous"
+    email: str | None = None
+    application_id: str | None = None
+    tokens: frozenset[str] = field(default_factory=frozenset)
+
+    @property
+    def email_domain(self) -> str | None:
+        """The domain part of the authenticated email, if any."""
+        if self.email is None or "@" not in self.email:
+            return None
+        return self.email.rsplit("@", 1)[1].lower()
+
+    @property
+    def is_anonymous(self) -> bool:
+        return self.user_id == "anonymous" and self.email is None
+
+    def with_token(self, token: str) -> "Credential":
+        return Credential(
+            user_id=self.user_id,
+            email=self.email,
+            application_id=self.application_id,
+            tokens=self.tokens | {token},
+        )
+
+
+ANONYMOUS = Credential()
+"""The credential used when an application presents nothing."""

@@ -1,0 +1,52 @@
+"""The tile service exposed by one map server.
+
+"Each map server would expose a visual representation of its map data as 2D
+images, 3D meshes or other forms" (Section 5.2).  The service wraps a
+:class:`repro.tiles.renderer.TileRenderer` with request accounting and the
+option to pre-render a coverage area (the Figure 1 pipeline stage, reused
+per-server in the federated architecture).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.osm.mapdata import MapData
+from repro.tiles.renderer import Tile, TileRenderer
+from repro.tiles.tile_math import TileCoordinate, tiles_for_box
+
+
+@dataclass
+class TileService:
+    """Serves rendered tiles of one map."""
+
+    map_data: MapData
+    line_thickness: int = 1
+    renderer: TileRenderer = field(init=False)
+    tiles_served: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        self.renderer = TileRenderer(self.map_data, line_thickness=self.line_thickness)
+
+    def get_tile(self, coordinate: TileCoordinate) -> Tile:
+        """Return the tile at ``coordinate`` (rendered on demand or cached)."""
+        self.tiles_served += 1
+        return self.renderer.render(coordinate)
+
+    def prerender_coverage(self, zoom: int) -> int:
+        """Pre-render all tiles covering the map at ``zoom``; returns the count."""
+        try:
+            box = self.map_data.bounding_box()
+        except Exception:
+            return 0
+        coordinates = tiles_for_box(box, zoom)
+        self.renderer.prerender(coordinates)
+        return len(coordinates)
+
+    def coverage_tiles(self, zoom: int) -> list[TileCoordinate]:
+        """The tile coordinates needed to cover this map at ``zoom``."""
+        return tiles_for_box(self.map_data.bounding_box(), zoom)
+
+    @property
+    def cache_size(self) -> int:
+        return self.renderer.cache_size

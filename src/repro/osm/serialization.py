@@ -1,0 +1,132 @@
+"""Serialisation of maps to and from a JSON-compatible document.
+
+Map servers exchange map fragments (e.g. routing sub-graphs or search
+results) and persist their maps; a plain-dict document format keeps that
+dependency-free and easy to inspect in tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.geometry.point import LatLng, LocalPoint
+from repro.geometry.polygon import Polygon
+from repro.geometry.projection import LocalProjection
+from repro.osm.elements import ElementRef, ElementType, Node, Relation, Way
+from repro.osm.mapdata import MapData, MapMetadata
+
+
+def map_to_document(map_data: MapData) -> dict[str, Any]:
+    """Serialise a map to a JSON-compatible dictionary."""
+    document: dict[str, Any] = {
+        "metadata": {
+            "name": map_data.metadata.name,
+            "operator": map_data.metadata.operator,
+            "fidelity": map_data.metadata.fidelity,
+            "coordinate_frame": map_data.metadata.coordinate_frame,
+            "description": map_data.metadata.description,
+        },
+        "nodes": [
+            {
+                "id": node.node_id,
+                "lat": node.location.latitude,
+                "lng": node.location.longitude,
+                "tags": dict(node.tags),
+                **(
+                    {
+                        "local": {
+                            "x": node.local_position.x,
+                            "y": node.local_position.y,
+                            "frame": node.local_position.frame,
+                        }
+                    }
+                    if node.local_position is not None
+                    else {}
+                ),
+            }
+            for node in map_data.nodes()
+        ],
+        "ways": [
+            {"id": way.way_id, "nodes": list(way.node_ids), "tags": dict(way.tags)}
+            for way in map_data.ways()
+        ],
+        "relations": [
+            {
+                "id": relation.relation_id,
+                "members": [
+                    {"type": m.element_type.value, "ref": m.element_id, "role": m.role}
+                    for m in relation.members
+                ],
+                "tags": dict(relation.tags),
+            }
+            for relation in map_data.relations()
+        ],
+    }
+    if map_data.projection is not None:
+        document["projection"] = {
+            "anchor_lat": map_data.projection.anchor.latitude,
+            "anchor_lng": map_data.projection.anchor.longitude,
+            "rotation_degrees": map_data.projection.rotation_degrees,
+            "frame": map_data.projection.frame,
+        }
+    try:
+        coverage = map_data.coverage
+        document["coverage"] = [
+            {"lat": v.latitude, "lng": v.longitude} for v in coverage.vertices
+        ]
+    except Exception:
+        pass
+    return document
+
+
+def map_from_document(document: dict[str, Any]) -> MapData:
+    """Rebuild a map from the dictionary produced by :func:`map_to_document`."""
+    meta = document.get("metadata", {})
+    metadata = MapMetadata(
+        name=meta.get("name", "unnamed"),
+        operator=meta.get("operator", "unknown"),
+        fidelity=meta.get("fidelity", "2d"),
+        coordinate_frame=meta.get("coordinate_frame", "geographic"),
+        description=meta.get("description", ""),
+    )
+    projection = None
+    if "projection" in document:
+        proj = document["projection"]
+        projection = LocalProjection(
+            LatLng(proj["anchor_lat"], proj["anchor_lng"]),
+            proj.get("rotation_degrees", 0.0),
+            proj.get("frame", "local"),
+        )
+    coverage = None
+    if "coverage" in document:
+        coverage = Polygon([LatLng(v["lat"], v["lng"]) for v in document["coverage"]])
+
+    map_data = MapData(metadata=metadata, coverage=coverage, projection=projection)
+    for entry in document.get("nodes", []):
+        local_position = None
+        if "local" in entry:
+            local = entry["local"]
+            local_position = LocalPoint(local["x"], local["y"], local.get("frame", "local"))
+        map_data.add_node(
+            Node(entry["id"], LatLng(entry["lat"], entry["lng"]), dict(entry.get("tags", {})), local_position)
+        )
+    for entry in document.get("ways", []):
+        map_data.add_way(Way(entry["id"], list(entry["nodes"]), dict(entry.get("tags", {}))))
+    for entry in document.get("relations", []):
+        members = [
+            ElementRef(ElementType(m["type"]), m["ref"], m.get("role", ""))
+            for m in entry.get("members", [])
+        ]
+        map_data.add_relation(Relation(entry["id"], members, dict(entry.get("tags", {}))))
+    return map_data
+
+
+def map_to_json(map_data: MapData, indent: int | None = None) -> str:
+    """Serialise a map to a JSON string."""
+    return json.dumps(map_to_document(map_data), indent=indent, sort_keys=True)
+
+
+def map_from_json(text: str) -> MapData:
+    """Parse a map from a JSON string."""
+    return map_from_document(json.loads(text))

@@ -1,0 +1,132 @@
+"""Structural validation of maps.
+
+Before a map is served by a map server (or ingested by the centralized
+baseline) it is validated: dangling references, empty ways, out-of-coverage
+nodes and missing metadata are reported.  Validation returns issues rather
+than raising so callers can decide how strict to be.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.osm.elements import ElementType
+from repro.osm.mapdata import MapData
+
+
+class Severity(str, Enum):
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True, slots=True)
+class ValidationIssue:
+    """One problem found in a map."""
+
+    severity: Severity
+    code: str
+    message: str
+    element_type: ElementType | None = None
+    element_id: int | None = None
+
+
+def validate_map(map_data: MapData, check_coverage: bool = True) -> list[ValidationIssue]:
+    """Validate a map and return all issues found (empty list means clean)."""
+    issues: list[ValidationIssue] = []
+
+    if not map_data.metadata.name or map_data.metadata.name == "unnamed":
+        issues.append(
+            ValidationIssue(Severity.WARNING, "metadata.name", "map has no descriptive name")
+        )
+
+    if map_data.node_count == 0:
+        issues.append(ValidationIssue(Severity.ERROR, "map.empty", "map contains no nodes"))
+        return issues
+
+    node_ids = {node.node_id for node in map_data.nodes()}
+
+    for way in map_data.ways():
+        if len(way.node_ids) < 2:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "way.too_short",
+                    f"way {way.way_id} has fewer than two nodes",
+                    ElementType.WAY,
+                    way.way_id,
+                )
+            )
+        missing = [nid for nid in way.node_ids if nid not in node_ids]
+        if missing:
+            issues.append(
+                ValidationIssue(
+                    Severity.ERROR,
+                    "way.dangling_ref",
+                    f"way {way.way_id} references missing nodes {missing}",
+                    ElementType.WAY,
+                    way.way_id,
+                )
+            )
+        consecutive_duplicates = any(a == b for a, b in zip(way.node_ids, way.node_ids[1:]))
+        if consecutive_duplicates:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "way.repeated_node",
+                    f"way {way.way_id} repeats a node consecutively",
+                    ElementType.WAY,
+                    way.way_id,
+                )
+            )
+
+    for relation in map_data.relations():
+        if not relation.members:
+            issues.append(
+                ValidationIssue(
+                    Severity.WARNING,
+                    "relation.empty",
+                    f"relation {relation.relation_id} has no members",
+                    ElementType.RELATION,
+                    relation.relation_id,
+                )
+            )
+        for member in relation.members:
+            if not map_data.has_element(member.element_type, member.element_id):
+                issues.append(
+                    ValidationIssue(
+                        Severity.ERROR,
+                        "relation.dangling_ref",
+                        f"relation {relation.relation_id} references missing "
+                        f"{member.element_type.value} {member.element_id}",
+                        ElementType.RELATION,
+                        relation.relation_id,
+                    )
+                )
+
+    if check_coverage:
+        try:
+            coverage = map_data.coverage
+        except Exception:
+            coverage = None
+        if coverage is not None:
+            outside = [
+                node.node_id
+                for node in map_data.nodes()
+                if not coverage.contains(node.location)
+            ]
+            if outside:
+                issues.append(
+                    ValidationIssue(
+                        Severity.WARNING,
+                        "coverage.nodes_outside",
+                        f"{len(outside)} nodes lie outside the declared coverage polygon",
+                    )
+                )
+
+    return issues
+
+
+def has_errors(issues: list[ValidationIssue]) -> bool:
+    """True if any issue is of ERROR severity."""
+    return any(issue.severity == Severity.ERROR for issue in issues)

@@ -1,0 +1,46 @@
+"""Routing substrate: graphs, shortest paths, contraction hierarchies, stitching."""
+
+from repro.routing.contraction import ContractionHierarchy, build_contraction_hierarchy
+from repro.routing.graph import (
+    ROUTABLE_TAGS,
+    Edge,
+    GraphError,
+    RoutingGraph,
+    graph_from_map,
+)
+from repro.routing.shortest_path import (
+    NoRouteError,
+    Route,
+    astar,
+    bidirectional_dijkstra,
+    dijkstra,
+    dijkstra_all,
+)
+from repro.routing.stitching import (
+    RouteLeg,
+    RouteStitcher,
+    StitchError,
+    StitchedRoute,
+    route_stretch,
+)
+
+__all__ = [
+    "ContractionHierarchy",
+    "Edge",
+    "GraphError",
+    "NoRouteError",
+    "ROUTABLE_TAGS",
+    "Route",
+    "RouteLeg",
+    "RouteStitcher",
+    "RoutingGraph",
+    "StitchError",
+    "StitchedRoute",
+    "astar",
+    "bidirectional_dijkstra",
+    "build_contraction_hierarchy",
+    "dijkstra",
+    "dijkstra_all",
+    "graph_from_map",
+    "route_stretch",
+]

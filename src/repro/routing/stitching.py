@@ -1,0 +1,161 @@
+"""Client-side stitching of per-server partial routes.
+
+Section 5.2 (Routing): "Each map server would calculate the route that is
+relevant for the region that they cover.  The client would collect paths from
+all relevant map servers, and stitch them together such that the final path
+optimizes a metric of interest."
+
+A :class:`RouteStitcher` takes partial routes expressed as geographic
+polylines (so that routes computed in different maps/frames can be combined)
+and joins them at their nearest endpoints, inserting connector segments where
+two servers' coverage meets (e.g. the storefront where the city map hands
+over to the grocery store map).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import LatLng
+
+
+@dataclass(frozen=True, slots=True)
+class RouteLeg:
+    """A partial route computed by one map server."""
+
+    server_id: str
+    points: tuple[LatLng, ...]
+    cost: float
+    metric: str = "distance"
+
+    def __post_init__(self) -> None:
+        if len(self.points) < 1:
+            raise ValueError("a route leg needs at least one point")
+
+    @property
+    def start(self) -> LatLng:
+        return self.points[0]
+
+    @property
+    def end(self) -> LatLng:
+        return self.points[-1]
+
+    def length_meters(self) -> float:
+        return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
+
+
+@dataclass(frozen=True, slots=True)
+class StitchedRoute:
+    """The final end-to-end route presented to the application."""
+
+    points: tuple[LatLng, ...]
+    legs: tuple[RouteLeg, ...]
+    connector_meters: float
+    total_cost: float
+
+    def length_meters(self) -> float:
+        return sum(a.distance_to(b) for a, b in zip(self.points, self.points[1:]))
+
+    @property
+    def servers(self) -> tuple[str, ...]:
+        return tuple(leg.server_id for leg in self.legs)
+
+
+class StitchError(Exception):
+    """Raised when legs cannot be combined into a continuous route."""
+
+
+@dataclass
+class RouteStitcher:
+    """Greedy nearest-endpoint stitcher.
+
+    ``max_gap_meters`` bounds how far apart two legs' endpoints may be and
+    still be considered joinable (the handover region); larger gaps mean the
+    servers' coverages do not actually meet and stitching fails loudly.
+    """
+
+    max_gap_meters: float = 150.0
+
+    def stitch(
+        self,
+        origin: LatLng,
+        destination: LatLng,
+        legs: list[RouteLeg],
+    ) -> StitchedRoute:
+        """Order and join ``legs`` into a continuous origin→destination route."""
+        if not legs:
+            raise StitchError("no route legs to stitch")
+
+        remaining = list(legs)
+        ordered: list[RouteLeg] = []
+        current_point = origin
+        connector = 0.0
+
+        while remaining:
+            leg, reversed_leg, gap = self._closest_leg(current_point, remaining)
+            if gap > self.max_gap_meters:
+                raise StitchError(
+                    f"gap of {gap:.1f} m to the nearest remaining leg exceeds "
+                    f"max_gap_meters={self.max_gap_meters}"
+                )
+            remaining.remove(leg)
+            chosen = self._maybe_reverse(leg, reversed_leg)
+            ordered.append(chosen)
+            connector += gap
+            current_point = chosen.end
+
+        final_gap = current_point.distance_to(destination)
+        if final_gap > self.max_gap_meters:
+            raise StitchError(
+                f"stitched route ends {final_gap:.1f} m from the destination "
+                f"(max allowed {self.max_gap_meters})"
+            )
+        connector += final_gap
+
+        points: list[LatLng] = [origin]
+        for leg in ordered:
+            if points[-1] != leg.start:
+                points.append(leg.start)
+            points.extend(leg.points[1:] if leg.points[0] == points[-1] else leg.points)
+        if points[-1] != destination:
+            points.append(destination)
+
+        total_cost = sum(leg.cost for leg in ordered) + connector
+        return StitchedRoute(tuple(points), tuple(ordered), connector, total_cost)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _closest_leg(
+        point: LatLng, legs: list[RouteLeg]
+    ) -> tuple[RouteLeg, bool, float]:
+        """The leg whose start (or end, if reversed) is nearest to ``point``."""
+        best_leg = legs[0]
+        best_reversed = False
+        best_gap = float("inf")
+        for leg in legs:
+            gap_forward = point.distance_to(leg.start)
+            gap_backward = point.distance_to(leg.end)
+            if gap_forward < best_gap:
+                best_leg, best_reversed, best_gap = leg, False, gap_forward
+            if gap_backward < best_gap:
+                best_leg, best_reversed, best_gap = leg, True, gap_backward
+        return best_leg, best_reversed, best_gap
+
+    @staticmethod
+    def _maybe_reverse(leg: RouteLeg, reverse: bool) -> RouteLeg:
+        if not reverse:
+            return leg
+        return RouteLeg(leg.server_id, tuple(reversed(leg.points)), leg.cost, leg.metric)
+
+
+def route_stretch(stitched: StitchedRoute, optimal_meters: float) -> float:
+    """Stretch factor of a stitched route relative to the optimal route length.
+
+    A stretch of 1.0 means the federated route matched the centralized
+    optimum; experiment E5 reports this distribution.
+    """
+    if optimal_meters <= 0:
+        raise ValueError("optimal route length must be positive")
+    return stitched.length_meters() / optimal_meters

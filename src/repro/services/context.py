@@ -1,0 +1,64 @@
+"""Shared context for the federated client-side services.
+
+Every federated service (Section 5.2) needs the same three things: a way to
+*discover* map servers for a region, a way to *reach* a discovered server by
+its identifier, and a *network* against which to charge the requests it
+makes.  :class:`FederationContext` bundles them; it is constructed by
+:class:`repro.core.federation.Federation` and handed to each service.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.discovery.discoverer import Discoverer, DiscoveryResult
+from repro.geometry.point import LatLng
+from repro.mapserver.auth import ANONYMOUS, Credential
+from repro.mapserver.server import MapServer
+from repro.simulation.network import SimulatedNetwork
+
+
+class UnknownServerError(KeyError):
+    """Raised when discovery returns a server id the directory cannot reach."""
+
+
+@dataclass
+class FederationContext:
+    """Everything a federated client-side service needs to operate."""
+
+    discoverer: Discoverer
+    directory: dict[str, MapServer] = field(default_factory=dict)
+    network: SimulatedNetwork = field(default_factory=SimulatedNetwork)
+    credential: Credential = ANONYMOUS
+
+    # ------------------------------------------------------------------
+    # Directory
+    # ------------------------------------------------------------------
+    def server(self, server_id: str) -> MapServer:
+        """Resolve a discovered server id to a reachable map server."""
+        try:
+            return self.directory[server_id]
+        except KeyError:
+            raise UnknownServerError(server_id) from None
+
+    def servers(self, server_ids: tuple[str, ...] | list[str]) -> list[MapServer]:
+        """Resolve several ids, skipping any that are not reachable."""
+        found = []
+        for server_id in server_ids:
+            server = self.directory.get(server_id)
+            if server is not None:
+                found.append(server)
+        return found
+
+    # ------------------------------------------------------------------
+    # Discovery helpers (charged against the network)
+    # ------------------------------------------------------------------
+    def discover_at(self, location: LatLng, uncertainty_meters: float = 0.0) -> DiscoveryResult:
+        return self.discoverer.discover_at(location, uncertainty_meters)
+
+    def discover_along(self, waypoints: list[LatLng], corridor_meters: float = 200.0) -> DiscoveryResult:
+        return self.discoverer.discover_along(waypoints, corridor_meters)
+
+    def charge_map_server_request(self) -> None:
+        """Charge one client↔map-server exchange against the network."""
+        self.network.client_map_server_exchange()

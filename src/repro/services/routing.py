@@ -1,0 +1,183 @@
+"""Federated routing with client-side stitching.
+
+Section 5.2 (Routing): "The client first obtains the location of the source
+and destination addresses using the Geocode service... Then it discovers all
+the map servers that lie along the way from the source to the destination.
+Each map server would calculate the route that is relevant for the region
+that they cover.  The client would collect paths from all relevant map
+servers, and stitch them together such that the final path optimizes a metric
+of interest."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.point import LatLng
+from repro.mapserver.policy import AccessDenied
+from repro.mapserver.server import MapServer
+from repro.routing.stitching import RouteLeg, RouteStitcher, StitchedRoute, StitchError
+from repro.services.context import FederationContext
+
+
+class FederatedRoutingError(Exception):
+    """Raised when no combination of discovered servers can serve the route."""
+
+
+@dataclass(frozen=True, slots=True)
+class FederatedRouteResult:
+    """A stitched end-to-end route plus federation bookkeeping."""
+
+    route: StitchedRoute
+    servers_consulted: int
+    legs_used: int
+    dns_lookups: int
+
+    @property
+    def length_meters(self) -> float:
+        return self.route.length_meters()
+
+    @property
+    def servers(self) -> tuple[str, ...]:
+        return self.route.servers
+
+
+@dataclass
+class FederatedRouter:
+    """Plans multi-map routes by delegating legs to map servers and stitching."""
+
+    context: FederationContext
+    stitcher: RouteStitcher = field(default_factory=lambda: RouteStitcher(max_gap_meters=200.0))
+    corridor_meters: float = 250.0
+    queries: int = field(default=0, init=False)
+
+    def route(
+        self,
+        origin: LatLng,
+        destination: LatLng,
+        metric: str = "distance",
+        waypoints: list[LatLng] | None = None,
+    ) -> FederatedRouteResult:
+        """Compute a stitched route from ``origin`` to ``destination``.
+
+        ``waypoints`` (if given) refine discovery along the way — typically
+        the coarse outdoor route's points, which is how the grocery-store
+        scenario discovers both the city map and the store map.
+        """
+        self.queries += 1
+        probe_points = [origin, destination] + list(waypoints or [])
+        discovery = self.context.discover_along(probe_points, self.corridor_meters)
+        servers = self.context.servers(discovery.server_ids)
+        if not servers:
+            raise FederatedRoutingError("discovery found no map servers along the route")
+
+        legs, servers_consulted = self._collect_legs(servers, origin, destination, metric)
+        if not legs:
+            raise FederatedRoutingError("no discovered map server could compute a route leg")
+
+        stitched = self._stitch_best(origin, destination, legs)
+        return FederatedRouteResult(
+            route=stitched,
+            servers_consulted=servers_consulted,
+            legs_used=len(stitched.legs),
+            dns_lookups=discovery.dns_lookups,
+        )
+
+    # ------------------------------------------------------------------
+    # Leg collection
+    # ------------------------------------------------------------------
+    def _collect_legs(
+        self,
+        servers: list[MapServer],
+        origin: LatLng,
+        destination: LatLng,
+        metric: str,
+    ) -> tuple[list[RouteLeg], int]:
+        """Ask every relevant server for the part of the route it can serve.
+
+        Each server routes between the origin/destination clamped to its own
+        coverage; servers covering neither endpoint nor anything in between
+        return nothing useful and are dropped.
+        """
+        legs: list[RouteLeg] = []
+        consulted = 0
+        for server in servers:
+            self.context.charge_map_server_request()
+            consulted += 1
+            leg_origin = self._clamp_to_coverage(server, origin)
+            leg_destination = self._clamp_to_coverage(server, destination)
+            try:
+                response = server.route(leg_origin, leg_destination, self.context.credential, metric)
+            except AccessDenied:
+                continue
+            if response is None or len(response.points) < 2:
+                continue
+            legs.append(response.as_leg(server.server_id))
+        return legs, consulted
+
+    @staticmethod
+    def _clamp_to_coverage(server: MapServer, point: LatLng) -> LatLng:
+        """Move a point outside the server's coverage to its hand-over point.
+
+        The hand-over point where one server's leg ends and the next begins is
+        the map's nearest *entrance* when it declares one (the storefront of
+        the Section 2 walkthrough — an indoor leg must start at a door, not at
+        whichever shelf happens to be closest to the street), falling back to
+        the nearest node otherwise.  The containment test uses the map's exact
+        coverage polygon: a point on the sidewalk just outside the store must
+        still be routed via the entrance, not teleported through the wall.
+        """
+        if server.map_data.covers_point(point):
+            return point
+        entrances = server.map_data.find_nodes_by_tag("entrance")
+        if entrances:
+            nearest_entrance = min(entrances, key=lambda n: point.distance_to(n.location))
+            return nearest_entrance.location
+        nearest = server.map_data.nearest_nodes(point, count=1)
+        return nearest[0].location if nearest else point
+
+    # ------------------------------------------------------------------
+    # Stitching
+    # ------------------------------------------------------------------
+    def _stitch_best(
+        self, origin: LatLng, destination: LatLng, legs: list[RouteLeg]
+    ) -> StitchedRoute:
+        """Stitch the legs, dropping redundant ones if the full set fails.
+
+        Overlapping maps can produce redundant legs (two servers covering the
+        same stretch); when stitching the full set fails or is clearly
+        suboptimal, subsets ordered by leg cost are tried.
+        """
+        candidates: list[StitchedRoute] = []
+        subsets: list[list[RouteLeg]] = []
+        if len(legs) <= 5:
+            # Overlap between maps keeps the leg count small, so the subset
+            # space can be searched exhaustively.
+            for mask in range(1, 1 << len(legs)):
+                subsets.append([leg for index, leg in enumerate(legs) if mask & (1 << index)])
+        else:
+            subsets.append(list(legs))
+            by_cost = sorted(legs, key=lambda leg: leg.cost)
+            subsets.extend(by_cost[:size] for size in range(1, len(by_cost) + 1))
+
+        for subset in subsets:
+            try:
+                candidates.append(self.stitcher.stitch(origin, destination, subset))
+            except StitchError:
+                continue
+
+        if not candidates:
+            raise FederatedRoutingError(
+                "could not stitch any combination of route legs into a continuous route"
+            )
+
+        # Prefer routes that actually arrive at the endpoints: a route whose
+        # last leg ends at the storefront but not at the shelf is worse than a
+        # slightly longer route that reaches the shelf, so the gap between the
+        # stitched legs and the requested endpoints is penalised heavily.
+        def score(route: StitchedRoute) -> float:
+            start_gap = origin.distance_to(route.legs[0].start) if route.legs else 0.0
+            end_gap = destination.distance_to(route.legs[-1].end) if route.legs else 0.0
+            return route.total_cost + 10.0 * (start_gap + end_gap)
+
+        return min(candidates, key=score)

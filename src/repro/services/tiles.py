@@ -1,0 +1,85 @@
+"""Federated tile rendering.
+
+Section 5.2 (Tile rendering): "The client would download these
+representations from multiple discovered map servers and stitch them together
+before showing them to the user."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.geometry.bbox import BoundingBox
+from repro.mapserver.policy import AccessDenied
+from repro.services.context import FederationContext
+from repro.tiles.renderer import Tile
+from repro.tiles.stitcher import CompositeTile, TileStitcher
+from repro.tiles.tile_math import TileCoordinate, tile_bounds, tiles_for_box
+
+
+@dataclass(frozen=True, slots=True)
+class FederatedViewport:
+    """A stitched viewport: composite tiles plus federation bookkeeping."""
+
+    composites: dict[TileCoordinate, CompositeTile]
+    servers_consulted: int
+    tiles_downloaded: int
+    dns_lookups: int
+
+    @property
+    def coverage_fraction(self) -> float:
+        if not self.composites:
+            return 0.0
+        return sum(tile.coverage_fraction for tile in self.composites.values()) / len(self.composites)
+
+
+@dataclass
+class FederatedTileClient:
+    """Downloads tiles for a viewport from every relevant map server and stitches them."""
+
+    context: FederationContext
+    stitcher: TileStitcher = field(default_factory=TileStitcher)
+    queries: int = field(default=0, init=False)
+
+    def render_viewport(self, viewport: BoundingBox, zoom: int) -> FederatedViewport:
+        """Render ``viewport`` at ``zoom`` by compositing every server's tiles.
+
+        Servers are ordered outdoor-first (larger coverage first) so that
+        higher-fidelity indoor maps are composited on top.
+        """
+        self.queries += 1
+        discovery = self.context.discoverer.discover_region(viewport)
+        servers = self.context.servers(discovery.server_ids)
+        servers.sort(key=lambda s: s.coverage.area_square_meters(), reverse=True)
+
+        coordinates = tiles_for_box(viewport, zoom)
+        tiles_by_coordinate: dict[TileCoordinate, list[Tile]] = {c: [] for c in coordinates}
+        servers_consulted = 0
+        tiles_downloaded = 0
+
+        for server in servers:
+            server_box = server.map_data.bounding_box().expanded(20.0)
+            relevant = [c for c in coordinates if tile_bounds(c).intersects(server_box)]
+            if not relevant:
+                continue
+            servers_consulted += 1
+            for coordinate in relevant:
+                self.context.charge_map_server_request()
+                try:
+                    tile = server.get_tile(coordinate, self.context.credential)
+                except AccessDenied:
+                    break
+                tiles_by_coordinate[coordinate].append(tile)
+                tiles_downloaded += 1
+
+        composites = {
+            coordinate: self.stitcher.stitch(tiles)
+            for coordinate, tiles in tiles_by_coordinate.items()
+            if tiles
+        }
+        return FederatedViewport(
+            composites=composites,
+            servers_consulted=servers_consulted,
+            tiles_downloaded=tiles_downloaded,
+            dns_lookups=discovery.dns_lookups,
+        )

@@ -1,0 +1,20 @@
+"""Deterministic simulation support: clock, network latency model, metrics."""
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.metrics import Counter, MetricsRegistry, Summary, percentile
+from repro.simulation.network import (
+    LatencyModel,
+    NetworkStats,
+    SimulatedNetwork,
+)
+
+__all__ = [
+    "Counter",
+    "LatencyModel",
+    "MetricsRegistry",
+    "NetworkStats",
+    "SimulatedClock",
+    "SimulatedNetwork",
+    "Summary",
+    "percentile",
+]

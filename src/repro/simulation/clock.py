@@ -1,0 +1,40 @@
+"""A deterministic simulated clock.
+
+Every latency-sensitive component (DNS caches, network links, service
+benchmarks) reads time from a :class:`SimulatedClock` instead of the wall
+clock, making experiments reproducible and letting tests fast-forward through
+TTL expiry without sleeping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SimulatedClock:
+    """A monotonically advancing clock measured in seconds."""
+
+    _now: float = 0.0
+    _advance_count: int = field(default=0, repr=False)
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Advance the clock by ``seconds`` (must be non-negative)."""
+        if seconds < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += seconds
+        self._advance_count += 1
+        return self._now
+
+    def advance_ms(self, milliseconds: float) -> float:
+        """Advance the clock by ``milliseconds``."""
+        return self.advance(milliseconds / 1000.0)
+
+    @property
+    def advance_count(self) -> int:
+        """How many times the clock has been advanced (useful in tests)."""
+        return self._advance_count

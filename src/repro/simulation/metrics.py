@@ -1,0 +1,107 @@
+"""Lightweight metric collection used by benchmarks and experiments."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+@dataclass
+class Counter:
+    """A named monotonically increasing counter."""
+
+    name: str
+    value: int = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only increase")
+        self.value += amount
+
+
+@dataclass
+class Summary:
+    """Streaming summary statistics (count, mean, min, max, stddev)."""
+
+    name: str
+    count: int = 0
+    total: float = 0.0
+    total_squares: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        self.total_squares += value * value
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    @property
+    def stddev(self) -> float:
+        if self.count < 2:
+            return 0.0
+        variance = self.total_squares / self.count - self.mean**2
+        return math.sqrt(max(0.0, variance))
+
+
+@dataclass
+class MetricsRegistry:
+    """A namespace of counters and summaries for one experiment run."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    summaries: dict[str, Summary] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def summary(self, name: str) -> Summary:
+        if name not in self.summaries:
+            self.summaries[name] = Summary(name)
+        return self.summaries[name]
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat dict of every metric, suitable for printing a results row."""
+        data: dict[str, float] = {}
+        for counter in self.counters.values():
+            data[counter.name] = float(counter.value)
+        for summary in self.summaries.values():
+            data[f"{summary.name}.mean"] = summary.mean
+            data[f"{summary.name}.count"] = float(summary.count)
+            if summary.count:
+                data[f"{summary.name}.min"] = summary.minimum
+                data[f"{summary.name}.max"] = summary.maximum
+        return data
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.summaries.clear()
+
+
+def percentile(values: list[float], fraction: float) -> float:
+    """The ``fraction`` percentile (0..1) of ``values`` by linear interpolation."""
+    if not values:
+        raise ValueError("cannot take a percentile of no values")
+    if not (0.0 <= fraction <= 1.0):
+        raise ValueError("fraction must be in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = fraction * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight

@@ -1,0 +1,84 @@
+"""A simulated network for counting messages and accumulating latency.
+
+The paper's argument for DNS-based discovery rests on message counts and
+cacheability rather than raw bandwidth, so the network model is simple: each
+logical link has a fixed one-way latency, and every message sent over it is
+counted and charged against a simulated clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.clock import SimulatedClock
+
+DEFAULT_LOCAL_LATENCY_MS = 0.1
+DEFAULT_LAN_LATENCY_MS = 1.0
+DEFAULT_WAN_LATENCY_MS = 25.0
+
+
+@dataclass(frozen=True, slots=True)
+class LatencyModel:
+    """Per-hop one-way latencies between classes of endpoints (milliseconds)."""
+
+    client_to_resolver_ms: float = DEFAULT_LAN_LATENCY_MS
+    resolver_to_authority_ms: float = DEFAULT_WAN_LATENCY_MS
+    client_to_map_server_ms: float = DEFAULT_WAN_LATENCY_MS
+    client_to_central_ms: float = DEFAULT_WAN_LATENCY_MS
+    local_compute_ms: float = DEFAULT_LOCAL_LATENCY_MS
+
+
+@dataclass
+class NetworkStats:
+    """Counters accumulated by a simulated network."""
+
+    messages_sent: int = 0
+    total_latency_ms: float = 0.0
+    messages_by_kind: dict[str, int] = field(default_factory=dict)
+
+    def record(self, kind: str, latency_ms: float) -> None:
+        self.messages_sent += 1
+        self.total_latency_ms += latency_ms
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+
+    def reset(self) -> None:
+        self.messages_sent = 0
+        self.total_latency_ms = 0.0
+        self.messages_by_kind.clear()
+
+
+@dataclass
+class SimulatedNetwork:
+    """Tracks messages and advances a clock by their round-trip latencies."""
+
+    clock: SimulatedClock = field(default_factory=SimulatedClock)
+    latency: LatencyModel = field(default_factory=LatencyModel)
+    stats: NetworkStats = field(default_factory=NetworkStats)
+
+    def round_trip(self, kind: str, one_way_latency_ms: float) -> float:
+        """Charge one request/response exchange and return its latency in ms."""
+        latency_ms = 2.0 * one_way_latency_ms
+        self.clock.advance_ms(latency_ms)
+        self.stats.record(kind, latency_ms)
+        return latency_ms
+
+    # Convenience wrappers for the hop classes used throughout the library.
+    def client_resolver_exchange(self) -> float:
+        return self.round_trip("dns.client_resolver", self.latency.client_to_resolver_ms)
+
+    def resolver_authority_exchange(self) -> float:
+        return self.round_trip("dns.resolver_authority", self.latency.resolver_to_authority_ms)
+
+    def client_map_server_exchange(self) -> float:
+        return self.round_trip("mapserver.request", self.latency.client_to_map_server_ms)
+
+    def client_central_exchange(self) -> float:
+        return self.round_trip("central.request", self.latency.client_to_central_ms)
+
+    def local_compute(self) -> float:
+        """Charge a small local computation (no message is counted)."""
+        self.clock.advance_ms(self.latency.local_compute_ms)
+        return self.latency.local_compute_ms
+
+    def reset_stats(self) -> None:
+        self.stats.reset()

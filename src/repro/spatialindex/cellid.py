@@ -1,0 +1,187 @@
+"""Hierarchical spatial cells (an S2/H3-like decomposition).
+
+The discovery layer (Section 5.1) relies on a *hierarchical* decomposition of
+the earth's surface into cells whose identifiers can be written as domain
+names.  The paper suggests S2 or H3; we implement a quadtree decomposition of
+the latitude/longitude rectangle which offers the same properties the paper
+needs:
+
+* every cell at level ``L`` has exactly four children at level ``L + 1``;
+* a cell's identifier is a prefix of all of its descendants' identifiers, so
+  containment is a string-prefix test and DNS delegation follows the hierarchy
+  naturally;
+* any point maps to exactly one cell per level, and any region can be
+  approximated by a small *covering* of cells (see ``covering.py``).
+
+Cell tokens are strings of the digits ``0-3`` ("face" quadrants of the world
+rectangle first, then successive quadrant refinements), e.g. ``"203113"`` is a
+level-6 cell.  The empty token is the root cell covering the whole world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import total_ordering
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+
+MAX_LEVEL = 30
+"""Deepest refinement level supported (sub-centimetre at the equator)."""
+
+_WORLD = BoundingBox(-90.0, -180.0, 90.0, 180.0)
+
+
+@total_ordering
+@dataclass(frozen=True, slots=True)
+class CellId:
+    """An identifier for one cell of the hierarchical decomposition."""
+
+    token: str
+
+    def __post_init__(self) -> None:
+        if len(self.token) > MAX_LEVEL:
+            raise ValueError(f"cell level {len(self.token)} exceeds MAX_LEVEL={MAX_LEVEL}")
+        if any(ch not in "0123" for ch in self.token):
+            raise ValueError(f"invalid cell token {self.token!r}: digits must be 0-3")
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def root(cls) -> "CellId":
+        """The level-0 cell covering the whole world."""
+        return cls("")
+
+    @classmethod
+    def from_point(cls, point: LatLng, level: int) -> "CellId":
+        """The unique level-``level`` cell containing ``point``."""
+        if not (0 <= level <= MAX_LEVEL):
+            raise ValueError(f"level must be in [0, {MAX_LEVEL}]")
+        south, west, north, east = _WORLD.south, _WORLD.west, _WORLD.north, _WORLD.east
+        digits = []
+        for _ in range(level):
+            mid_lat = (south + north) / 2.0
+            mid_lng = (west + east) / 2.0
+            if point.latitude >= mid_lat:
+                vertical = 1
+                south = mid_lat
+            else:
+                vertical = 0
+                north = mid_lat
+            if point.longitude >= mid_lng:
+                horizontal = 1
+                west = mid_lng
+            else:
+                horizontal = 0
+                east = mid_lng
+            digits.append(str(vertical * 2 + horizontal))
+        return cls("".join(digits))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    @property
+    def level(self) -> int:
+        return len(self.token)
+
+    @property
+    def is_root(self) -> bool:
+        return not self.token
+
+    def parent(self, level: int | None = None) -> "CellId":
+        """Ancestor at ``level`` (default: the immediate parent)."""
+        if level is None:
+            level = self.level - 1
+        if level < 0 or level > self.level:
+            raise ValueError(f"invalid parent level {level} for cell at level {self.level}")
+        return CellId(self.token[:level])
+
+    def children(self) -> list["CellId"]:
+        """The four child cells at the next level."""
+        if self.level >= MAX_LEVEL:
+            raise ValueError("cannot subdivide a cell at MAX_LEVEL")
+        return [CellId(self.token + digit) for digit in "0123"]
+
+    def contains(self, other: "CellId") -> bool:
+        """True if ``other`` is this cell or one of its descendants."""
+        return other.token.startswith(self.token)
+
+    def intersects_cell(self, other: "CellId") -> bool:
+        """True if the two cells share area (one contains the other)."""
+        return self.contains(other) or other.contains(self)
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def bounds(self) -> BoundingBox:
+        """The geographic rectangle covered by this cell."""
+        south, west, north, east = _WORLD.south, _WORLD.west, _WORLD.north, _WORLD.east
+        for digit in self.token:
+            value = int(digit)
+            mid_lat = (south + north) / 2.0
+            mid_lng = (west + east) / 2.0
+            if value & 2:
+                south = mid_lat
+            else:
+                north = mid_lat
+            if value & 1:
+                west = mid_lng
+            else:
+                east = mid_lng
+        return BoundingBox(south, west, north, east)
+
+    def center(self) -> LatLng:
+        return self.bounds().center
+
+    def contains_point(self, point: LatLng) -> bool:
+        return self.bounds().contains(point)
+
+    def approximate_size_meters(self) -> float:
+        """The cell diagonal in meters, a convenient scale measure."""
+        return self.bounds().diagonal_meters()
+
+    def neighbors(self) -> list["CellId"]:
+        """The up-to-eight edge/corner adjacent cells at the same level.
+
+        Neighbours are computed by sampling points just outside each edge and
+        corner of the cell; cells falling outside the world rectangle are
+        dropped, so border cells have fewer neighbours.
+        """
+        if self.is_root:
+            return []
+        box = self.bounds()
+        d_lat = box.height_degrees * 0.5
+        d_lng = box.width_degrees * 0.5
+        center = box.center
+        offsets = [
+            (d_lat + box.height_degrees * 0.01, 0.0),
+            (-(d_lat + box.height_degrees * 0.01), 0.0),
+            (0.0, d_lng + box.width_degrees * 0.01),
+            (0.0, -(d_lng + box.width_degrees * 0.01)),
+            (d_lat + box.height_degrees * 0.01, d_lng + box.width_degrees * 0.01),
+            (d_lat + box.height_degrees * 0.01, -(d_lng + box.width_degrees * 0.01)),
+            (-(d_lat + box.height_degrees * 0.01), d_lng + box.width_degrees * 0.01),
+            (-(d_lat + box.height_degrees * 0.01), -(d_lng + box.width_degrees * 0.01)),
+        ]
+        found: list[CellId] = []
+        seen: set[str] = {self.token}
+        for dlat, dlng in offsets:
+            lat = center.latitude + dlat
+            lng = center.longitude + dlng
+            if not (-90.0 <= lat <= 90.0 and -180.0 <= lng <= 180.0):
+                continue
+            neighbor = CellId.from_point(LatLng(lat, lng), self.level)
+            if neighbor.token not in seen:
+                seen.add(neighbor.token)
+                found.append(neighbor)
+        return found
+
+    # ------------------------------------------------------------------
+    # Ordering / representation
+    # ------------------------------------------------------------------
+    def __lt__(self, other: "CellId") -> bool:
+        return (self.level, self.token) < (other.level, other.token)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.token or "<root>"

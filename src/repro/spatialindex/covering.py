@@ -1,0 +1,179 @@
+"""Region coverings: approximate a region with a small set of cells.
+
+A map server's zone (a polygon or bounding box) is registered in the
+discovery DNS as a *covering* — a set of cells whose union contains the zone
+(Section 5.1: "A polygonal region, or a zone, can be approximated by a
+collection of domain names").  The covering is allowed to over-approximate the
+region; that over-approximation is exactly the "fuzzy boundary" the paper
+argues is acceptable for discovery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.spatialindex.cellid import MAX_LEVEL, CellId
+
+
+@dataclass(frozen=True, slots=True)
+class CoveringOptions:
+    """Tuning knobs for the region coverer.
+
+    ``min_level``/``max_level`` bound cell sizes; ``max_cells`` bounds the
+    covering size (and therefore the number of DNS records a registration
+    creates and the number of lookups a discovery query may need).
+    """
+
+    min_level: int = 4
+    max_level: int = 16
+    max_cells: int = 32
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.min_level <= self.max_level <= MAX_LEVEL):
+            raise ValueError("require 0 <= min_level <= max_level <= MAX_LEVEL")
+        if self.max_cells < 1:
+            raise ValueError("max_cells must be >= 1")
+
+
+@dataclass
+class RegionCoverer:
+    """Computes cell coverings of boxes, polygons and discs."""
+
+    options: CoveringOptions = field(default_factory=CoveringOptions)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def cover_box(self, box: BoundingBox) -> list[CellId]:
+        """Covering of a bounding box."""
+        return self._cover(lambda cell_box: cell_box.intersects(box),
+                           lambda cell_box: box.contains_box(cell_box))
+
+    def cover_polygon(self, polygon: Polygon) -> list[CellId]:
+        """Covering of a polygon."""
+        return self._cover(
+            lambda cell_box: polygon.intersects_box(cell_box),
+            lambda cell_box: all(polygon.contains(c) for c in cell_box.corners()),
+        )
+
+    def cover_disc(self, center: LatLng, radius_meters: float) -> list[CellId]:
+        """Covering of a disc, via its bounding box.
+
+        Discs are what discovery queries use: a coarse device location plus an
+        uncertainty radius.
+        """
+        return self.cover_box(BoundingBox.around(center, radius_meters))
+
+    def cover_point(self, point: LatLng, level: int | None = None) -> list[CellId]:
+        """The single cell containing ``point`` at the covering level."""
+        chosen = self.options.max_level if level is None else level
+        return [CellId.from_point(point, chosen)]
+
+    # ------------------------------------------------------------------
+    # Core recursive covering
+    # ------------------------------------------------------------------
+    def _cover(
+        self,
+        intersects: Callable[[BoundingBox], bool],
+        contained: Callable[[BoundingBox], bool],
+    ) -> list[CellId]:
+        """Generic covering: refine intersecting cells until budget is spent."""
+        opts = self.options
+        # Seed with the cells at min_level that intersect the region.
+        frontier: list[CellId] = []
+        self._collect_intersecting(CellId.root(), opts.min_level, intersects, frontier)
+        if not frontier:
+            return []
+
+        result: list[CellId] = []
+        # Refine cells that are not fully inside the region while the cell
+        # budget allows; fully-contained cells are kept as-is.
+        while frontier:
+            frontier.sort(key=lambda c: c.level)
+            cell = frontier.pop(0)
+            cell_box = cell.bounds()
+            if contained(cell_box) or cell.level >= opts.max_level:
+                result.append(cell)
+                continue
+            children = [child for child in cell.children() if intersects(child.bounds())]
+            if not children:
+                result.append(cell)
+                continue
+            if len(result) + len(frontier) + len(children) > opts.max_cells:
+                result.append(cell)
+            else:
+                frontier.extend(children)
+
+        return normalize_covering(result)
+
+    def _collect_intersecting(
+        self,
+        cell: CellId,
+        target_level: int,
+        intersects: Callable[[BoundingBox], bool],
+        out: list[CellId],
+    ) -> None:
+        if not intersects(cell.bounds()):
+            return
+        if cell.level >= target_level:
+            out.append(cell)
+            return
+        for child in cell.children():
+            self._collect_intersecting(child, target_level, intersects, out)
+
+
+def cells_at_level(box: BoundingBox, level: int, max_cells: int = 64) -> list[CellId]:
+    """All cells at exactly ``level`` intersecting ``box``, capped at ``max_cells``.
+
+    Discovery queries use this fixed-level enumeration so that a query name is
+    always at the same level as (or finer than) registration names and the
+    DNS ancestor walk is guaranteed to meet every registration.  The scan runs
+    south-west to north-east; if the box needs more than ``max_cells`` cells
+    the outermost ones are dropped (the query becomes slightly less complete
+    rather than unboundedly expensive).
+    """
+    if max_cells < 1:
+        raise ValueError("max_cells must be >= 1")
+    seed = CellId.from_point(LatLng(box.south, box.west), level)
+    seed_box = seed.bounds()
+    cell_height = seed_box.height_degrees
+    cell_width = seed_box.width_degrees
+    cells: list[CellId] = []
+    # Walk the aligned cell grid starting from the cell containing the
+    # south-west corner, stepping one cell at a time.
+    lat = seed_box.center.latitude
+    while lat <= box.north + cell_height / 2.0 and len(cells) < max_cells:
+        lng = seed_box.center.longitude
+        while lng <= box.east + cell_width / 2.0 and len(cells) < max_cells:
+            clamped_lat = max(-90.0, min(90.0, lat))
+            clamped_lng = max(-180.0, min(180.0, lng))
+            cell = CellId.from_point(LatLng(clamped_lat, clamped_lng), level)
+            if cell.bounds().intersects(box):
+                cells.append(cell)
+            lng += cell_width
+        lat += cell_height
+    return normalize_covering(cells)
+
+
+def normalize_covering(cells: list[CellId]) -> list[CellId]:
+    """Sort a covering and drop cells already contained in coarser members."""
+    unique = sorted(set(cells), key=lambda c: (c.level, c.token))
+    kept: list[CellId] = []
+    for cell in unique:
+        if not any(prev.contains(cell) for prev in kept):
+            kept.append(cell)
+    return kept
+
+
+def covering_contains_point(cells: list[CellId], point: LatLng) -> bool:
+    """True if any cell of the covering contains ``point``."""
+    return any(cell.contains_point(point) for cell in cells)
+
+
+def covering_area_square_meters(cells: list[CellId]) -> float:
+    """Total area of the covering (an upper bound on the region's area)."""
+    return sum(cell.bounds().area_square_meters() for cell in cells)

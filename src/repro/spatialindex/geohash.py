@@ -1,0 +1,107 @@
+"""Geohash encoding/decoding.
+
+Geohashes are an alternative hierarchical location code used by several
+spatial databases the paper cites (GeoFire, MongoDB).  They are included both
+as a second naming scheme for the discovery layer and as a compact key for
+fingerprint databases.
+"""
+
+from __future__ import annotations
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+
+_BASE32 = "0123456789bcdefghjkmnpqrstuvwxyz"
+_BASE32_INDEX = {ch: i for i, ch in enumerate(_BASE32)}
+
+
+def encode(point: LatLng, precision: int = 9) -> str:
+    """Encode a point as a geohash string of ``precision`` characters."""
+    if precision < 1:
+        raise ValueError("precision must be >= 1")
+    lat_interval = [-90.0, 90.0]
+    lng_interval = [-180.0, 180.0]
+    bits = [16, 8, 4, 2, 1]
+    chars: list[str] = []
+    bit = 0
+    ch = 0
+    even = True
+    while len(chars) < precision:
+        if even:
+            mid = (lng_interval[0] + lng_interval[1]) / 2
+            if point.longitude >= mid:
+                ch |= bits[bit]
+                lng_interval[0] = mid
+            else:
+                lng_interval[1] = mid
+        else:
+            mid = (lat_interval[0] + lat_interval[1]) / 2
+            if point.latitude >= mid:
+                ch |= bits[bit]
+                lat_interval[0] = mid
+            else:
+                lat_interval[1] = mid
+        even = not even
+        if bit < 4:
+            bit += 1
+        else:
+            chars.append(_BASE32[ch])
+            bit = 0
+            ch = 0
+    return "".join(chars)
+
+
+def decode_bounds(geohash: str) -> BoundingBox:
+    """Bounding box of a geohash cell."""
+    if not geohash:
+        raise ValueError("geohash must be non-empty")
+    lat_interval = [-90.0, 90.0]
+    lng_interval = [-180.0, 180.0]
+    even = True
+    for character in geohash.lower():
+        if character not in _BASE32_INDEX:
+            raise ValueError(f"invalid geohash character {character!r}")
+        cd = _BASE32_INDEX[character]
+        for mask in (16, 8, 4, 2, 1):
+            if even:
+                mid = (lng_interval[0] + lng_interval[1]) / 2
+                if cd & mask:
+                    lng_interval[0] = mid
+                else:
+                    lng_interval[1] = mid
+            else:
+                mid = (lat_interval[0] + lat_interval[1]) / 2
+                if cd & mask:
+                    lat_interval[0] = mid
+                else:
+                    lat_interval[1] = mid
+            even = not even
+    return BoundingBox(lat_interval[0], lng_interval[0], lat_interval[1], lng_interval[1])
+
+
+def decode(geohash: str) -> LatLng:
+    """Center point of a geohash cell."""
+    return decode_bounds(geohash).center
+
+
+def neighbors(geohash: str) -> list[str]:
+    """Geohashes of the eight cells surrounding ``geohash``."""
+    box = decode_bounds(geohash)
+    d_lat = box.height_degrees
+    d_lng = box.width_degrees
+    center = box.center
+    out: list[str] = []
+    seen = {geohash}
+    for dlat in (-d_lat, 0.0, d_lat):
+        for dlng in (-d_lng, 0.0, d_lng):
+            if dlat == 0.0 and dlng == 0.0:
+                continue
+            lat = center.latitude + dlat
+            lng = center.longitude + dlng
+            if not (-90.0 <= lat <= 90.0 and -180.0 <= lng <= 180.0):
+                continue
+            code = encode(LatLng(lat, lng), precision=len(geohash))
+            if code not in seen:
+                seen.add(code)
+                out.append(code)
+    return out

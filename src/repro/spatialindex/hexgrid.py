@@ -1,0 +1,210 @@
+"""An H3-like hexagonal grid.
+
+The paper names two spatial indexing systems that can turn locations into
+hierarchical names: Google's S2 (quadrilateral cells — modelled by
+``cellid.py``) and Uber's H3 (hexagonal cells).  This module provides a flat
+hexagonal grid with multiple resolutions so that the discovery layer's naming
+scheme can be evaluated against a hex decomposition as well: hexagons have the
+nice property that all six neighbours are edge-adjacent and equidistant,
+which makes "this cell plus its ring" queries a natural uncertainty region.
+
+Unlike the quadtree cells, hexagons do not nest exactly across resolutions,
+so hex identifiers encode ``(resolution, axial q, axial r)`` rather than a
+prefix string; containment across resolutions is by centre-point lookup, as
+in H3 itself.
+
+The grid is laid out on an equirectangular plane anchored at (0°, 0°), so
+hexagons are geometrically exact near the equator and increasingly stretched
+east-west at higher latitudes (by ``1/cos(latitude)``).  That distortion does
+not affect the properties discovery relies on — every point maps to exactly
+one cell per resolution and neighbour relationships are consistent — but
+metric comparisons against the quadtree cells should account for it.
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import (
+    LatLng,
+    meters_per_degree_latitude,
+    meters_per_degree_longitude,
+)
+
+MAX_RESOLUTION = 15
+
+# Edge length of a resolution-0 hexagon, in meters.  Each finer resolution
+# shrinks the edge by sqrt(7), mirroring H3's aperture-7 subdivision ratio.
+_BASE_EDGE_METERS = 1_000_000.0
+_APERTURE = math.sqrt(7.0)
+
+# Reference origin for the axial grid.  A fixed origin keeps identifiers
+# stable across processes without needing icosahedron face math.
+_ORIGIN = LatLng(0.0, 0.0)
+
+
+def edge_length_meters(resolution: int) -> float:
+    """Hexagon edge length at ``resolution``."""
+    _check_resolution(resolution)
+    return _BASE_EDGE_METERS / (_APERTURE**resolution)
+
+
+def _check_resolution(resolution: int) -> None:
+    if not (0 <= resolution <= MAX_RESOLUTION):
+        raise ValueError(f"resolution must be in [0, {MAX_RESOLUTION}]")
+
+
+@dataclass(frozen=True, slots=True)
+class HexCell:
+    """One hexagon of the grid, identified by resolution and axial coordinates."""
+
+    resolution: int
+    q: int
+    r: int
+
+    def __post_init__(self) -> None:
+        _check_resolution(self.resolution)
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def token(self) -> str:
+        """A compact, DNS-label-friendly identifier (negative axes spelled ``n``)."""
+
+        def encode(value: int) -> str:
+            return f"n{-value}" if value < 0 else str(value)
+
+        return f"h{self.resolution}x{encode(self.q)}y{encode(self.r)}"
+
+    @classmethod
+    def from_token(cls, token: str) -> "HexCell":
+        match = re.fullmatch(r"h(\d+)x(n?\d+)y(n?\d+)", token)
+        if match is None:
+            raise ValueError(f"invalid hex token {token!r}")
+
+        def decode(text: str) -> int:
+            return -int(text[1:]) if text.startswith("n") else int(text)
+
+        return cls(int(match.group(1)), decode(match.group(2)), decode(match.group(3)))
+
+    # ------------------------------------------------------------------
+    # Geometry
+    # ------------------------------------------------------------------
+    def center(self) -> LatLng:
+        """Geographic centre of the hexagon."""
+        edge = edge_length_meters(self.resolution)
+        x = edge * (1.5 * self.q)
+        y = edge * (math.sqrt(3.0) * (self.r + self.q / 2.0))
+        lat = _ORIGIN.latitude + y / meters_per_degree_latitude()
+        lng = _ORIGIN.longitude + x / meters_per_degree_longitude(_ORIGIN.latitude)
+        return LatLng.normalized(lat, lng)
+
+    def boundary(self) -> list[LatLng]:
+        """The six corners of the hexagon (pointy-top orientation)."""
+        edge = edge_length_meters(self.resolution)
+        centre = self.center()
+        corners = []
+        for k in range(6):
+            angle = math.radians(60.0 * k)
+            east = edge * math.cos(angle)
+            north = edge * math.sin(angle)
+            lat = centre.latitude + north / meters_per_degree_latitude()
+            lng = centre.longitude + east / meters_per_degree_longitude(centre.latitude)
+            corners.append(LatLng.normalized(lat, lng))
+        return corners
+
+    def bounding_box(self) -> BoundingBox:
+        return BoundingBox.from_points(self.boundary())
+
+    def neighbors(self) -> list["HexCell"]:
+        """The six edge-adjacent hexagons at the same resolution."""
+        offsets = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)]
+        return [HexCell(self.resolution, self.q + dq, self.r + dr) for dq, dr in offsets]
+
+    def ring(self, radius: int) -> list["HexCell"]:
+        """All hexagons exactly ``radius`` steps away (the H3 "k-ring" shell)."""
+        if radius < 0:
+            raise ValueError("radius must be non-negative")
+        if radius == 0:
+            return [self]
+        results: list[HexCell] = []
+        q, r = self.q + radius * -1, self.r + radius * 1  # start at direction (-1, +1) * radius
+        directions = [(1, 0), (1, -1), (0, -1), (-1, 0), (-1, 1), (0, 1)]
+        for direction_q, direction_r in directions:
+            for _ in range(radius):
+                results.append(HexCell(self.resolution, q, r))
+                q += direction_q
+                r += direction_r
+        return results
+
+    def disk(self, radius: int) -> list["HexCell"]:
+        """All hexagons within ``radius`` steps (the H3 "k-disk")."""
+        cells: list[HexCell] = []
+        for ring_radius in range(radius + 1):
+            cells.extend(self.ring(ring_radius))
+        return cells
+
+    def parent(self) -> "HexCell":
+        """The cell at the next coarser resolution containing this cell's centre."""
+        if self.resolution == 0:
+            raise ValueError("a resolution-0 hexagon has no parent")
+        return hex_for_point(self.center(), self.resolution - 1)
+
+    def contains_point(self, point: LatLng) -> bool:
+        """True if ``point`` falls in this hexagon (by nearest-centre test)."""
+        return hex_for_point(point, self.resolution) == self
+
+
+def hex_for_point(point: LatLng, resolution: int) -> HexCell:
+    """The hexagon containing ``point`` at ``resolution``."""
+    _check_resolution(resolution)
+    edge = edge_length_meters(resolution)
+    x = (point.longitude - _ORIGIN.longitude) * meters_per_degree_longitude(_ORIGIN.latitude)
+    y = (point.latitude - _ORIGIN.latitude) * meters_per_degree_latitude()
+    fractional_q = (2.0 / 3.0) * x / edge
+    fractional_r = (-1.0 / 3.0) * x / edge + (math.sqrt(3.0) / 3.0) * y / edge
+    q, r = _round_axial(fractional_q, fractional_r)
+    return HexCell(resolution, q, r)
+
+
+def hexes_covering_box(box: BoundingBox, resolution: int, max_cells: int = 256) -> list[HexCell]:
+    """Hexagons at ``resolution`` covering ``box`` (capped at ``max_cells``)."""
+    _check_resolution(resolution)
+    if max_cells < 1:
+        raise ValueError("max_cells must be >= 1")
+    edge = edge_length_meters(resolution)
+    step_lat = edge / meters_per_degree_latitude()
+    step_lng = edge / meters_per_degree_longitude(box.center.latitude)
+    cells: dict[str, HexCell] = {}
+    lat = box.south
+    while lat <= box.north + step_lat and len(cells) < max_cells:
+        lng = box.west
+        while lng <= box.east + step_lng and len(cells) < max_cells:
+            cell = hex_for_point(LatLng.normalized(lat, lng), resolution)
+            cells.setdefault(cell.token(), cell)
+            lng += step_lng
+        lat += step_lat
+    return list(cells.values())
+
+
+def _round_axial(fractional_q: float, fractional_r: float) -> tuple[int, int]:
+    """Round fractional axial coordinates to the containing hexagon (cube rounding)."""
+    x = fractional_q
+    z = fractional_r
+    y = -x - z
+    rounded_x = round(x)
+    rounded_y = round(y)
+    rounded_z = round(z)
+    dx = abs(rounded_x - x)
+    dy = abs(rounded_y - y)
+    dz = abs(rounded_z - z)
+    if dx > dy and dx > dz:
+        rounded_x = -rounded_y - rounded_z
+    elif dy > dz:
+        rounded_y = -rounded_x - rounded_z
+    else:
+        rounded_z = -rounded_x - rounded_y
+    return int(rounded_x), int(rounded_z)

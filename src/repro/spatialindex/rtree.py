@@ -1,0 +1,204 @@
+"""A small in-memory R-tree for rectangle-valued spatial data.
+
+Where the quadtree indexes points, the R-tree indexes *extents*: map ways
+(roads, aisles, walls), map-server coverage regions inside the federation
+registry, and pre-rendered tile extents.  The implementation is a classic
+quadratic-split R-tree, sufficient for the data sizes this prototype handles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+
+T = TypeVar("T")
+
+_MAX_ENTRIES = 8
+_MIN_ENTRIES = 2
+
+
+@dataclass
+class _Item(Generic[T]):
+    box: BoundingBox
+    value: T
+
+
+@dataclass
+class _RNode(Generic[T]):
+    leaf: bool
+    items: list["_Item[T]"] = field(default_factory=list)
+    children: list["_RNode[T]"] = field(default_factory=list)
+    box: BoundingBox | None = None
+
+    def recompute_box(self) -> None:
+        boxes = [item.box for item in self.items] if self.leaf else [
+            child.box for child in self.children if child.box is not None
+        ]
+        if not boxes:
+            self.box = None
+            return
+        merged = boxes[0]
+        for box in boxes[1:]:
+            merged = merged.union(box)
+        self.box = merged
+
+
+class RTree(Generic[T]):
+    """An R-tree mapping bounding boxes to values."""
+
+    def __init__(self) -> None:
+        self._root: _RNode[T] = _RNode(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------
+    # Insertion
+    # ------------------------------------------------------------------
+    def insert(self, box: BoundingBox, value: T) -> None:
+        item = _Item(box, value)
+        split = self._insert(self._root, item)
+        if split is not None:
+            new_root: _RNode[T] = _RNode(leaf=False, children=[self._root, split])
+            new_root.recompute_box()
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _RNode[T], item: _Item[T]) -> _RNode[T] | None:
+        if node.leaf:
+            node.items.append(item)
+            node.recompute_box()
+            if len(node.items) > _MAX_ENTRIES:
+                return self._split_leaf(node)
+            return None
+        child = self._choose_child(node, item.box)
+        split = self._insert(child, item)
+        if split is not None:
+            node.children.append(split)
+        node.recompute_box()
+        if len(node.children) > _MAX_ENTRIES:
+            return self._split_internal(node)
+        return None
+
+    def _choose_child(self, node: _RNode[T], box: BoundingBox) -> _RNode[T]:
+        best = None
+        best_growth = float("inf")
+        for child in node.children:
+            assert child.box is not None
+            merged = child.box.union(box)
+            growth = merged.area_square_meters() - child.box.area_square_meters()
+            if growth < best_growth:
+                best_growth = growth
+                best = child
+        assert best is not None
+        return best
+
+    def _split_leaf(self, node: _RNode[T]) -> _RNode[T]:
+        items = node.items
+        seed_a, seed_b = self._pick_seeds([item.box for item in items])
+        group_a = [items[seed_a]]
+        group_b = [items[seed_b]]
+        for index, item in enumerate(items):
+            if index in (seed_a, seed_b):
+                continue
+            self._assign(item, group_a, group_b, key=lambda entry: entry.box)
+        node.items = group_a
+        node.recompute_box()
+        sibling: _RNode[T] = _RNode(leaf=True, items=group_b)
+        sibling.recompute_box()
+        return sibling
+
+    def _split_internal(self, node: _RNode[T]) -> _RNode[T]:
+        children = node.children
+        seed_a, seed_b = self._pick_seeds([child.box for child in children if child.box])
+        group_a = [children[seed_a]]
+        group_b = [children[seed_b]]
+        for index, child in enumerate(children):
+            if index in (seed_a, seed_b):
+                continue
+            self._assign(child, group_a, group_b, key=lambda entry: entry.box)
+        node.children = group_a
+        node.recompute_box()
+        sibling: _RNode[T] = _RNode(leaf=False, children=group_b)
+        sibling.recompute_box()
+        return sibling
+
+    @staticmethod
+    def _pick_seeds(boxes: list[BoundingBox]) -> tuple[int, int]:
+        worst_pair = (0, 1)
+        worst_waste = -1.0
+        for i in range(len(boxes)):
+            for j in range(i + 1, len(boxes)):
+                merged = boxes[i].union(boxes[j])
+                waste = (
+                    merged.area_square_meters()
+                    - boxes[i].area_square_meters()
+                    - boxes[j].area_square_meters()
+                )
+                if waste > worst_waste:
+                    worst_waste = waste
+                    worst_pair = (i, j)
+        return worst_pair
+
+    @staticmethod
+    def _assign(entry, group_a: list, group_b: list, key) -> None:
+        def group_box(group: list) -> BoundingBox:
+            merged = key(group[0])
+            for member in group[1:]:
+                merged = merged.union(key(member))
+            return merged
+
+        if len(group_a) + (_MAX_ENTRIES - len(group_b)) < _MIN_ENTRIES:
+            group_a.append(entry)
+            return
+        if len(group_b) + (_MAX_ENTRIES - len(group_a)) < _MIN_ENTRIES:
+            group_b.append(entry)
+            return
+        box = key(entry)
+        growth_a = group_box(group_a).union(box).area_square_meters() - group_box(group_a).area_square_meters()
+        growth_b = group_box(group_b).union(box).area_square_meters() - group_box(group_b).area_square_meters()
+        if growth_a <= growth_b:
+            group_a.append(entry)
+        else:
+            group_b.append(entry)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def query_box(self, box: BoundingBox) -> list[tuple[BoundingBox, T]]:
+        """All (box, value) entries whose box intersects ``box``."""
+        out: list[tuple[BoundingBox, T]] = []
+        self._query(self._root, box, out)
+        return out
+
+    def query_point(self, point: LatLng) -> list[tuple[BoundingBox, T]]:
+        """All entries whose box contains ``point``."""
+        tiny = BoundingBox(point.latitude, point.longitude, point.latitude, point.longitude)
+        return [(box, value) for box, value in self.query_box(tiny) if box.contains(point)]
+
+    def _query(self, node: _RNode[T], box: BoundingBox, out: list[tuple[BoundingBox, T]]) -> None:
+        if node.box is None or not node.box.intersects(box):
+            return
+        if node.leaf:
+            for item in node.items:
+                if item.box.intersects(box):
+                    out.append((item.box, item.value))
+            return
+        for child in node.children:
+            self._query(child, box, out)
+
+    def all_entries(self) -> list[tuple[BoundingBox, T]]:
+        out: list[tuple[BoundingBox, T]] = []
+        self._collect(self._root, out)
+        return out
+
+    def _collect(self, node: _RNode[T], out: list[tuple[BoundingBox, T]]) -> None:
+        if node.leaf:
+            out.extend((item.box, item.value) for item in node.items)
+            return
+        for child in node.children:
+            self._collect(child, out)

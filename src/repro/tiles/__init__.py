@@ -1,0 +1,35 @@
+"""Tile substrate: XYZ tile math, rasterisation, alignment, stitching."""
+
+from repro.tiles.correspondence import Correspondence, CorrespondenceSet, MapAlignment
+from repro.tiles.renderer import FeatureClass, Tile, TileRenderer
+from repro.tiles.stitcher import CompositeTile, TileStitcher, composite_coverage
+from repro.tiles.tile_math import (
+    MAX_ZOOM,
+    TILE_SIZE_PIXELS,
+    TileCoordinate,
+    meters_per_pixel,
+    pixel_in_tile,
+    tile_bounds,
+    tile_for_point,
+    tiles_for_box,
+)
+
+__all__ = [
+    "CompositeTile",
+    "Correspondence",
+    "CorrespondenceSet",
+    "FeatureClass",
+    "MAX_ZOOM",
+    "MapAlignment",
+    "TILE_SIZE_PIXELS",
+    "Tile",
+    "TileCoordinate",
+    "TileRenderer",
+    "TileStitcher",
+    "composite_coverage",
+    "meters_per_pixel",
+    "pixel_in_tile",
+    "tile_bounds",
+    "tile_for_point",
+    "tiles_for_box",
+]

@@ -1,0 +1,148 @@
+"""Synthetic university campus maps.
+
+The campus is the paper's running example for the security/privacy model
+(Section 5.3): a map server that serves fine-grained indoor data only to
+principals authenticated with the university's email domain, and localization
+only to the campus navigation application.  The generator produces a campus
+map with public footpaths, buildings, and room-level detail tagged private.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.mapserver.policy import AccessPolicy, ServiceName
+from repro.osm.builder import MapBuilder
+from repro.osm.elements import (
+    TAG_AMENITY,
+    TAG_BUILDING,
+    TAG_INDOOR,
+    TAG_NAME,
+    TAG_PRIVACY,
+)
+from repro.osm.mapdata import MapData
+
+_BUILDING_NAMES = [
+    "Gates Hall", "Newell Hall", "Wean Hall", "Porter Hall", "Baker Hall",
+    "Doherty Hall", "Hamerschlag Hall", "Scaife Hall",
+]
+_ROOM_KINDS = ["lecture hall", "lab", "office", "seminar room", "lounge"]
+
+
+@dataclass
+class CampusWorld:
+    """A generated campus: its map and the identities used by its policy."""
+
+    name: str
+    map_data: MapData
+    email_domain: str
+    navigation_app_id: str
+    building_locations: dict[str, LatLng] = field(default_factory=dict)
+    room_locations: dict[str, LatLng] = field(default_factory=dict)
+    private_room_count: int = 0
+
+    def recommended_policy(self) -> AccessPolicy:
+        """The access policy Section 5.3 describes for a university map server.
+
+        * Search/geocode (fine-grained data) restricted to the campus email
+          domain — user-level control.
+        * Localization restricted to the campus navigation application —
+          application-level control.
+        * Tiles left public — service-level control (everyone may *view* the
+          campus outline).
+        * Room-level nodes tagged private are only visible to campus users.
+        """
+        policy = AccessPolicy()
+        policy.restrict_to_domain(ServiceName.SEARCH, self.email_domain)
+        policy.restrict_to_domain(ServiceName.GEOCODE, self.email_domain)
+        policy.restrict_to_application(ServiceName.LOCALIZATION, self.navigation_app_id)
+        policy.private_data_domains.add(self.email_domain)
+        return policy
+
+
+def generate_campus(
+    name: str = "State University",
+    anchor: LatLng = LatLng(40.4430, -79.9440),
+    building_count: int = 4,
+    rooms_per_building: int = 6,
+    campus_extent_meters: float = 400.0,
+    email_domain: str = "campus.edu",
+    navigation_app_id: str = "campus-nav",
+    seed: int = 0,
+) -> CampusWorld:
+    """Generate a campus map anchored at ``anchor``."""
+    if building_count < 1:
+        raise ValueError("a campus needs at least one building")
+    rng = random.Random(seed)
+    builder = MapBuilder(name=f"{name} map", operator=name, fidelity="3d")
+
+    # A quad footpath loop plus spurs to each building.
+    quad_corners = [
+        anchor,
+        anchor.destination(90.0, campus_extent_meters),
+        anchor.destination(90.0, campus_extent_meters).destination(0.0, campus_extent_meters),
+        anchor.destination(0.0, campus_extent_meters),
+    ]
+    corner_nodes = [
+        builder.add_node(corner, {TAG_NAME: f"{name} quad corner {i + 1}"})
+        for i, corner in enumerate(quad_corners)
+    ]
+    builder.add_way(corner_nodes + [corner_nodes[0]], {"highway": "footway", TAG_NAME: f"{name} quad loop"})
+
+    building_locations: dict[str, LatLng] = {}
+    room_locations: dict[str, LatLng] = {}
+    private_room_count = 0
+
+    for b in range(building_count):
+        building_name = _BUILDING_NAMES[b % len(_BUILDING_NAMES)]
+        building_location = anchor.destination(90.0, rng.uniform(40.0, campus_extent_meters - 40.0)).destination(
+            0.0, rng.uniform(40.0, campus_extent_meters - 40.0)
+        )
+        entrance = builder.add_node(
+            building_location,
+            {TAG_NAME: building_name, TAG_BUILDING: "university", "entrance": "main"},
+        )
+        building_locations[building_name] = building_location
+
+        # Spur footpath from the nearest quad corner to the building entrance.
+        nearest_corner = min(corner_nodes, key=lambda n: n.location.distance_to(building_location))
+        builder.add_way([nearest_corner, entrance], {"highway": "footway"})
+
+        # An indoor corridor with rooms; room detail is private.
+        corridor_nodes = [entrance]
+        for r in range(rooms_per_building):
+            room_location = building_location.destination(90.0, 8.0 * (r + 1)).destination(0.0, 6.0)
+            corridor_point = builder.add_node(
+                building_location.destination(90.0, 8.0 * (r + 1)),
+                {TAG_INDOOR: "corridor"},
+            )
+            corridor_nodes.append(corridor_point)
+            kind = _ROOM_KINDS[r % len(_ROOM_KINDS)]
+            room_name = f"{building_name} {100 + r} ({kind})"
+            builder.add_node(
+                room_location,
+                {
+                    TAG_NAME: room_name,
+                    TAG_INDOOR: "room",
+                    TAG_AMENITY: kind.replace(" ", "_"),
+                    TAG_PRIVACY: "private",
+                },
+            )
+            room_locations[room_name] = room_location
+            private_room_count += 1
+        builder.add_way(corridor_nodes, {"indoor_path": "yes", TAG_NAME: f"{building_name} corridor"})
+
+    map_data = builder.build()
+    map_data.set_coverage(Polygon.from_bbox(map_data.bounding_box().expanded(30.0)))
+    return CampusWorld(
+        name=name,
+        map_data=map_data,
+        email_domain=email_domain,
+        navigation_app_id=navigation_app_id,
+        building_locations=building_locations,
+        room_locations=room_locations,
+        private_room_count=private_room_count,
+    )

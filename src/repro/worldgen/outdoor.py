@@ -1,0 +1,182 @@
+"""Synthetic outdoor city maps.
+
+The outdoor world stands in for the public data a large provider (Google,
+OSM) would hold: a street grid with named streets, addressed buildings and a
+handful of public points of interest.  The city map is the "world provider"
+map in federated scenarios and the bulk of the centralized baseline's
+database.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.osm.builder import MapBuilder
+from repro.osm.elements import (
+    TAG_AMENITY,
+    TAG_CITY,
+    TAG_HIGHWAY,
+    TAG_HOUSE_NUMBER,
+    TAG_NAME,
+    TAG_STREET,
+    Node,
+)
+from repro.osm.mapdata import MapData
+
+_STREET_NAMES = [
+    "Forbes", "Fifth", "Craig", "Murray", "Negley", "Shady", "Walnut", "Ellsworth",
+    "Butler", "Penn", "Liberty", "Baum", "Centre", "Highland", "Aiken", "Atwood",
+]
+_AVENUE_NAMES = [
+    "Oak", "Maple", "Cedar", "Birch", "Spruce", "Willow", "Chestnut", "Elm",
+    "Juniper", "Laurel", "Magnolia", "Poplar", "Sycamore", "Hawthorn", "Linden", "Alder",
+]
+_POI_KINDS = [
+    ("restaurant", "amenity"),
+    ("cafe", "amenity"),
+    ("parking", "amenity"),
+    ("pharmacy", "amenity"),
+    ("theater", "amenity"),
+    ("library", "amenity"),
+]
+
+
+@dataclass
+class CityWorld:
+    """A generated city: its map plus handles used by scenarios and tests."""
+
+    map_data: MapData
+    bounds: BoundingBox
+    intersections: list[list[Node]]
+    street_names: list[str]
+    avenue_names: list[str]
+    building_addresses: dict[str, LatLng] = field(default_factory=dict)
+    poi_locations: dict[str, LatLng] = field(default_factory=dict)
+    city_name: str = "Simville"
+
+    def random_street_point(self, rng: random.Random) -> LatLng:
+        """A random intersection location (always on the road graph)."""
+        row = rng.randrange(len(self.intersections))
+        col = rng.randrange(len(self.intersections[0]))
+        return self.intersections[row][col].location
+
+    def address_near(self, location: LatLng) -> str | None:
+        """The building address closest to ``location`` (None if no buildings)."""
+        best = None
+        best_distance = float("inf")
+        for address, addr_location in self.building_addresses.items():
+            distance = location.distance_to(addr_location)
+            if distance < best_distance:
+                best_distance = distance
+                best = address
+        return best
+
+
+def generate_city(
+    origin: LatLng = LatLng(40.4400, -79.9600),
+    rows: int = 8,
+    cols: int = 8,
+    block_meters: float = 120.0,
+    buildings_per_block: int = 2,
+    poi_count: int = 12,
+    seed: int = 0,
+    city_name: str = "Simville",
+    operator: str = "city-maps",
+) -> CityWorld:
+    """Generate a grid city anchored at ``origin``.
+
+    ``rows`` x ``cols`` intersections are laid out every ``block_meters``;
+    east-west streets and north-south avenues connect them; buildings with
+    house numbers line the streets and a few public POIs are scattered on the
+    blocks.
+    """
+    if rows < 2 or cols < 2:
+        raise ValueError("a city needs at least a 2x2 grid of intersections")
+    rng = random.Random(seed)
+    builder = MapBuilder(name=f"{city_name} city map", operator=operator)
+
+    street_names = [_STREET_NAMES[i % len(_STREET_NAMES)] + " Street" for i in range(rows)]
+    avenue_names = [_AVENUE_NAMES[j % len(_AVENUE_NAMES)] + " Avenue" for j in range(cols)]
+
+    # Intersection nodes.
+    intersections: list[list[Node]] = []
+    for i in range(rows):
+        row_nodes: list[Node] = []
+        for j in range(cols):
+            location = origin.destination(0.0, i * block_meters).destination(90.0, j * block_meters)
+            node = builder.add_node(
+                location,
+                {
+                    TAG_NAME: f"{street_names[i]} & {avenue_names[j]}",
+                    "junction": "yes",
+                    TAG_CITY: city_name,
+                },
+            )
+            row_nodes.append(node)
+        intersections.append(row_nodes)
+
+    # Streets (east-west) and avenues (north-south).
+    for i in range(rows):
+        builder.add_way(intersections[i], {TAG_HIGHWAY: "residential", TAG_NAME: street_names[i]})
+    for j in range(cols):
+        column_nodes = [intersections[i][j] for i in range(rows)]
+        builder.add_way(column_nodes, {TAG_HIGHWAY: "residential", TAG_NAME: avenue_names[j]})
+
+    # Buildings with addresses along each street segment.
+    building_addresses: dict[str, LatLng] = {}
+    house_number = 100
+    for i in range(rows):
+        for j in range(cols - 1):
+            segment_start = intersections[i][j].location
+            for b in range(buildings_per_block):
+                offset_along = (b + 1) * block_meters / (buildings_per_block + 1)
+                side = 1.0 if (i + j + b) % 2 == 0 else -1.0
+                location = segment_start.destination(90.0, offset_along).destination(0.0, side * 18.0)
+                address = f"{house_number} {street_names[i]}"
+                builder.add_node(
+                    location,
+                    {
+                        TAG_HOUSE_NUMBER: str(house_number),
+                        TAG_STREET: street_names[i],
+                        TAG_CITY: city_name,
+                        "building": "yes",
+                        TAG_NAME: f"{house_number} {street_names[i]}",
+                    },
+                )
+                building_addresses[address] = location
+                house_number += 2
+
+    # Public POIs.
+    poi_locations: dict[str, LatLng] = {}
+    for p in range(poi_count):
+        kind, tag_key = _POI_KINDS[p % len(_POI_KINDS)]
+        i = rng.randrange(rows - 1)
+        j = rng.randrange(cols - 1)
+        base = intersections[i][j].location
+        location = base.destination(90.0, rng.uniform(20.0, block_meters - 20.0)).destination(
+            0.0, rng.uniform(20.0, block_meters - 20.0)
+        )
+        name = f"{city_name} {kind.title()} {p + 1}"
+        builder.add_node(
+            location,
+            {TAG_NAME: name, TAG_AMENITY: kind, TAG_CITY: city_name},
+        )
+        poi_locations[name] = location
+
+    map_data = builder.build()
+    bounds = map_data.bounding_box().expanded(40.0)
+    map_data.set_coverage(Polygon.from_bbox(bounds))
+    return CityWorld(
+        map_data=map_data,
+        bounds=bounds,
+        intersections=intersections,
+        street_names=street_names,
+        avenue_names=avenue_names,
+        building_addresses=building_addresses,
+        poi_locations=poi_locations,
+        city_name=city_name,
+    )

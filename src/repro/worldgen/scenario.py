@@ -1,0 +1,147 @@
+"""Complete federated scenarios: a city, its stores and a campus, wired up.
+
+A :class:`FederatedScenario` is the standard test-bed used by the examples,
+tests and benchmarks: one outdoor city map server (the "world provider"),
+several independently operated grocery-store map servers with indoor detail
+and localization databases, optionally a campus map server with a restrictive
+policy — all registered in one discovery DNS — plus a matching
+:class:`repro.centralized.CentralizedMapSystem` that has ingested only the
+data a centralized provider could realistically obtain (the outdoor map, and
+optionally the indoor maps too, for ablations).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.centralized.system import CentralizedMapSystem
+from repro.core.config import FederationConfig
+from repro.core.federation import Federation
+from repro.geometry.point import LatLng
+from repro.mapserver.server import MapServer
+from repro.worldgen.campus import CampusWorld, generate_campus
+from repro.worldgen.indoor import IndoorWorld, generate_store
+from repro.worldgen.outdoor import CityWorld, generate_city
+
+
+@dataclass
+class FederatedScenario:
+    """A fully wired scenario: federation + centralized baseline + worlds."""
+
+    federation: Federation
+    centralized: CentralizedMapSystem
+    city: CityWorld
+    stores: list[IndoorWorld] = field(default_factory=list)
+    campus: CampusWorld | None = None
+    seed: int = 0
+
+    # ------------------------------------------------------------------
+    # Convenience accessors
+    # ------------------------------------------------------------------
+    @property
+    def city_server(self) -> MapServer:
+        assert self.federation.world_provider is not None
+        return self.federation.world_provider
+
+    def store_server(self, index: int = 0) -> MapServer:
+        return self.federation.servers[self.stores[index].name]
+
+    @property
+    def campus_server(self) -> MapServer | None:
+        if self.campus is None:
+            return None
+        return self.federation.servers.get(self.campus.name)
+
+    def rng(self) -> random.Random:
+        return random.Random(self.seed)
+
+
+def build_scenario(
+    store_count: int = 2,
+    include_campus: bool = False,
+    centralized_ingests_indoor: bool = False,
+    city_rows: int = 6,
+    city_cols: int = 6,
+    products_per_store: int = 60,
+    config: FederationConfig | None = None,
+    seed: int = 0,
+) -> FederatedScenario:
+    """Build the standard scenario used throughout the experiments.
+
+    ``centralized_ingests_indoor`` models the ablation where organizations
+    *do* hand their indoor maps to the centralized provider; the default
+    (False) reflects the paper's premise that they will not.
+    """
+    rng = random.Random(seed)
+    federation = Federation(config=config or FederationConfig())
+    centralized = CentralizedMapSystem(network=federation.network)
+
+    # Outdoor city — the world provider, also fully ingested centrally.
+    city = generate_city(rows=city_rows, cols=city_cols, seed=seed)
+    federation.add_map_server(
+        "city.maps.example",
+        city.map_data,
+        is_world_provider=True,
+    )
+    centralized.ingest(city.map_data)
+
+    # Grocery stores scattered next to street intersections.
+    stores: list[IndoorWorld] = []
+    for index in range(store_count):
+        row = (index * 2 + 1) % max(1, city_rows - 1)
+        col = (index * 3 + 1) % max(1, city_cols - 1)
+        block_anchor = city.intersections[row][col].location
+        store_anchor = block_anchor.destination(90.0, 35.0).destination(0.0, 25.0)
+        store_name = f"store-{index}.maps.example"
+        street_address = city.address_near(store_anchor)
+        store = generate_store(
+            name=store_name,
+            anchor=store_anchor,
+            product_count=products_per_store,
+            street_address=street_address,
+            rotation_degrees=rng.uniform(-10.0, 10.0),
+            seed=seed + index + 1,
+        )
+        server = federation.add_map_server(store_name, store.map_data)
+        store.equip_map_server(server)
+        stores.append(store)
+        if centralized_ingests_indoor:
+            centralized.ingest(store.map_data)
+
+    # Optional campus with the Section 5.3 policy applied.
+    campus: CampusWorld | None = None
+    if include_campus:
+        campus_anchor = city.intersections[city_rows - 2][city_cols - 2].location.destination(90.0, 60.0)
+        campus = generate_campus(anchor=campus_anchor, seed=seed + 100)
+        federation.add_map_server(
+            campus.name,
+            campus.map_data,
+            policy=campus.recommended_policy(),
+        )
+        if centralized_ingests_indoor:
+            centralized.ingest(campus.map_data)
+
+    centralized.preprocess()
+    return FederatedScenario(
+        federation=federation,
+        centralized=centralized,
+        city=city,
+        stores=stores,
+        campus=campus,
+        seed=seed,
+    )
+
+
+def outdoor_point_near(scenario: FederatedScenario, store_index: int = 0, distance_meters: float = 150.0) -> LatLng:
+    """A point on the street network roughly ``distance_meters`` from a store.
+
+    Used as the "user standing on the sidewalk" origin of the Section 2
+    walkthrough.
+    """
+    store = scenario.stores[store_index]
+    entrance = store.entrance
+    graph_vertex = scenario.city_server.routing_service.graph.nearest_vertex(
+        entrance.destination(180.0, distance_meters)
+    )
+    return scenario.city_server.routing_service.graph.location(graph_vertex)

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite.
+
+Scenario construction is comparatively expensive (world generation, fingerprint
+surveys, contraction hierarchies), so the standard scenario and its derived
+objects are session-scoped.  Tests that mutate state build their own objects.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.geometry.point import LatLng
+from repro.worldgen.indoor import IndoorWorld, generate_store
+from repro.worldgen.outdoor import CityWorld, generate_city
+from repro.worldgen.scenario import FederatedScenario, build_scenario
+
+PITTSBURGH = LatLng(40.4406, -79.9959)
+
+
+@pytest.fixture(scope="session")
+def city() -> CityWorld:
+    """A small deterministic city used by map/routing/service tests."""
+    return generate_city(rows=5, cols=5, seed=3)
+
+
+@pytest.fixture(scope="session")
+def store() -> IndoorWorld:
+    """A deterministic grocery store with survey data."""
+    return generate_store(
+        name="teststore.example",
+        anchor=LatLng(40.4410, -79.9570),
+        product_count=40,
+        seed=11,
+        street_address="300 Forbes Street",
+    )
+
+
+@pytest.fixture(scope="session")
+def scenario() -> FederatedScenario:
+    """The standard federated scenario: city + two stores + campus."""
+    return build_scenario(store_count=2, include_campus=True, seed=5)
+
+
+@pytest.fixture(scope="session")
+def client(scenario: FederatedScenario):
+    """An anonymous OpenFLAME client attached to the standard scenario."""
+    return scenario.federation.client()
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(1234)

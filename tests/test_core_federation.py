@@ -1,0 +1,118 @@
+"""Unit tests for the Federation bootstrap and OpenFlameClient wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.core.errors import FederationConfigError
+from repro.core.federation import Federation
+from repro.geometry.point import LatLng
+from repro.mapserver.auth import Credential
+from repro.mapserver.policy import AccessPolicy, ServiceName
+from repro.worldgen.indoor import generate_store
+from repro.worldgen.outdoor import generate_city
+
+ANCHOR = LatLng(40.44, -79.96)
+
+
+@pytest.fixture()
+def federation() -> Federation:
+    return Federation()
+
+
+class TestFederationLifecycle:
+    def test_add_map_server_registers_discovery_records(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        server = federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        assert federation.server_count == 1
+        assert federation.world_provider is server
+        registration = federation.registration_for("city.example")
+        assert registration is not None
+        assert registration.record_count > 0
+        assert federation.registry.total_records == registration.record_count
+
+    def test_duplicate_server_id_rejected(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("dup.example", city.map_data)
+        other = generate_city(rows=3, cols=3, seed=2)
+        with pytest.raises(FederationConfigError):
+            federation.add_map_server("dup.example", other.map_data)
+
+    def test_remove_map_server_withdraws_records(self, federation: Federation):
+        store = generate_store("leaving.example", ANCHOR, seed=4)
+        federation.add_map_server("leaving.example", store.map_data)
+        assert federation.registry.total_records > 0
+        federation.remove_map_server("leaving.example")
+        assert federation.server_count == 0
+        assert federation.registry.total_records == 0
+        # Once deregistered, discovery no longer returns the server.
+        client = federation.client()
+        result = client.discover(store.entrance, uncertainty_meters=50.0)
+        assert "leaving.example" not in result.server_ids
+
+    def test_remove_unknown_server_rejected(self, federation: Federation):
+        with pytest.raises(FederationConfigError):
+            federation.remove_map_server("ghost.example")
+
+    def test_remove_world_provider_clears_pointer(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        federation.remove_map_server("city.example")
+        assert federation.world_provider is None
+
+    def test_custom_policy_attached(self, federation: Federation):
+        store = generate_store("locked.example", ANCHOR, seed=5)
+        policy = AccessPolicy()
+        policy.restrict_to_domain(ServiceName.SEARCH, "owner.com")
+        server = federation.add_map_server("locked.example", store.map_data, policy=policy)
+        assert server.policy is policy
+
+    def test_custom_config_respected(self):
+        config = FederationConfig(discovery_suffix="loc.custom.example", discovery_level=16)
+        federation = Federation(config=config)
+        assert federation.naming.suffix == "loc.custom.example"
+        context = federation.build_context()
+        assert context.discoverer.query_level == 16
+
+    def test_new_server_discoverable_immediately(self, federation: Federation):
+        client = federation.client()
+        store = generate_store("popup.example", ANCHOR, seed=6)
+        before = client.discover(store.entrance, uncertainty_meters=50.0)
+        assert "popup.example" not in before.server_ids
+        federation.add_map_server("popup.example", store.map_data)
+        # The same client instance sees the new server (subject only to any
+        # negative-cache TTL, which we skip past).
+        federation.network.clock.advance(120.0)
+        after = client.discover(store.entrance, uncertainty_meters=50.0)
+        assert "popup.example" in after.server_ids
+
+
+class TestClientWiring:
+    def test_client_shares_network_with_federation(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        client = federation.client()
+        before = federation.network.stats.messages_sent
+        client.discover(city.bounds.center, uncertainty_meters=40.0)
+        assert federation.network.stats.messages_sent > before
+        assert client.network_messages == federation.network.stats.messages_sent
+
+    def test_client_credential_passed_to_context(self, federation: Federation):
+        credential = Credential(user_id="alice", email="alice@campus.edu")
+        client = federation.client(credential)
+        assert client.context.credential.user_id == "alice"
+
+    def test_world_provider_used_by_geocoder(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        client = federation.client()
+        assert client.geocoder.world_provider is federation.world_provider
+
+    def test_reset_network_stats(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("city.example", city.map_data)
+        client = federation.client()
+        client.discover(city.bounds.center, uncertainty_meters=40.0)
+        federation.reset_network_stats()
+        assert federation.network.stats.messages_sent == 0

@@ -1,0 +1,204 @@
+"""Unit tests for spatial naming, registration and discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.discovery.discoverer import Discoverer
+from repro.discovery.naming import SpatialNaming
+from repro.discovery.registry import DiscoveryRegistry
+from repro.dns.records import RecordType
+from repro.dns.resolver import RecursiveResolver, StubResolver
+from repro.dns.server import NameServer
+from repro.dns.zone import Zone
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.simulation.network import SimulatedNetwork
+from repro.spatialindex.cellid import CellId
+from repro.spatialindex.covering import CoveringOptions
+
+CENTER = LatLng(40.44, -79.95)
+
+
+class TestSpatialNaming:
+    def test_cell_name_round_trip(self):
+        naming = SpatialNaming("loc.test.example")
+        cell = CellId.from_point(CENTER, 12)
+        name = naming.cell_to_name(cell)
+        assert name.endswith("loc.test.example")
+        assert naming.name_to_cell(name) == cell
+
+    def test_root_cell_is_bare_suffix(self):
+        naming = SpatialNaming("loc.test.example")
+        assert naming.cell_to_name(CellId.root()) == "loc.test.example"
+        assert naming.name_to_cell("loc.test.example") == CellId.root()
+
+    def test_child_name_is_under_parent_name(self):
+        naming = SpatialNaming()
+        cell = CellId.from_point(CENTER, 8)
+        child = cell.children()[0]
+        parent_name = naming.cell_to_name(cell)
+        child_name = naming.cell_to_name(child)
+        assert child_name.endswith(parent_name)
+
+    def test_foreign_name_rejected(self):
+        naming = SpatialNaming("loc.test.example")
+        with pytest.raises(ValueError):
+            naming.name_to_cell("1.2.other.example")
+
+    def test_is_spatial_name(self):
+        naming = SpatialNaming("loc.test.example")
+        assert naming.is_spatial_name("0.1.loc.test.example")
+        assert not naming.is_spatial_name("www.example")
+
+    def test_ancestor_names(self):
+        naming = SpatialNaming()
+        cell = CellId.from_point(CENTER, 4)
+        names = naming.ancestor_names(cell)
+        assert len(names) == 5  # levels 4..0
+        assert names[-1] == naming.suffix
+
+    def test_empty_suffix_rejected(self):
+        with pytest.raises(ValueError):
+            SpatialNaming("")
+
+
+@pytest.fixture()
+def registry() -> DiscoveryRegistry:
+    return DiscoveryRegistry(
+        covering_options=CoveringOptions(min_level=9, max_level=13, max_cells=32)
+    )
+
+
+class TestRegistry:
+    def test_register_region_creates_records(self, registry: DiscoveryRegistry):
+        region = Polygon.regular(CENTER, 200.0)
+        registration = registry.register_region("store.example", region)
+        assert registration.record_count == len(registration.cells) >= 1
+        assert registry.total_records == registration.record_count
+        assert "store.example" in registry.registered_servers()
+
+    def test_register_empty_covering_rejected(self, registry: DiscoveryRegistry):
+        with pytest.raises(ValueError):
+            registry.register_covering("x", [])
+
+    def test_duplicate_registration_rejected(self, registry: DiscoveryRegistry):
+        region = Polygon.regular(CENTER, 100.0)
+        registry.register_region("store.example", region)
+        with pytest.raises(ValueError):
+            registry.register_region("store.example", region)
+
+    def test_deregister_removes_records(self, registry: DiscoveryRegistry):
+        region = Polygon.regular(CENTER, 150.0)
+        registration = registry.register_region("store.example", region)
+        removed = registry.deregister("store.example")
+        assert removed == registration.record_count
+        assert registry.total_records == 0
+        assert registry.deregister("store.example") == 0
+
+    def test_deregister_keeps_other_servers(self, registry: DiscoveryRegistry):
+        region = Polygon.regular(CENTER, 150.0)
+        registry.register_region("a.example", region)
+        registry.register_region("b.example", Polygon.regular(CENTER, 140.0))
+        registry.deregister("a.example")
+        assert "b.example" in registry.registered_servers()
+        assert registry.total_records > 0
+
+    def test_servers_at_cell(self, registry: DiscoveryRegistry):
+        region = Polygon.regular(CENTER, 100.0)
+        registration = registry.register_region("store.example", region)
+        assert "store.example" in registry.servers_at_cell(registration.cells[0])
+
+
+def _wire_discovery(registry: DiscoveryRegistry, network: SimulatedNetwork) -> Discoverer:
+    """Root delegates the discovery suffix to the registry's authority."""
+    root_zone = Zone(origin="")
+    root_zone.add(registry.naming.suffix, RecordType.NS, registry.authority.server_id)
+    root = NameServer(server_id="root", zones={"": root_zone})
+    resolver = RecursiveResolver(
+        root=root,
+        servers={"root": root, registry.authority.server_id: registry.authority},
+        network=network,
+    )
+    stub = StubResolver(recursive=resolver, network=network)
+    return Discoverer(resolver=stub, naming=registry.naming, query_level=13)
+
+
+class TestDiscoverer:
+    def test_discovers_registered_server(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("store.example", Polygon.regular(CENTER, 200.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_at(CENTER, uncertainty_meters=50.0)
+        assert "store.example" in result.server_ids
+        assert result.dns_lookups > 0
+
+    def test_far_away_location_discovers_nothing(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("store.example", Polygon.regular(CENTER, 200.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_at(LatLng(41.5, -75.0), uncertainty_meters=50.0)
+        assert result.server_ids == ()
+
+    def test_multiple_overlapping_servers_discovered(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("a.example", Polygon.regular(CENTER, 250.0))
+        registry.register_region("b.example", Polygon.regular(CENTER.destination(90.0, 50.0), 250.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_at(CENTER, uncertainty_meters=100.0)
+        assert set(result.server_ids) >= {"a.example", "b.example"}
+
+    def test_results_deduplicated(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("a.example", Polygon.regular(CENTER, 400.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_at(CENTER, uncertainty_meters=300.0)
+        assert list(result.server_ids).count("a.example") == 1
+
+    def test_discover_region(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("a.example", Polygon.regular(CENTER, 200.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_region(Polygon.regular(CENTER, 500.0))
+        assert "a.example" in result.server_ids
+
+    def test_discover_along_path(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        near_start = CENTER
+        near_end = CENTER.destination(90.0, 800.0)
+        registry.register_region("start.example", Polygon.regular(near_start, 150.0))
+        registry.register_region("end.example", Polygon.regular(near_end, 150.0))
+        discoverer = _wire_discovery(registry, network)
+        result = discoverer.discover_along([near_start, near_end], corridor_meters=200.0)
+        assert {"start.example", "end.example"} <= set(result.server_ids)
+
+    def test_discover_along_empty_waypoints_rejected(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        discoverer = _wire_discovery(registry, network)
+        with pytest.raises(ValueError):
+            discoverer.discover_along([])
+
+    def test_caching_reduces_authority_traffic(self, registry: DiscoveryRegistry):
+        network = SimulatedNetwork()
+        registry.register_region("store.example", Polygon.regular(CENTER, 200.0))
+        discoverer = _wire_discovery(registry, network)
+        discoverer.discover_at(CENTER, uncertainty_meters=50.0)
+        upstream_before = network.stats.messages_by_kind.get("dns.resolver_authority", 0)
+        discoverer.discover_at(CENTER, uncertainty_meters=50.0)
+        upstream_after = network.stats.messages_by_kind.get("dns.resolver_authority", 0)
+        assert upstream_after == upstream_before  # all answers served from cache
+
+    def test_fuzzy_boundary_over_discovery_is_possible(self, registry: DiscoveryRegistry):
+        """A point just outside the polygon can still discover the server.
+
+        This is the intended consequence of approximating regions by cell
+        coverings (Section 3/5.1); the client filters afterwards.
+        """
+        network = SimulatedNetwork()
+        region = Polygon.regular(CENTER, 100.0)
+        registration = registry.register_region("store.example", region)
+        discoverer = _wire_discovery(registry, network)
+        outside_point = CENTER.destination(45.0, 130.0)
+        result = discoverer.discover_at(outside_point)
+        covering_contains = any(cell.contains_point(outside_point) for cell in registration.cells)
+        assert ("store.example" in result.server_ids) == covering_contains

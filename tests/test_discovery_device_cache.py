@@ -1,0 +1,67 @@
+"""Tests for the device-side discovery cache and its federation wiring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.core.federation import Federation
+from repro.geometry.point import LatLng
+from repro.worldgen.indoor import generate_store
+
+ANCHOR = LatLng(40.4410, -79.9570)
+
+
+@pytest.fixture()
+def cached_federation() -> Federation:
+    config = FederationConfig(device_discovery_cache_ttl_seconds=120.0)
+    federation = Federation(config=config)
+    store = generate_store("cached-store.example", ANCHOR, seed=3)
+    federation.add_map_server("cached-store.example", store.map_data)
+    return federation
+
+
+class TestDeviceCache:
+    def test_repeat_discovery_uses_no_dns(self, cached_federation: Federation):
+        client = cached_federation.client()
+        first = client.discover(ANCHOR, uncertainty_meters=40.0)
+        assert "cached-store.example" in first.server_ids
+        cached_federation.reset_network_stats()
+        second = client.discover(ANCHOR, uncertainty_meters=40.0)
+        assert second.server_ids == first.server_ids
+        assert second.dns_lookups == 0
+        assert cached_federation.network.stats.messages_sent == 0
+        assert client.context.discoverer.device_cache_hits > 0
+
+    def test_cache_expires_after_ttl(self, cached_federation: Federation):
+        client = cached_federation.client()
+        client.discover(ANCHOR, uncertainty_meters=40.0)
+        cached_federation.network.clock.advance(121.0)
+        cached_federation.reset_network_stats()
+        result = client.discover(ANCHOR, uncertainty_meters=40.0)
+        assert result.dns_lookups > 0
+        assert "cached-store.example" in result.server_ids
+
+    def test_cache_disabled_by_default(self):
+        federation = Federation()
+        store = generate_store("plain-store.example", ANCHOR, seed=4)
+        federation.add_map_server("plain-store.example", store.map_data)
+        client = federation.client()
+        client.discover(ANCHOR, uncertainty_meters=40.0)
+        second = client.discover(ANCHOR, uncertainty_meters=40.0)
+        assert second.dns_lookups > 0
+        assert client.context.discoverer.device_cache_hits == 0
+
+    def test_different_cells_are_cached_independently(self, cached_federation: Federation):
+        client = cached_federation.client()
+        client.discover(ANCHOR, uncertainty_meters=10.0)
+        far = ANCHOR.destination(90.0, 5_000.0)
+        result = client.discover(far, uncertainty_meters=10.0)
+        assert result.dns_lookups > 0  # new cell, cache miss
+        assert "cached-store.example" not in result.server_ids
+
+    def test_cache_results_match_uncached(self, cached_federation: Federation):
+        cached_client = cached_federation.client()
+        warm = cached_client.discover(ANCHOR, uncertainty_meters=60.0)
+        repeat = cached_client.discover(ANCHOR, uncertainty_meters=60.0)
+        assert set(repeat.server_ids) == set(warm.server_ids)

@@ -1,0 +1,174 @@
+"""Unit tests for the DNS cache and the recursive resolver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.cache import DnsCache
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.resolver import RecursiveResolver, StubResolver
+from repro.dns.server import NameServer
+from repro.dns.zone import Zone
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.network import SimulatedNetwork
+
+
+class TestDnsCache:
+    @pytest.fixture()
+    def clock(self) -> SimulatedClock:
+        return SimulatedClock()
+
+    @pytest.fixture()
+    def cache(self, clock: SimulatedClock) -> DnsCache:
+        return DnsCache(clock=clock)
+
+    def test_miss_then_hit(self, cache: DnsCache):
+        assert cache.get("a.example", RecordType.A) is None
+        cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 60)])
+        hit = cache.get("a.example", RecordType.A)
+        assert hit is not None and hit[0].data == "1.1.1.1"
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_expiry(self, cache: DnsCache, clock: SimulatedClock):
+        cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 30)])
+        clock.advance(31.0)
+        assert cache.get("a.example", RecordType.A) is None
+
+    def test_minimum_ttl_used(self, cache: DnsCache, clock: SimulatedClock):
+        cache.put(
+            "a.example",
+            RecordType.A,
+            [
+                ResourceRecord("a.example", RecordType.A, "1.1.1.1", 10),
+                ResourceRecord("a.example", RecordType.A, "1.1.1.2", 1000),
+            ],
+        )
+        clock.advance(11.0)
+        assert cache.get("a.example", RecordType.A) is None
+
+    def test_negative_caching(self, cache: DnsCache, clock: SimulatedClock):
+        cache.put_negative("missing.example", RecordType.SRV)
+        assert cache.get("missing.example", RecordType.SRV) == []
+        assert cache.stats.negative_hits == 1
+        clock.advance(cache.negative_ttl_seconds + 1.0)
+        assert cache.get("missing.example", RecordType.SRV) is None
+
+    def test_empty_answer_becomes_negative_entry(self, cache: DnsCache):
+        cache.put("a.example", RecordType.A, [])
+        assert cache.get("a.example", RecordType.A) == []
+
+    def test_eviction_when_full(self, clock: SimulatedClock):
+        cache = DnsCache(clock=clock, max_entries=10)
+        for index in range(20):
+            cache.put(
+                f"n{index}.example",
+                RecordType.A,
+                [ResourceRecord(f"n{index}.example", RecordType.A, "1.1.1.1", 300)],
+            )
+        assert cache.size <= 11
+        assert cache.stats.evictions > 0
+
+    def test_flush(self, cache: DnsCache):
+        cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 60)])
+        cache.flush()
+        assert cache.size == 0
+
+    def test_hit_rate(self, cache: DnsCache):
+        cache.get("a.example", RecordType.A)
+        cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 60)])
+        cache.get("a.example", RecordType.A)
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+
+def _build_namespace(network: SimulatedNetwork) -> tuple[RecursiveResolver, NameServer]:
+    """root -> example (delegation) -> maps.example hosted on a child server."""
+    root_zone = Zone(origin="")
+    root_zone.add("example", RecordType.NS, "ns.example")
+    root = NameServer(server_id="root", zones={"": root_zone})
+
+    example_zone = Zone(origin="example")
+    example_zone.add("maps.example", RecordType.NS, "ns.maps.example")
+    example_zone.add("www.example", RecordType.A, "10.0.0.80")
+    example_zone.add("alias.example", RecordType.CNAME, "www.example")
+    example_server = NameServer(server_id="ns.example", zones={"example": example_zone})
+
+    maps_zone = Zone(origin="maps.example")
+    maps_zone.add("city.maps.example", RecordType.A, "10.0.1.1")
+    maps_zone.add("city.maps.example", RecordType.SRV, "0 0 443 city-server")
+    maps_server = NameServer(server_id="ns.maps.example", zones={"maps.example": maps_zone})
+
+    resolver = RecursiveResolver(
+        root=root,
+        servers={
+            "root": root,
+            "ns.example": example_server,
+            "ns.maps.example": maps_server,
+        },
+        network=network,
+    )
+    return resolver, maps_server
+
+
+class TestRecursiveResolver:
+    @pytest.fixture()
+    def network(self) -> SimulatedNetwork:
+        return SimulatedNetwork()
+
+    @pytest.fixture()
+    def resolver(self, network: SimulatedNetwork) -> RecursiveResolver:
+        resolver, _ = _build_namespace(network)
+        return resolver
+
+    def test_resolution_through_two_delegations(self, resolver: RecursiveResolver):
+        response = resolver.resolve("city.maps.example", RecordType.A)
+        assert response.answers[0].data == "10.0.1.1"
+        # root -> example -> maps.example = 3 authoritative exchanges
+        assert resolver.stats.authoritative_exchanges == 3
+
+    def test_answer_is_cached(self, resolver: RecursiveResolver, network: SimulatedNetwork):
+        resolver.resolve("city.maps.example", RecordType.A)
+        exchanges_before = resolver.stats.authoritative_exchanges
+        response = resolver.resolve("city.maps.example", RecordType.A)
+        assert response.from_cache
+        assert resolver.stats.authoritative_exchanges == exchanges_before
+
+    def test_cache_expires_with_ttl(self, resolver: RecursiveResolver, network: SimulatedNetwork):
+        resolver.resolve("city.maps.example", RecordType.A)
+        network.clock.advance(10_000.0)
+        response = resolver.resolve("city.maps.example", RecordType.A)
+        assert not response.from_cache
+
+    def test_nxdomain_and_negative_cache(self, resolver: RecursiveResolver):
+        first = resolver.resolve("ghost.maps.example", RecordType.A)
+        assert first.is_nxdomain
+        second = resolver.resolve("ghost.maps.example", RecordType.A)
+        assert second.from_cache
+
+    def test_resolve_data_returns_strings(self, resolver: RecursiveResolver):
+        data = resolver.resolve_data("city.maps.example", RecordType.SRV)
+        assert data == ["0 0 443 city-server"]
+        assert resolver.resolve_data("ghost.maps.example", RecordType.SRV) == []
+
+    def test_cname_chase_across_names(self, resolver: RecursiveResolver):
+        data = resolver.resolve_data("alias.example", RecordType.A)
+        assert "10.0.0.80" in data
+
+    def test_missing_glue_is_servfail(self, network: SimulatedNetwork):
+        root_zone = Zone(origin="")
+        root_zone.add("example", RecordType.NS, "ns.unknown")
+        root = NameServer(server_id="root", zones={"": root_zone})
+        resolver = RecursiveResolver(root=root, servers={"root": root}, network=network)
+        response = resolver.resolve("a.example", RecordType.A)
+        assert response.code.value == "SERVFAIL"
+
+    def test_stub_resolver_charges_client_hop(self, network: SimulatedNetwork, resolver: RecursiveResolver):
+        stub = StubResolver(recursive=resolver, network=network)
+        before = network.stats.messages_by_kind.get("dns.client_resolver", 0)
+        stub.resolve("city.maps.example", RecordType.A)
+        assert network.stats.messages_by_kind["dns.client_resolver"] == before + 1
+
+    def test_network_latency_accumulates(self, network: SimulatedNetwork, resolver: RecursiveResolver):
+        resolver.resolve("city.maps.example", RecordType.A)
+        assert network.stats.total_latency_ms > 0
+        assert network.clock.now() > 0

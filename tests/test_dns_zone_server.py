@@ -1,0 +1,114 @@
+"""Unit tests for DNS zones and authoritative servers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dns.message import Question, ResponseCode
+from repro.dns.records import RecordType, ResourceRecord
+from repro.dns.server import NameServer
+from repro.dns.zone import Zone, ZoneError
+
+
+@pytest.fixture()
+def zone() -> Zone:
+    z = Zone(origin="maps.example")
+    z.add("maps.example", RecordType.SOA, "admin.maps.example")
+    z.add("city.maps.example", RecordType.A, "10.0.0.1")
+    z.add("city.maps.example", RecordType.TXT, "city map server")
+    z.add("alias.maps.example", RecordType.CNAME, "city.maps.example")
+    # Delegation of the "stores" subtree, with in-bailiwick glue.
+    z.add("stores.maps.example", RecordType.NS, "ns.stores.maps.example")
+    z.add("ns.stores.maps.example", RecordType.A, "10.0.0.53")
+    return z
+
+
+class TestZone:
+    def test_records_at_exact_name(self, zone: Zone):
+        records = zone.records_at("city.maps.example", RecordType.A)
+        assert len(records) == 1
+        assert records[0].data == "10.0.0.1"
+
+    def test_records_at_any_type(self, zone: Zone):
+        records = zone.records_at("city.maps.example")
+        assert {r.record_type for r in records} == {RecordType.A, RecordType.TXT}
+
+    def test_out_of_zone_record_rejected(self, zone: Zone):
+        with pytest.raises(ZoneError):
+            zone.add("other.example", RecordType.A, "1.1.1.1")
+
+    def test_duplicate_record_deduplicated(self, zone: Zone):
+        before = zone.record_count
+        zone.add("city.maps.example", RecordType.A, "10.0.0.1")
+        assert zone.record_count == before
+
+    def test_remove_records(self, zone: Zone):
+        removed = zone.remove_records("city.maps.example", RecordType.TXT)
+        assert removed == 1
+        assert zone.records_at("city.maps.example", RecordType.TXT) == []
+
+    def test_covering_delegation(self, zone: Zone):
+        assert zone.covering_delegation("a.stores.maps.example") == "stores.maps.example"
+        assert zone.covering_delegation("city.maps.example") is None
+
+    def test_contains_name(self, zone: Zone):
+        assert zone.contains_name("city.maps.example")
+        assert not zone.contains_name("ghost.maps.example")
+
+    def test_names(self, zone: Zone):
+        assert "city.maps.example" in zone.names()
+
+
+class TestNameServer:
+    @pytest.fixture()
+    def server(self, zone: Zone) -> NameServer:
+        ns = NameServer(server_id="ns.maps.example")
+        ns.host_zone(zone)
+        return ns
+
+    def test_authoritative_answer(self, server: NameServer):
+        response = server.handle(Question("city.maps.example", RecordType.A))
+        assert response.code == ResponseCode.NOERROR
+        assert response.authoritative
+        assert response.answers[0].data == "10.0.0.1"
+
+    def test_nxdomain_for_unknown_name(self, server: NameServer):
+        response = server.handle(Question("ghost.maps.example", RecordType.A))
+        assert response.code == ResponseCode.NXDOMAIN
+
+    def test_nodata_for_known_name_wrong_type(self, server: NameServer):
+        response = server.handle(Question("city.maps.example", RecordType.SRV))
+        assert response.code == ResponseCode.NOERROR
+        assert response.answers == []
+        assert not response.is_referral
+
+    def test_refused_outside_hosted_zones(self, server: NameServer):
+        response = server.handle(Question("elsewhere.org", RecordType.A))
+        assert response.code == ResponseCode.REFUSED
+
+    def test_referral_below_delegation(self, server: NameServer):
+        response = server.handle(Question("a.stores.maps.example", RecordType.A))
+        assert response.is_referral
+        assert response.authority[0].data == "ns.stores.maps.example"
+        # Glue for the delegated server is included when available.
+        assert any(r.record_type == RecordType.A for r in response.additional)
+
+    def test_cname_chased_within_zone(self, server: NameServer):
+        response = server.handle(Question("alias.maps.example", RecordType.A))
+        types = {r.record_type for r in response.answers}
+        assert RecordType.CNAME in types
+        assert RecordType.A in types
+
+    def test_query_counter(self, server: NameServer):
+        server.handle(Question("city.maps.example", RecordType.A))
+        server.handle(Question("city.maps.example", RecordType.A))
+        assert server.queries_served == 2
+
+    def test_most_specific_zone_wins(self, zone: Zone):
+        child = Zone(origin="stores.maps.example")
+        child.add("a.stores.maps.example", RecordType.A, "10.1.1.1")
+        server = NameServer(server_id="ns")
+        server.host_zone(zone)
+        server.host_zone(child)
+        response = server.handle(Question("a.stores.maps.example", RecordType.A))
+        assert response.answers and response.answers[0].data == "10.1.1.1"

@@ -1,0 +1,149 @@
+"""End-to-end integration test of the Section 2 grocery-store walkthrough.
+
+The paper's motivating application: a user on the street searches for a
+specific product ("a particular flavor of seaweed"), the system discovers the
+grocery store's own map server, finds the shelf, computes a route stitched
+from the city map (street to storefront) and the store map (entrance to
+shelf), and keeps the user localized — coarsely outdoors, precisely indoors.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.localization.imu import DeadReckoningTracker, MotionUpdate
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+
+@pytest.fixture(scope="module")
+def walkthrough():
+    scenario = build_scenario(store_count=1, include_campus=False, seed=21)
+    client = scenario.federation.client()
+    return scenario, client
+
+
+class TestGrocerySearchToNavigation:
+    def test_product_search_finds_the_shelf(self, walkthrough):
+        scenario, client = walkthrough
+        store = scenario.stores[0]
+        user_location = outdoor_point_near(scenario, 0, 150.0)
+
+        result = client.search("wasabi seaweed", near=user_location, radius_meters=400.0)
+        assert len(result) > 0
+        top = result.results[0]
+        assert top.map_name == store.map_data.metadata.name
+        expected_shelf = store.product_locations["wasabi seaweed snack"]
+        assert top.location.distance_to(expected_shelf) < 2.0
+
+    def test_route_spans_street_and_store(self, walkthrough):
+        scenario, client = walkthrough
+        store = scenario.stores[0]
+        user_location = outdoor_point_near(scenario, 0, 150.0)
+        shelf = store.product_locations["wasabi seaweed snack"]
+
+        route = client.route(user_location, shelf)
+        assert "city.maps.example" in route.servers
+        assert store.name in route.servers
+        assert route.route.points[0].distance_to(user_location) < 1.0
+        assert route.route.points[-1].distance_to(shelf) < 1.0
+        # The hand-over happens near the storefront: some stitched point lies
+        # within a few tens of meters of the entrance.
+        assert min(p.distance_to(store.entrance) for p in route.route.points) < 40.0
+
+    def test_centralized_system_cannot_complete_the_task(self, walkthrough):
+        """The centralized provider never ingested the store's map, so neither
+        the product search nor the indoor leg of the route is possible."""
+        scenario, _ = walkthrough
+        store = scenario.stores[0]
+        user_location = outdoor_point_near(scenario, 0, 150.0)
+        shelf = store.product_locations["wasabi seaweed snack"]
+
+        assert scenario.centralized.search("wasabi seaweed", near=user_location, radius_meters=400.0) == []
+        central_route = scenario.centralized.route(user_location, shelf)
+        if central_route is not None:
+            polyline = scenario.centralized.route_locations(user_location, shelf)
+            # The centralized route can only end at the nearest street vertex,
+            # well short of the shelf inside the store.
+            assert polyline[-1].distance_to(shelf) > 20.0
+
+    def test_localization_switches_from_gnss_to_store(self, walkthrough):
+        scenario, client = walkthrough
+        store = scenario.stores[0]
+        rng = random.Random(33)
+
+        # Outdoors: only GNSS available, so the best result is the GNSS fix.
+        street_point = outdoor_point_near(scenario, 0, 200.0)
+        from repro.localization.cues import CueBundle, GnssCue
+
+        outdoor_cues = CueBundle(gnss=GnssCue(street_point.destination(10.0, 7.0), accuracy_meters=10.0))
+        outdoor_fix = client.localize(street_point, outdoor_cues)
+        assert outdoor_fix.best is not None
+        assert outdoor_fix.best.result.cue_type.value == "gnss"
+
+        # Indoors: the store's beacon/image localization takes over and is far
+        # more accurate than the (simulated, degraded) GNSS.
+        true_local = store.random_interior_point(rng)
+        true_geo = store.local_to_geographic(true_local)
+        indoor_cues = store.sense_cues(true_local, rng, gnss_error_meters=15.0)
+        indoor_fix = client.localize(true_geo, indoor_cues)
+        assert indoor_fix.best is not None
+        assert indoor_fix.best.result.server_id == store.name
+        assert indoor_fix.location.distance_to(true_geo) < 5.0
+
+    def test_tracked_walk_through_store(self, walkthrough):
+        """Dead reckoning plus periodic federated fixes keeps error bounded."""
+        scenario, client = walkthrough
+        store = scenario.stores[0]
+        rng = random.Random(44)
+
+        from repro.geometry.point import LocalPoint
+
+        true_position = LocalPoint(store.width_meters / 2.0, 2.0, store.projection.frame)
+        tracker = DeadReckoningTracker(
+            anchor=store.local_to_geographic(true_position), anchor_accuracy_meters=2.0, drift_rate=0.08
+        )
+        errors = []
+        for step in range(12):
+            # Walk 2 m "north" through the store (in the local frame).
+            true_position = LocalPoint(true_position.x, true_position.y + 2.0, true_position.frame)
+            heading = 360.0 - store.projection.rotation_degrees  # local +y in geographic terms
+            tracker.apply(MotionUpdate(heading_degrees=heading % 360.0, distance_meters=2.0))
+            if step % 3 == 2:
+                cues = store.sense_cues(true_position, rng)
+                fix = client.localize(store.local_to_geographic(true_position), cues, tracker=tracker)
+                if fix.best is not None and fix.best.result.server_id == store.name:
+                    tracker.re_anchor(fix.location, fix.accuracy_meters or 2.0)
+            errors.append(
+                tracker.position.distance_to(store.local_to_geographic(true_position))
+            )
+        assert errors[-1] < 8.0
+        assert max(errors) < 15.0
+
+    def test_viewport_composites_store_over_city(self, walkthrough):
+        scenario, client = walkthrough
+        store = scenario.stores[0]
+        from repro.geometry.bbox import BoundingBox
+
+        viewport = BoundingBox.around(store.entrance, 50.0)
+        view = client.render_viewport(viewport, zoom=19)
+        assert view.coverage_fraction > 0.0
+        contributing = set()
+        for composite in view.composites.values():
+            contributing.update(name for name, pixels in composite.contributions.items() if pixels > 0)
+        assert store.map_data.metadata.name in contributing
+
+    def test_whole_walkthrough_message_budget(self, walkthrough):
+        """The full task costs a bounded number of network messages."""
+        scenario, _ = walkthrough
+        store = scenario.stores[0]
+        client = scenario.federation.client()
+        scenario.federation.reset_network_stats()
+
+        user_location = outdoor_point_near(scenario, 0, 150.0)
+        shelf = store.product_locations["wasabi seaweed snack"]
+        client.search("wasabi seaweed", near=user_location, radius_meters=400.0)
+        client.route(user_location, shelf)
+        messages = scenario.federation.network.stats.messages_sent
+        assert 0 < messages < 400

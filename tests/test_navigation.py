@@ -1,0 +1,121 @@
+"""Tests for turn-by-turn navigation sessions over federated routes."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.localization.imu import MotionUpdate
+from repro.services.navigation import NavigationSession, NavigationState
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+
+@pytest.fixture(scope="module")
+def navigation_setup():
+    scenario = build_scenario(store_count=1, include_campus=False, seed=77)
+    client = scenario.federation.client()
+    store = scenario.stores[0]
+    origin = outdoor_point_near(scenario, 0, 160.0)
+    destination = store.product_locations["wasabi seaweed snack"]
+    route = client.route(origin, destination)
+    return scenario, client, store, route
+
+
+def _walk_route(session: NavigationSession, route, store, client_rng, cue_every: int = 3):
+    """Walk the route points, feeding motion updates and periodic cues."""
+    points = route.route.points
+    step_index = 0
+    for previous, current in zip(points, points[1:]):
+        distance = previous.distance_to(current)
+        if distance <= 0.01:
+            continue
+        step_index += 1
+        motion = MotionUpdate(previous.initial_bearing_to(current), distance)
+        cues = None
+        if step_index % cue_every == 0 and store.map_data.covers_point(current):
+            local = store.geographic_to_local(current)
+            cues = store.sense_cues(local, client_rng)
+        update = session.advance(motion, cues)
+    return update
+
+
+class TestNavigationSession:
+    def test_requires_a_real_route(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        session = NavigationSession(route=route, localizer=client.localizer)
+        assert session.state == NavigationState.ON_ROUTE
+        assert not session.has_arrived
+
+    def test_walking_the_route_arrives(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        session = NavigationSession(route=route, localizer=client.localizer, arrival_threshold_meters=8.0)
+        rng = random.Random(1)
+        last_update = _walk_route(session, route, store, rng)
+        assert last_update.state == NavigationState.ARRIVED
+        assert session.has_arrived
+        assert last_update.remaining_meters < 25.0
+
+    def test_updates_track_route_distance(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        session = NavigationSession(route=route, localizer=client.localizer)
+        rng = random.Random(2)
+        _walk_route(session, route, store, rng)
+        assert session.updates
+        assert all(u.distance_to_route_meters < 40.0 for u in session.updates)
+        remaining = [u.remaining_meters for u in session.updates]
+        assert remaining[-1] < remaining[0]
+
+    def test_guidance_hands_over_to_the_store_server(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        if store.name not in route.servers:
+            pytest.skip("route did not include an indoor leg for this seed")
+        session = NavigationSession(route=route, localizer=client.localizer)
+        rng = random.Random(3)
+        _walk_route(session, route, store, rng)
+        servers = session.servers_used()
+        assert store.name in servers
+        # Outdoor guidance precedes indoor guidance.
+        assert servers[-1] == store.name
+
+    def test_indoor_fixes_come_from_the_store(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        session = NavigationSession(route=route, localizer=client.localizer)
+        rng = random.Random(4)
+        _walk_route(session, route, store, rng, cue_every=2)
+        indoor_sources = {
+            u.localization_source
+            for u in session.updates
+            if u.localization_source is not None
+        }
+        assert store.name in indoor_sources
+
+    def test_wandering_off_route_is_detected(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        session = NavigationSession(
+            route=route, localizer=client.localizer, off_route_threshold_meters=25.0
+        )
+        # Walk perpendicular to the route's initial bearing for 100 m.
+        points = route.route.points
+        away_bearing = (points[0].initial_bearing_to(points[1]) + 90.0) % 360.0
+        update = None
+        for _ in range(10):
+            update = session.advance(MotionUpdate(away_bearing, 10.0))
+        assert update is not None
+        assert update.state == NavigationState.OFF_ROUTE
+
+    def test_degenerate_route_rejected(self, navigation_setup):
+        scenario, client, store, route = navigation_setup
+        from dataclasses import replace
+
+        from repro.routing.stitching import StitchedRoute
+
+        single_point = StitchedRoute(
+            points=(route.route.points[0],),
+            legs=route.route.legs[:1],
+            connector_meters=0.0,
+            total_cost=0.0,
+        )
+        broken = replace(route, route=single_point)
+        with pytest.raises(ValueError):
+            NavigationSession(route=broken, localizer=client.localizer)

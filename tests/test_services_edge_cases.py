@@ -1,0 +1,146 @@
+"""Edge-case tests for the federated services, context and registry updates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.federation import Federation
+from repro.discovery.registry import DiscoveryRegistry
+from repro.geometry.point import LatLng
+from repro.geometry.polygon import Polygon
+from repro.mapserver.auth import Credential
+from repro.services.context import FederationContext, UnknownServerError
+from repro.spatialindex.covering import CoveringOptions
+from repro.worldgen.indoor import generate_store
+from repro.worldgen.outdoor import generate_city
+
+ANCHOR = LatLng(40.4415, -79.9575)
+
+
+class TestRegistryUpdates:
+    def test_update_region_replaces_covering(self):
+        registry = DiscoveryRegistry(covering_options=CoveringOptions(min_level=13, max_level=17, max_cells=64))
+        first_region = Polygon.regular(ANCHOR, 60.0)
+        registry.register_region("store.example", first_region)
+        first_records = registry.total_records
+
+        moved_region = Polygon.regular(ANCHOR.destination(90.0, 2_000.0), 60.0)
+        registration = registry.update_region("store.example", moved_region)
+        assert registry.total_records == registration.record_count
+        # No record for the old location remains.
+        old_cells = set()
+        from repro.spatialindex.cellid import CellId
+
+        old_cell = CellId.from_point(ANCHOR, 17)
+        assert registry.servers_at_cell(old_cell) == []
+        assert first_records > 0
+
+    def test_update_unregistered_server_rejected(self):
+        registry = DiscoveryRegistry()
+        with pytest.raises(ValueError):
+            registry.update_region("ghost.example", Polygon.regular(ANCHOR, 50.0))
+
+    def test_store_relocation_visible_to_clients_after_ttl(self):
+        federation = Federation()
+        store = generate_store("moving-store.example", ANCHOR, seed=8)
+        federation.add_map_server("moving-store.example", store.map_data)
+        client = federation.client()
+        assert "moving-store.example" in client.discover(ANCHOR, uncertainty_meters=40.0).server_ids
+
+        new_anchor = ANCHOR.destination(90.0, 3_000.0)
+        federation.registry.update_region(
+            "moving-store.example", Polygon.regular(new_anchor, 60.0)
+        )
+        # After the old records' TTL expires the old location stops resolving
+        # and the new one starts.
+        federation.network.clock.advance(federation.config.registration_ttl_seconds + 61.0)
+        assert "moving-store.example" not in client.discover(ANCHOR, uncertainty_meters=40.0).server_ids
+        assert "moving-store.example" in client.discover(new_anchor, uncertainty_meters=40.0).server_ids
+
+
+class TestContextEdgeCases:
+    def _context(self) -> tuple[Federation, FederationContext]:
+        federation = Federation()
+        city = generate_city(rows=3, cols=3, seed=4)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        return federation, federation.build_context()
+
+    def test_unknown_server_lookup_raises(self):
+        _, context = self._context()
+        with pytest.raises(UnknownServerError):
+            context.server("not-deployed.example")
+
+    def test_unreachable_discovered_servers_are_skipped(self):
+        federation, context = self._context()
+        # Simulate a stale DNS record: a server registered but no longer deployed.
+        federation.registry.register_covering(
+            "stale.example",
+            [__import__("repro.spatialindex.cellid", fromlist=["CellId"]).CellId.from_point(ANCHOR, 17)],
+        )
+        servers = context.servers(("city.example", "stale.example"))
+        assert [s.server_id for s in servers] == ["city.example"]
+
+    def test_context_credential_default_is_anonymous(self):
+        _, context = self._context()
+        assert context.credential.is_anonymous
+
+
+class TestFederatedServiceEdgeCases:
+    @pytest.fixture()
+    def small_federation(self) -> Federation:
+        federation = Federation()
+        city = generate_city(rows=3, cols=3, seed=4)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        return federation
+
+    def test_search_with_no_matches_is_empty_not_error(self, small_federation):
+        client = small_federation.client()
+        center = small_federation.servers["city.example"].map_data.bounding_box().center
+        result = client.search("quantum flux capacitor", near=center, radius_meters=400.0)
+        assert len(result) == 0
+        assert result.servers_consulted >= 1
+
+    def test_search_with_empty_query_is_empty(self, small_federation):
+        client = small_federation.client()
+        center = small_federation.servers["city.example"].map_data.bounding_box().center
+        result = client.search("   ", near=center, radius_meters=400.0)
+        assert len(result) == 0
+
+    def test_geocode_without_world_provider_still_answers_from_discovered_maps(self):
+        federation = Federation()
+        store = generate_store("lonely-store.example", ANCHOR, seed=9, street_address="1 Nowhere Lane")
+        federation.add_map_server("lonely-store.example", store.map_data)
+        client = federation.client()
+        # Without a world provider the coarse stage is skipped entirely and
+        # only the world provider-independent path can answer; with nothing to
+        # discover from a text query, the result is empty rather than an error.
+        result = client.geocode("lonely-store.example entrance")
+        assert result.coarse_location is None
+        assert result.best is None
+
+    def test_localize_with_no_cues_far_from_servers(self, small_federation):
+        from repro.localization.cues import CueBundle
+
+        client = small_federation.client()
+        result = client.localize(LatLng(10.0, 10.0), CueBundle())
+        assert result.best is None
+        assert result.candidates == ()
+
+    def test_denied_servers_are_skipped_not_fatal(self):
+        from repro.mapserver.policy import AccessPolicy, ServiceName
+
+        federation = Federation()
+        city = generate_city(rows=3, cols=3, seed=4)
+        federation.add_map_server("city.example", city.map_data, is_world_provider=True)
+        locked_policy = AccessPolicy()
+        locked_policy.restrict_to_domain(ServiceName.SEARCH, "owner.example")
+        store = generate_store("locked-store.example", city.intersections[1][1].location, seed=10)
+        federation.add_map_server("locked-store.example", store.map_data, policy=locked_policy)
+
+        client = federation.client()  # anonymous
+        result = client.search("seaweed", near=store.entrance, radius_meters=300.0)
+        assert not any(r.map_name == store.map_data.metadata.name for r in result.results)
+
+        owner_client = federation.client(Credential(email="boss@owner.example"))
+        owner_result = owner_client.search("seaweed", near=store.entrance, radius_meters=300.0)
+        assert any(r.map_name == store.map_data.metadata.name for r in owner_result.results)

@@ -1,0 +1,112 @@
+"""Unit tests for the simulation support (clock, network, metrics)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.metrics import Counter, MetricsRegistry, Summary, percentile
+from repro.simulation.network import LatencyModel, SimulatedNetwork
+
+
+class TestClock:
+    def test_starts_at_zero(self):
+        assert SimulatedClock().now() == 0.0
+
+    def test_advance(self):
+        clock = SimulatedClock()
+        clock.advance(1.5)
+        clock.advance_ms(500.0)
+        assert clock.now() == pytest.approx(2.0)
+        assert clock.advance_count == 2
+
+    def test_cannot_go_backwards(self):
+        clock = SimulatedClock()
+        with pytest.raises(ValueError):
+            clock.advance(-1.0)
+
+
+class TestNetwork:
+    def test_round_trip_charges_twice_one_way(self):
+        network = SimulatedNetwork(latency=LatencyModel(client_to_resolver_ms=2.0))
+        latency = network.client_resolver_exchange()
+        assert latency == pytest.approx(4.0)
+        assert network.clock.now() == pytest.approx(0.004)
+        assert network.stats.messages_sent == 1
+
+    def test_message_kinds_tracked(self):
+        network = SimulatedNetwork()
+        network.client_resolver_exchange()
+        network.resolver_authority_exchange()
+        network.resolver_authority_exchange()
+        network.client_map_server_exchange()
+        assert network.stats.messages_by_kind["dns.resolver_authority"] == 2
+        assert network.stats.messages_sent == 4
+
+    def test_local_compute_not_counted_as_message(self):
+        network = SimulatedNetwork()
+        network.local_compute()
+        assert network.stats.messages_sent == 0
+        assert network.clock.now() > 0.0
+
+    def test_reset_stats_keeps_clock(self):
+        network = SimulatedNetwork()
+        network.client_central_exchange()
+        elapsed = network.clock.now()
+        network.reset_stats()
+        assert network.stats.messages_sent == 0
+        assert network.clock.now() == elapsed
+
+
+class TestMetrics:
+    def test_counter(self):
+        counter = Counter("x")
+        counter.increment()
+        counter.increment(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError):
+            counter.increment(-1)
+
+    def test_summary_statistics(self):
+        summary = Summary("latency")
+        summary.observe_many([1.0, 2.0, 3.0, 4.0])
+        assert summary.count == 4
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.stddev == pytest.approx(1.118, rel=1e-3)
+
+    def test_summary_empty(self):
+        summary = Summary("x")
+        assert summary.mean == 0.0
+        assert summary.stddev == 0.0
+
+    def test_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("requests").increment(3)
+        registry.summary("latency").observe(10.0)
+        snapshot = registry.snapshot()
+        assert snapshot["requests"] == 3.0
+        assert snapshot["latency.mean"] == 10.0
+        assert snapshot["latency.count"] == 1.0
+
+    def test_registry_reuses_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("a").increment()
+        registry.counter("a").increment()
+        assert registry.counter("a").value == 2
+
+    def test_percentile(self):
+        values = [float(v) for v in range(1, 101)]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 100.0
+        assert percentile(values, 0.5) == pytest.approx(50.5)
+
+    def test_percentile_invalid(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1.0], 1.5)
+
+    def test_percentile_single_value(self):
+        assert percentile([42.0], 0.99) == 42.0

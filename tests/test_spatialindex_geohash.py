@@ -1,0 +1,65 @@
+"""Unit tests for geohash encoding/decoding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.geometry.point import LatLng
+from repro.spatialindex import geohash
+
+
+class TestEncode:
+    def test_known_value(self):
+        # A widely published reference value.
+        point = LatLng(57.64911, 10.40744)
+        assert geohash.encode(point, precision=11) == "u4pruydqqvj"
+
+    def test_precision_is_prefix_consistent(self):
+        point = LatLng(40.44, -79.95)
+        long_code = geohash.encode(point, precision=10)
+        short_code = geohash.encode(point, precision=5)
+        assert long_code.startswith(short_code)
+
+    def test_invalid_precision(self):
+        with pytest.raises(ValueError):
+            geohash.encode(LatLng(0.0, 0.0), precision=0)
+
+
+class TestDecode:
+    def test_round_trip_center_within_cell(self):
+        point = LatLng(40.44, -79.95)
+        code = geohash.encode(point, precision=8)
+        bounds = geohash.decode_bounds(code)
+        assert bounds.contains(point)
+        center = geohash.decode(code)
+        assert bounds.contains(center)
+
+    def test_longer_codes_give_smaller_cells(self):
+        point = LatLng(40.44, -79.95)
+        area5 = geohash.decode_bounds(geohash.encode(point, 5)).area_square_meters()
+        area8 = geohash.decode_bounds(geohash.encode(point, 8)).area_square_meters()
+        assert area8 < area5
+
+    def test_invalid_characters_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.decode_bounds("abci")  # 'i' is not in the geohash alphabet
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geohash.decode_bounds("")
+
+
+class TestNeighbors:
+    def test_eight_neighbors_for_interior_cell(self):
+        code = geohash.encode(LatLng(40.44, -79.95), precision=6)
+        neighbors = geohash.neighbors(code)
+        assert 3 <= len(neighbors) <= 8
+        assert code not in neighbors
+        assert all(len(n) == len(code) for n in neighbors)
+
+    def test_neighbors_are_adjacent(self):
+        code = geohash.encode(LatLng(40.44, -79.95), precision=6)
+        home = geohash.decode_bounds(code)
+        for neighbor in geohash.neighbors(code):
+            neighbor_bounds = geohash.decode_bounds(neighbor)
+            assert home.expanded(100.0).intersects(neighbor_bounds)

@@ -1,0 +1,158 @@
+"""Unit tests for the H3-like hexagonal grid."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+from repro.spatialindex.hexgrid import (
+    MAX_RESOLUTION,
+    HexCell,
+    edge_length_meters,
+    hex_for_point,
+    hexes_covering_box,
+)
+
+CENTER = LatLng(40.44, -79.95)
+
+
+class TestHexCellBasics:
+    def test_invalid_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            HexCell(MAX_RESOLUTION + 1, 0, 0)
+        with pytest.raises(ValueError):
+            hex_for_point(CENTER, -1)
+
+    def test_edge_length_shrinks_with_resolution(self):
+        assert edge_length_meters(5) > edge_length_meters(8) > edge_length_meters(12)
+
+    def test_token_round_trip(self):
+        cell = hex_for_point(CENTER, 9)
+        assert HexCell.from_token(cell.token()) == cell
+
+    def test_token_round_trip_negative_axes(self):
+        cell = HexCell(7, -12, 5)
+        assert HexCell.from_token(cell.token()) == cell
+
+    def test_invalid_token_rejected(self):
+        with pytest.raises(ValueError):
+            HexCell.from_token("not-a-hex")
+        with pytest.raises(ValueError):
+            HexCell.from_token("hx1y2")
+
+    def test_cell_contains_its_point(self):
+        for resolution in (6, 9, 12):
+            cell = hex_for_point(CENTER, resolution)
+            assert cell.contains_point(CENTER)
+
+    def test_center_maps_back_to_same_cell(self):
+        cell = hex_for_point(CENTER, 10)
+        assert hex_for_point(cell.center(), 10) == cell
+
+    def test_boundary_has_six_corners_near_center(self):
+        cell = hex_for_point(CENTER, 10)
+        corners = cell.boundary()
+        assert len(corners) == 6
+        edge = edge_length_meters(10)
+        for corner in corners:
+            assert cell.center().distance_to(corner) == pytest.approx(edge, rel=0.05)
+
+    def test_bounding_box_contains_center(self):
+        cell = hex_for_point(CENTER, 10)
+        assert cell.bounding_box().contains(cell.center())
+
+
+class TestNeighboursAndRings:
+    def test_six_distinct_neighbors(self):
+        cell = hex_for_point(CENTER, 9)
+        neighbors = cell.neighbors()
+        assert len(set(neighbors)) == 6
+        assert cell not in neighbors
+
+    def test_neighbors_are_roughly_equidistant(self):
+        # The equirectangular layout stretches east-west spacing by
+        # 1/cos(latitude); at 40° that is ~30%, so the check is loose.
+        cell = hex_for_point(CENTER, 9)
+        distances = [cell.center().distance_to(n.center()) for n in cell.neighbors()]
+        assert max(distances) <= min(distances) * 1.45
+
+    def test_neighbors_are_equidistant_at_equator(self):
+        cell = hex_for_point(LatLng(0.05, 10.0), 9)
+        distances = [cell.center().distance_to(n.center()) for n in cell.neighbors()]
+        assert max(distances) == pytest.approx(min(distances), rel=0.05)
+
+    def test_ring_sizes(self):
+        cell = hex_for_point(CENTER, 8)
+        assert len(cell.ring(0)) == 1
+        assert len(cell.ring(1)) == 6
+        assert len(cell.ring(2)) == 12
+        assert len(cell.disk(2)) == 1 + 6 + 12
+
+    def test_ring_one_equals_neighbors(self):
+        cell = hex_for_point(CENTER, 8)
+        assert set(cell.ring(1)) == set(cell.neighbors())
+
+    def test_negative_ring_rejected(self):
+        with pytest.raises(ValueError):
+            hex_for_point(CENTER, 8).ring(-1)
+
+    def test_parent_contains_child_center(self):
+        child = hex_for_point(CENTER, 10)
+        parent = child.parent()
+        assert parent.resolution == 9
+        assert parent.contains_point(child.center())
+
+    def test_resolution_zero_has_no_parent(self):
+        with pytest.raises(ValueError):
+            hex_for_point(CENTER, 0).parent()
+
+
+class TestCoverage:
+    def test_box_covering_contains_grid_points(self):
+        box = BoundingBox.around(CENTER, 400.0)
+        cells = hexes_covering_box(box, 9, max_cells=512)
+        assert cells
+        for probe in box.grid_points(4, 4):
+            assert any(cell.contains_point(probe) for cell in cells)
+
+    def test_covering_respects_cap(self):
+        box = BoundingBox.around(CENTER, 2000.0)
+        cells = hexes_covering_box(box, 12, max_cells=50)
+        assert len(cells) <= 50
+
+    def test_invalid_cap(self):
+        with pytest.raises(ValueError):
+            hexes_covering_box(BoundingBox.around(CENTER, 100.0), 9, max_cells=0)
+
+
+class TestHexProperties:
+    @given(
+        st.floats(min_value=-60.0, max_value=60.0),
+        st.floats(min_value=-170.0, max_value=170.0),
+        st.integers(min_value=3, max_value=12),
+    )
+    def test_every_point_has_exactly_one_cell(self, lat, lng, resolution):
+        point = LatLng(lat, lng)
+        cell = hex_for_point(point, resolution)
+        assert cell.contains_point(point)
+        # The point is not claimed by any neighbouring cell.
+        claiming = [n for n in cell.neighbors() if hex_for_point(point, resolution) == n]
+        assert not claiming
+
+    @given(
+        st.floats(min_value=-60.0, max_value=60.0),
+        st.floats(min_value=-170.0, max_value=170.0),
+        st.integers(min_value=3, max_value=12),
+    )
+    def test_point_is_near_its_cell_center(self, lat, lng, resolution):
+        # In the grid's own (equirectangular) plane the point is nearest to its
+        # cell centre; measured geodesically the east-west stretch at high
+        # latitude can make a neighbour slightly closer, so allow that margin.
+        point = LatLng(lat, lng)
+        cell = hex_for_point(point, resolution)
+        own_distance = point.distance_to(cell.center())
+        nearest_other = min(point.distance_to(n.center()) for n in cell.neighbors())
+        assert own_distance <= nearest_other * 2.01

@@ -1,0 +1,237 @@
+"""Unit tests for tile math, rendering, alignment and stitching."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng, LocalPoint
+from repro.geometry.projection import LocalProjection
+from repro.tiles.correspondence import CorrespondenceSet
+from repro.tiles.renderer import FeatureClass, Tile, TileRenderer
+from repro.tiles.stitcher import TileStitcher, composite_coverage
+from repro.tiles.tile_math import (
+    TILE_SIZE_PIXELS,
+    TileCoordinate,
+    meters_per_pixel,
+    pixel_in_tile,
+    tile_bounds,
+    tile_for_point,
+    tiles_for_box,
+)
+
+CENTER = LatLng(40.44, -79.95)
+
+
+class TestTileMath:
+    def test_zoom_zero_single_tile(self):
+        tile = tile_for_point(CENTER, 0)
+        assert tile == TileCoordinate(0, 0, 0)
+
+    def test_tile_bounds_contain_point(self):
+        for zoom in (5, 10, 15, 18):
+            tile = tile_for_point(CENTER, zoom)
+            assert tile_bounds(tile).contains(CENTER)
+
+    def test_invalid_tile_rejected(self):
+        with pytest.raises(ValueError):
+            TileCoordinate(3, 8, 0)  # x outside 2^3 grid
+        with pytest.raises(ValueError):
+            TileCoordinate(-1, 0, 0)
+
+    def test_parent_child_relationship(self):
+        tile = tile_for_point(CENTER, 12)
+        parent = tile.parent()
+        assert parent.zoom == 11
+        assert tile in parent.children()
+        assert tile_bounds(parent).contains_box(tile_bounds(tile))
+
+    def test_zoom_zero_has_no_parent(self):
+        with pytest.raises(ValueError):
+            TileCoordinate(0, 0, 0).parent()
+
+    def test_key_format(self):
+        assert TileCoordinate(3, 1, 2).key() == "3/1/2"
+
+    def test_tiles_for_box_cover_box(self):
+        box = BoundingBox.around(CENTER, 400.0)
+        tiles = tiles_for_box(box, 16)
+        assert tiles
+        for point in box.grid_points(3, 3):
+            assert any(tile_bounds(t).contains(point) for t in tiles)
+
+    def test_more_tiles_at_higher_zoom(self):
+        box = BoundingBox.around(CENTER, 400.0)
+        assert len(tiles_for_box(box, 17)) >= len(tiles_for_box(box, 15))
+
+    def test_pixel_in_tile_within_range(self):
+        tile = tile_for_point(CENTER, 15)
+        column, row = pixel_in_tile(CENTER, tile)
+        assert 0 <= column < TILE_SIZE_PIXELS
+        assert 0 <= row < TILE_SIZE_PIXELS
+
+    def test_meters_per_pixel_decreases_with_zoom(self):
+        coarse = meters_per_pixel(tile_for_point(CENTER, 10))
+        fine = meters_per_pixel(tile_for_point(CENTER, 16))
+        assert fine < coarse
+
+    def test_poles_are_clamped(self):
+        tile = tile_for_point(LatLng(89.9, 0.0), 5)
+        assert tile.y == 0
+
+
+class TestRenderer:
+    def test_render_paths_and_pois(self, city):
+        renderer = TileRenderer(city.map_data, line_thickness=1)
+        tile = renderer.render(tile_for_point(city.bounds.center, 16))
+        assert tile.raster.shape == (TILE_SIZE_PIXELS, TILE_SIZE_PIXELS)
+        assert tile.coverage_fraction > 0.0
+        assert tile.feature_pixel_count(FeatureClass.PATH) > 0
+
+    def test_cache_avoids_rerendering(self, city):
+        renderer = TileRenderer(city.map_data)
+        coordinate = tile_for_point(city.bounds.center, 16)
+        renderer.render(coordinate)
+        renders_before = renderer.render_count
+        renderer.render(coordinate)
+        assert renderer.render_count == renders_before
+        assert renderer.cache_size >= 1
+
+    def test_empty_region_tile_is_blank(self, city):
+        renderer = TileRenderer(city.map_data)
+        far_away = tile_for_point(LatLng(10.0, 10.0), 16)
+        tile = renderer.render(far_away)
+        assert tile.coverage_fraction == 0.0
+
+    def test_prerender_batch(self, city):
+        renderer = TileRenderer(city.map_data)
+        coordinates = tiles_for_box(BoundingBox.around(city.bounds.center, 200.0), 17)
+        tiles = renderer.prerender(coordinates)
+        assert len(tiles) == len(coordinates)
+
+    def test_store_tile_contains_indoor_features(self, store):
+        renderer = TileRenderer(store.map_data, line_thickness=2)
+        tile = renderer.render(tile_for_point(store.entrance, 19))
+        assert tile.feature_pixel_count(FeatureClass.PATH) > 0
+
+    def test_invalid_raster_shape_rejected(self):
+        with pytest.raises(ValueError):
+            Tile(TileCoordinate(10, 0, 0), np.zeros((10, 10), dtype=np.uint8), "m")
+
+
+class TestStitcher:
+    def _tile(self, coordinate: TileCoordinate, value: int, where: str, source: str) -> Tile:
+        raster = np.zeros((TILE_SIZE_PIXELS, TILE_SIZE_PIXELS), dtype=np.uint8)
+        if where == "left":
+            raster[:, : TILE_SIZE_PIXELS // 2] = value
+        elif where == "right":
+            raster[:, TILE_SIZE_PIXELS // 2 :] = value
+        elif where == "all":
+            raster[:, :] = value
+        return Tile(coordinate, raster, source)
+
+    def test_stitch_combines_disjoint_content(self):
+        coordinate = TileCoordinate(15, 100, 200)
+        left = self._tile(coordinate, int(FeatureClass.PATH), "left", "city")
+        right = self._tile(coordinate, int(FeatureClass.AREA), "right", "store")
+        composite = TileStitcher().stitch([left, right])
+        assert composite.coverage_fraction == pytest.approx(1.0)
+        assert composite.contribution_fraction("city") == pytest.approx(0.5)
+        assert composite.contribution_fraction("store") == pytest.approx(0.5)
+
+    def test_later_layer_wins_overlap(self):
+        coordinate = TileCoordinate(15, 100, 200)
+        base = self._tile(coordinate, int(FeatureClass.PATH), "all", "city")
+        overlay = self._tile(coordinate, int(FeatureClass.AREA), "left", "store")
+        composite = TileStitcher(prefer_later_layers=True).stitch([base, overlay])
+        assert composite.raster[0, 0] == int(FeatureClass.AREA)
+        assert composite.raster[0, TILE_SIZE_PIXELS - 1] == int(FeatureClass.PATH)
+
+    def test_mismatched_coordinates_rejected(self):
+        a = self._tile(TileCoordinate(15, 1, 1), 1, "all", "x")
+        b = self._tile(TileCoordinate(15, 1, 2), 1, "all", "y")
+        with pytest.raises(ValueError):
+            TileStitcher().stitch([a, b])
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            TileStitcher().stitch([])
+
+    def test_stitch_grid_and_coverage(self):
+        c1 = TileCoordinate(15, 10, 10)
+        c2 = TileCoordinate(15, 10, 11)
+        grid = {
+            c1: [self._tile(c1, int(FeatureClass.PATH), "all", "city")],
+            c2: [self._tile(c2, int(FeatureClass.PATH), "left", "city")],
+        }
+        composites = TileStitcher().stitch_grid(grid)
+        assert set(composites) == {c1, c2}
+        assert 0.5 < composite_coverage(composites) <= 1.0
+
+    def test_composite_coverage_empty(self):
+        assert composite_coverage({}) == 0.0
+
+
+class TestCorrespondences:
+    def test_alignment_recovers_rotated_frame(self):
+        # Ground truth: a store frame rotated 12 degrees and anchored nearby.
+        truth = LocalProjection(CENTER, rotation_degrees=12.0, frame="store")
+        correspondences = CorrespondenceSet(local_frame="store")
+        for x, y in [(0.0, 0.0), (30.0, 0.0), (0.0, 20.0), (30.0, 20.0), (15.0, 10.0)]:
+            local = LocalPoint(x, y, "store")
+            correspondences.add(local, truth.to_geographic(local))
+        alignment = correspondences.estimate_alignment()
+        assert alignment.rms_error_meters < 0.1
+
+        probe = LocalPoint(22.0, 7.0, "store")
+        predicted = alignment.local_to_geographic(probe)
+        assert predicted.distance_to(truth.to_geographic(probe)) < 0.2
+
+    def test_alignment_round_trip(self):
+        truth = LocalProjection(CENTER, rotation_degrees=-8.0, frame="store")
+        correspondences = CorrespondenceSet(local_frame="store")
+        for x, y in [(0.0, 0.0), (10.0, 0.0), (0.0, 10.0)]:
+            local = LocalPoint(x, y, "store")
+            correspondences.add(local, truth.to_geographic(local))
+        alignment = correspondences.estimate_alignment()
+        probe = LocalPoint(5.0, 5.0, "store")
+        back = alignment.geographic_to_local(alignment.local_to_geographic(probe))
+        assert back.distance_to(LocalPoint(back.x, back.y, back.frame)) == 0.0
+        assert abs(back.x - probe.x) < 0.2
+        assert abs(back.y - probe.y) < 0.2
+
+    def test_more_correspondences_reduce_noisy_error(self):
+        import random
+
+        truth = LocalProjection(CENTER, rotation_degrees=15.0, frame="store")
+        rng = random.Random(0)
+
+        def alignment_error(count: int) -> float:
+            correspondences = CorrespondenceSet(local_frame="store")
+            for index in range(count):
+                x = rng.uniform(0.0, 40.0)
+                y = rng.uniform(0.0, 30.0)
+                local = LocalPoint(x, y, "store")
+                noisy_geo = truth.to_geographic(local).destination(rng.uniform(0, 360), abs(rng.gauss(0, 1.0)))
+                correspondences.add(local, noisy_geo)
+            alignment = correspondences.estimate_alignment()
+            probes = [LocalPoint(20.0, 15.0, "store"), LocalPoint(5.0, 25.0, "store")]
+            return sum(
+                alignment.local_to_geographic(p).distance_to(truth.to_geographic(p)) for p in probes
+            ) / len(probes)
+
+        few = sum(alignment_error(3) for _ in range(5)) / 5
+        many = sum(alignment_error(20) for _ in range(5)) / 5
+        assert many <= few + 0.5
+
+    def test_frame_mismatch_rejected(self):
+        correspondences = CorrespondenceSet(local_frame="store")
+        with pytest.raises(ValueError):
+            correspondences.add(LocalPoint(0.0, 0.0, "other"), CENTER)
+
+    def test_too_few_correspondences_rejected(self):
+        correspondences = CorrespondenceSet(local_frame="store")
+        correspondences.add(LocalPoint(0.0, 0.0, "store"), CENTER)
+        with pytest.raises(ValueError):
+            correspondences.estimate_alignment()
