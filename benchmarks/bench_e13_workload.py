@@ -1,0 +1,164 @@
+"""E13 — workload engine: client fleets, tail latency and cache hit-rates.
+
+Sweeps fleet size with the mixed search/route/tile/localize workload and
+compares cached against uncached discovery, reporting p50/p95/p99 request
+latency and the hit-rates of the three cache layers (device discovery cache,
+client tile LRU, resolver DNS cache).  This is the traffic-side companion to
+E3: instead of one client repeating one query, a Zipf-skewed fleet exercises
+the whole client stack.
+
+Runs two ways:
+
+* under pytest-benchmark like the other experiments, or
+* standalone: ``python benchmarks/bench_e13_workload.py [--smoke]`` —
+  ``--smoke`` runs a reduced sweep that finishes in well under 30 seconds
+  (used by ``scripts/check.sh``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.config import FederationConfig
+from repro.workload import WorkloadConfig, WorkloadEngine
+from repro.worldgen.scenario import build_scenario
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _util import print_table  # noqa: E402
+
+WORLD_SEED = 33
+WORKLOAD_SEED = 7
+DEVICE_CACHE_TTL_SECONDS = 120.0
+TILE_CACHE_ENTRIES = 256
+
+
+def build_workload_scenario(cached: bool, seed: int = WORLD_SEED):
+    """The standard E13 world, with client-side caches on or off."""
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=DEVICE_CACHE_TTL_SECONDS if cached else 0.0,
+        client_tile_cache_entries=TILE_CACHE_ENTRIES if cached else 0,
+    )
+    return build_scenario(store_count=2, city_rows=5, city_cols=5, config=config, seed=seed)
+
+
+def run_fleet(clients: int, steps: int, cached: bool, seed: int = WORKLOAD_SEED) -> dict[str, object]:
+    """Run one fleet and distill the results row the sweep tables print."""
+    scenario = build_workload_scenario(cached)
+    engine = WorkloadEngine(
+        scenario, WorkloadConfig(clients=clients, steps=steps, seed=seed)
+    )
+    report = engine.run()
+    tail = report.latency_percentiles()
+    return {
+        "clients": clients,
+        "cached": str(cached),
+        "requests": report.requests,
+        "errors": report.errors,
+        "p50_ms": tail["p50"],
+        "p95_ms": tail["p95"],
+        "p99_ms": tail["p99"],
+        "disc_hit_rate": report.discovery_cache_hit_rate,
+        "tile_hit_rate": report.tile_cache_hit_rate,
+        "dns_hit_rate": report.dns_cache_hit_rate,
+    }
+
+
+def sweep(fleet_sizes: list[int], steps: int) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for clients in fleet_sizes:
+        for cached in (False, True):
+            rows.append(run_fleet(clients, steps, cached))
+    return rows
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_e13_cached_vs_uncached(benchmark):
+    """Client-side caching lifts hit-rate and cuts the latency distribution."""
+    uncached = run_fleet(clients=25, steps=6, cached=False)
+    cached = run_fleet(clients=25, steps=6, cached=True)
+    print_table("E13 cached vs uncached discovery (25 clients)", [uncached, cached])
+
+    assert cached["disc_hit_rate"] > uncached["disc_hit_rate"]
+    assert cached["disc_hit_rate"] > 0.3
+    assert uncached["disc_hit_rate"] == 0.0
+    assert cached["p50_ms"] <= uncached["p50_ms"]
+
+    benchmark.extra_info.update(
+        {"cached_hit_rate": cached["disc_hit_rate"], "cached_p99": cached["p99_ms"]}
+    )
+    benchmark(lambda: run_fleet(clients=5, steps=2, cached=True))
+
+
+def test_e13_fleet_size_sweep(benchmark):
+    """Tail latency stays bounded as the fleet grows (shared caches warm up)."""
+    rows = sweep([10, 50], steps=4)
+    print_table("E13 fleet size sweep", rows)
+    cached_rows = [row for row in rows if row["cached"] == "True"]
+    assert all(row["disc_hit_rate"] > 0.0 for row in cached_rows)
+    benchmark(lambda: run_fleet(clients=10, steps=2, cached=True))
+
+
+def test_e13_deterministic_snapshot(benchmark):
+    """Fixed seed → byte-identical metrics snapshot across engine runs."""
+    def one_run():
+        scenario = build_workload_scenario(cached=True)
+        engine = WorkloadEngine(
+            scenario, WorkloadConfig(clients=100, steps=3, seed=WORKLOAD_SEED)
+        )
+        return engine.run().snapshot()
+
+    first = one_run()
+    second = one_run()
+    assert first == second
+    skipped = sum(value for key, value in first.items() if key.startswith("skipped."))
+    assert first["requests"] + skipped + first["errors"] == 300.0  # clients * steps
+    benchmark.extra_info["p99_ms"] = first["latency_ms.all.p99"]
+    benchmark(lambda: run_fleet(clients=5, steps=2, cached=True))
+
+
+# ----------------------------------------------------------------------
+# Standalone mode
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep (finishes in <30s) for CI smoke checks",
+    )
+    parser.add_argument("--steps", type=int, default=None, help="steps per client (>= 1)")
+    args = parser.parse_args(argv)
+    if args.steps is not None and args.steps < 1:
+        parser.error("--steps must be >= 1")
+
+    if args.smoke:
+        fleet_sizes = [10, 50]
+        steps = args.steps if args.steps is not None else 3
+    else:
+        fleet_sizes = [10, 100, 1000]
+        steps = args.steps if args.steps is not None else 4
+
+    rows = sweep(fleet_sizes, steps)
+    print_table("E13 workload sweep (cached vs uncached discovery)", rows)
+
+    uncached = [row for row in rows if row["cached"] == "False"]
+    cached = [row for row in rows if row["cached"] == "True"]
+    for before, after in zip(uncached, cached):
+        if after["disc_hit_rate"] <= before["disc_hit_rate"]:
+            print("FAIL: cached discovery did not beat the uncached baseline")
+            return 1
+    print("\nOK: cached discovery hit-rate beats the uncached baseline at every fleet size")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

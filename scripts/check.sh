@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Repo check: tier-1 test suite plus the workload benchmark in smoke mode.
+# Usage: scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: pytest =="
+python -m pytest -x -q
+
+echo
+echo "== benchmark smoke: E13 workload =="
+python benchmarks/bench_e13_workload.py --smoke
+
+echo
+echo "All checks passed."

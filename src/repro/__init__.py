@@ -11,6 +11,8 @@ Dividing it: Federated Maps to Enable Spatial Applications" (HotOS 2025):
 * ``repro.services`` — the federated client-side location-based services.
 * ``repro.centralized`` — the centralized baseline architecture (Figure 1).
 * ``repro.worldgen`` — synthetic cities, stores and campuses for experiments.
+* ``repro.workload`` — fleet simulation: mobility models, Zipf traffic and
+  the workload engine that measures tail latency and cache hit-rates.
 
 Quickstart::
 

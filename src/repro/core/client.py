@@ -29,6 +29,7 @@ from repro.services.localization import FederatedLocalizationResult, FederatedLo
 from repro.services.routing import FederatedRouteResult, FederatedRouter
 from repro.services.search import FederatedSearch, FederatedSearchResult
 from repro.services.tiles import FederatedTileClient, FederatedViewport
+from repro.tiles.cache import TileCache
 
 
 @dataclass
@@ -55,7 +56,11 @@ class OpenFlameClient:
             stitcher=RouteStitcher(max_gap_meters=self.federation.config.route_stitch_max_gap_meters),
         )
         self.localizer = FederatedLocalizer(context=self.context)
-        self.tile_client = FederatedTileClient(context=self.context)
+        tile_cache_entries = self.federation.config.client_tile_cache_entries
+        self.tile_client = FederatedTileClient(
+            context=self.context,
+            cache=TileCache(max_entries=tile_cache_entries) if tile_cache_entries > 0 else None,
+        )
 
     # ------------------------------------------------------------------
     # Discovery
@@ -119,3 +124,16 @@ class OpenFlameClient:
     @property
     def network_latency_ms(self) -> float:
         return self.context.network.stats.total_latency_ms
+
+    def cache_stats(self) -> dict[str, float]:
+        """This device's client-side cache counters (discovery + tiles)."""
+        discovery_stats = self.context.discoverer.cache.stats
+        tile_cache = self.tile_client.cache
+        return {
+            "discovery.hits": float(discovery_stats.hits),
+            "discovery.misses": float(discovery_stats.misses),
+            "discovery.hit_rate": discovery_stats.hit_rate,
+            "tiles.hits": float(tile_cache.stats.hits) if tile_cache else 0.0,
+            "tiles.misses": float(tile_cache.stats.misses) if tile_cache else 0.0,
+            "tiles.hit_rate": tile_cache.stats.hit_rate if tile_cache else 0.0,
+        }

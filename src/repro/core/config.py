@@ -17,6 +17,12 @@ class FederationConfig:
     into DNS records; ``discovery_level`` is the cell level used for client
     discovery queries; ``registration_ttl_seconds`` is the TTL on discovery
     records (long, because map server addresses rarely change — Section 5.1).
+
+    ``device_discovery_cache_ttl_seconds`` enables the per-device
+    :class:`repro.discovery.cache.DiscoveryCache` (0 disables it);
+    ``client_tile_cache_entries`` sizes the per-device tile LRU (0 disables
+    it).  Both default to off so single-request experiments keep their exact
+    message counts; traffic-heavy workloads switch them on.
     """
 
     discovery_suffix: str = DEFAULT_DISCOVERY_SUFFIX
@@ -27,6 +33,8 @@ class FederationConfig:
     )
     registration_ttl_seconds: float = 3600.0
     device_discovery_cache_ttl_seconds: float = 0.0
+    discovery_cache_max_entries: int = 4096
+    client_tile_cache_entries: int = 0
     latency: LatencyModel = field(default_factory=LatencyModel)
     default_routing_algorithm: str = "dijkstra"
     route_stitch_max_gap_meters: float = 250.0

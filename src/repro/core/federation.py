@@ -127,6 +127,7 @@ class Federation:
             query_level=self.config.discovery_level,
             ancestor_levels=self.config.discovery_ancestor_levels,
             device_cache_ttl_seconds=self.config.device_discovery_cache_ttl_seconds,
+            cache_max_entries=self.config.discovery_cache_max_entries,
         )
         context = FederationContext(
             discoverer=discoverer,

@@ -1,0 +1,81 @@
+"""The device-side discovery cache.
+
+Section 5.1 argues map-server addresses change rarely, "so the system would
+benefit from a ubiquitous caching mechanism".  The recursive resolver already
+caches DNS answers; this cache sits one layer closer to the application and
+stores the *merged per-cell discovery result* (the ancestor walk collapsed to
+a server list), so a device revisiting a cell skips DNS entirely — including
+the client→resolver hop the resolver cache cannot remove.
+
+Entries honour DNS TTLs: the discoverer computes each cell's time-to-live
+from the remaining lifetimes of the DNS answers (and negative entries) that
+produced it, clamped by the device-configured TTL, so a device cache can
+never outlive the records it was derived from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.lru import LruCache, LruStats
+
+DiscoveryCacheStats = LruStats
+
+
+@dataclass
+class DiscoveryCache:
+    """An LRU, TTL-bounded cache of per-cell discovery results.
+
+    Keys are cell tokens; values are the ordered tuple of server ids the
+    discovery walk produced for that cell.  ``default_ttl_seconds <= 0``
+    disables the cache entirely (every ``get`` is a miss, ``put`` is a no-op),
+    which keeps the uncached baseline byte-identical to not having a cache.
+    """
+
+    clock: SimulatedClock
+    max_entries: int = 4096
+    default_ttl_seconds: float = 120.0
+    _lru: LruCache = field(init=False)
+
+    def __post_init__(self) -> None:
+        self._lru = LruCache(max_entries=self.max_entries)
+
+    @property
+    def stats(self) -> LruStats:
+        return self._lru.stats
+
+    @property
+    def enabled(self) -> bool:
+        return self.default_ttl_seconds > 0.0
+
+    def get(self, cell_token: str) -> tuple[str, ...] | None:
+        """The cached server list for a cell, or None on a miss."""
+        if not self.enabled:
+            return None
+        entry = self._lru.lookup(
+            cell_token, is_live=lambda value: value[0] > self.clock.now()
+        )
+        return entry[1] if entry is not None else None
+
+    def put(self, cell_token: str, servers: list[str] | tuple[str, ...], ttl_seconds: float | None = None) -> None:
+        """Cache a cell's discovery result for ``ttl_seconds``.
+
+        The effective TTL is the smaller of ``ttl_seconds`` (the DNS-derived
+        bound) and the device-configured default.
+        """
+        if not self.enabled:
+            return
+        ttl = self.default_ttl_seconds
+        if ttl_seconds is not None:
+            ttl = min(ttl, ttl_seconds)
+        if ttl <= 0.0:
+            return
+        self._lru.store(cell_token, (self.clock.now() + ttl, tuple(dict.fromkeys(servers))))
+
+    def flush(self) -> None:
+        self._lru.flush()
+
+    @property
+    def size(self) -> int:
+        return self._lru.size

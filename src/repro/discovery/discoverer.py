@@ -20,10 +20,13 @@ walk, while the DNS cache absorbs the repeated coarse-level lookups.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 
+from repro.discovery.cache import DiscoveryCache
 from repro.discovery.naming import SpatialNaming
 from repro.discovery.registry import MAP_SERVER_RECORD_TYPE
+from repro.dns.message import ResponseCode
 from repro.dns.records import SrvData
 from repro.dns.resolver import StubResolver
 from repro.geometry.bbox import BoundingBox
@@ -62,13 +65,24 @@ class Discoverer:
     ancestor_levels: int = 9
     max_query_cells: int = 24
     device_cache_ttl_seconds: float = 0.0
+    cache_max_entries: int = 4096
 
     def __post_init__(self) -> None:
         if self.naming is None:
             self.naming = SpatialNaming()
-        self._cell_cache: dict[str, tuple[float, tuple[str, ...]]] = {}
-        self.device_cache_hits = 0
-        self.device_cache_misses = 0
+        self.cache = DiscoveryCache(
+            clock=self.resolver.network.clock,
+            max_entries=self.cache_max_entries,
+            default_ttl_seconds=self.device_cache_ttl_seconds,
+        )
+
+    @property
+    def device_cache_hits(self) -> int:
+        return self.cache.stats.hits
+
+    @property
+    def device_cache_misses(self) -> int:
+        return self.cache.stats.misses
 
     # ------------------------------------------------------------------
     # Public API
@@ -104,26 +118,31 @@ class Discoverer:
     def _discover_cells(self, cells: list[CellId]) -> DiscoveryResult:
         servers: list[str] = []
         seen: set[str] = set()
-        name_results: dict[str, list[str]] = {}
+        name_results: dict[str, tuple[list[str], float]] = {}
         lookups = 0
 
         for cell in cells:
-            cached = self._cached_cell_servers(cell)
+            cached = self.cache.get(cell.token)
             if cached is not None:
-                self.device_cache_hits += 1
                 cell_servers: list[str] = list(cached)
             else:
-                self.device_cache_misses += 1
                 cell_servers = []
+                cell_expires_at = math.inf
                 for name in self._names_for_cell(cell):
                     if name not in name_results:
                         lookups += 1
-                        name_results[name] = [
-                            SrvData.decode(data).target
-                            for data in self.resolver.resolve_data(name, MAP_SERVER_RECORD_TYPE)
-                        ]
-                    cell_servers.extend(name_results[name])
-                self._store_cell_servers(cell, cell_servers)
+                        name_results[name] = self._resolve_name(name)
+                    name_servers, name_expires_at = name_results[name]
+                    cell_servers.extend(name_servers)
+                    cell_expires_at = min(cell_expires_at, name_expires_at)
+                # The expiry is absolute: the clock advances while the walk
+                # resolves, and an entry derived from an answer expiring at T
+                # must itself expire at T no matter when it is stored.
+                self.cache.put(
+                    cell.token,
+                    cell_servers,
+                    ttl_seconds=cell_expires_at - self.resolver.network.clock.now(),
+                )
 
             for server_id in cell_servers:
                 if server_id not in seen:
@@ -132,23 +151,38 @@ class Discoverer:
 
         return DiscoveryResult(tuple(servers), tuple(cells), lookups)
 
-    def _cached_cell_servers(self, cell: CellId) -> tuple[str, ...] | None:
-        if self.device_cache_ttl_seconds <= 0.0:
-            return None
-        entry = self._cell_cache.get(cell.token)
-        if entry is None:
-            return None
-        expires_at, cached_servers = entry
-        if self.resolver.network.clock.now() >= expires_at:
-            del self._cell_cache[cell.token]
-            return None
-        return cached_servers
+    def _resolve_name(self, name: str) -> tuple[list[str], float]:
+        """Resolve one spatial name to server targets plus an absolute expiry.
 
-    def _store_cell_servers(self, cell: CellId, cell_servers: list[str]) -> None:
-        if self.device_cache_ttl_seconds <= 0.0:
-            return
-        expires_at = self.resolver.network.clock.now() + self.device_cache_ttl_seconds
-        self._cell_cache[cell.token] = (expires_at, tuple(dict.fromkeys(cell_servers)))
+        The expiry bounds how long a device-cache entry derived from this
+        answer may live.  It is the instant the resolver's own cache entry
+        lapses (an answer served from a cache expiring in 10s must not seed a
+        120s device entry), falling back to the minimum record TTL for
+        answers the resolver did not cache, and to the resolver's negative
+        TTL for empty answers.
+        """
+        response = self.resolver.resolve(name, MAP_SERVER_RECORD_TYPE)
+        dns_cache = self.resolver.recursive.cache
+        now = self.resolver.network.clock.now()
+        remaining = dns_cache.remaining_ttl(name, MAP_SERVER_RECORD_TYPE)
+        if response.code not in (ResponseCode.NOERROR, ResponseCode.NXDOMAIN):
+            # Transient failures (SERVFAIL/REFUSED) are deliberately not
+            # cached by the resolver; the device cache must not negative-cache
+            # them either, or it would hide the recovery an uncached client
+            # sees on its very next query.
+            return [], now
+        if response.code != ResponseCode.NOERROR or not response.answers:
+            ttl = remaining if remaining is not None else dns_cache.negative_ttl_seconds
+            return [], now + ttl
+        matching = [r for r in response.answers if r.record_type == MAP_SERVER_RECORD_TYPE]
+        if not matching:
+            ttl = remaining if remaining is not None else dns_cache.negative_ttl_seconds
+            return [], now + ttl
+        targets = [SrvData.decode(record.data).target for record in matching]
+        ttl = min(record.ttl_seconds for record in matching)
+        if remaining is not None:
+            ttl = min(ttl, remaining)
+        return targets, now + ttl
 
     def _names_for_cell(self, cell: CellId) -> list[str]:
         """Names to query for a cell: the cell itself plus a few ancestors.

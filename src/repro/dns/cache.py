@@ -124,6 +124,24 @@ class DnsCache:
             del self._positive[victim]
             self.stats.evictions += 1
 
+    def remaining_ttl(self, name: str, record_type: RecordType) -> float | None:
+        """Seconds until the cached entry for ``name``/``record_type`` expires.
+
+        Returns None when nothing (live) is cached.  Unlike :meth:`get` this
+        never mutates the cache or its statistics, so layered caches can use
+        it to clamp their own entry lifetimes to the DNS data they were
+        derived from.
+        """
+        key = (normalize_name(name), record_type)
+        now = self.clock.now()
+        entry = self._positive.get(key)
+        if entry is not None and entry.expires_at > now:
+            return entry.expires_at - now
+        negative = self._negative.get(key)
+        if negative is not None and negative.expires_at > now:
+            return negative.expires_at - now
+        return None
+
     # ------------------------------------------------------------------
     # Maintenance
     # ------------------------------------------------------------------

@@ -10,8 +10,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.geometry.bbox import BoundingBox
-from repro.mapserver.policy import AccessDenied
+from repro.mapserver.policy import AccessDenied, ServiceName
 from repro.services.context import FederationContext
+from repro.tiles.cache import TileCache
 from repro.tiles.renderer import Tile
 from repro.tiles.stitcher import CompositeTile, TileStitcher
 from repro.tiles.tile_math import TileCoordinate, tile_bounds, tiles_for_box
@@ -25,6 +26,7 @@ class FederatedViewport:
     servers_consulted: int
     tiles_downloaded: int
     dns_lookups: int
+    tiles_from_cache: int = 0
 
     @property
     def coverage_fraction(self) -> float:
@@ -39,13 +41,15 @@ class FederatedTileClient:
 
     context: FederationContext
     stitcher: TileStitcher = field(default_factory=TileStitcher)
+    cache: TileCache | None = None
     queries: int = field(default=0, init=False)
 
     def render_viewport(self, viewport: BoundingBox, zoom: int) -> FederatedViewport:
         """Render ``viewport`` at ``zoom`` by compositing every server's tiles.
 
         Servers are ordered outdoor-first (larger coverage first) so that
-        higher-fidelity indoor maps are composited on top.
+        higher-fidelity indoor maps are composited on top.  Tiles already in
+        the client's LRU cache are reused without touching the network.
         """
         self.queries += 1
         discovery = self.context.discoverer.discover_region(viewport)
@@ -56,6 +60,7 @@ class FederatedTileClient:
         tiles_by_coordinate: dict[TileCoordinate, list[Tile]] = {c: [] for c in coordinates}
         servers_consulted = 0
         tiles_downloaded = 0
+        tiles_from_cache = 0
 
         for server in servers:
             server_box = server.map_data.bounding_box().expanded(20.0)
@@ -63,12 +68,26 @@ class FederatedTileClient:
             if not relevant:
                 continue
             servers_consulted += 1
+            # Cached tiles must not outlive the server's access policy: a
+            # credential that has since been denied re-fetches (and fails)
+            # rather than being served from its own cache.
+            use_cache = self.cache is not None and server.policy.allows(
+                ServiceName.TILES, self.context.credential
+            )
             for coordinate in relevant:
+                if use_cache:
+                    cached = self.cache.get(server.server_id, coordinate)
+                    if cached is not None:
+                        tiles_by_coordinate[coordinate].append(cached)
+                        tiles_from_cache += 1
+                        continue
                 self.context.charge_map_server_request()
                 try:
                     tile = server.get_tile(coordinate, self.context.credential)
                 except AccessDenied:
                     break
+                if self.cache is not None:
+                    self.cache.put(server.server_id, coordinate, tile)
                 tiles_by_coordinate[coordinate].append(tile)
                 tiles_downloaded += 1
 
@@ -82,4 +101,5 @@ class FederatedTileClient:
             servers_consulted=servers_consulted,
             tiles_downloaded=tiles_downloaded,
             dns_lookups=discovery.dns_lookups,
+            tiles_from_cache=tiles_from_cache,
         )

@@ -1,7 +1,8 @@
 """Deterministic simulation support: clock, network latency model, metrics."""
 
 from repro.simulation.clock import SimulatedClock
-from repro.simulation.metrics import Counter, MetricsRegistry, Summary, percentile
+from repro.simulation.lru import LruCache, LruStats
+from repro.simulation.metrics import Counter, Histogram, MetricsRegistry, Summary, percentile
 from repro.simulation.network import (
     LatencyModel,
     NetworkStats,
@@ -10,7 +11,10 @@ from repro.simulation.network import (
 
 __all__ = [
     "Counter",
+    "Histogram",
     "LatencyModel",
+    "LruCache",
+    "LruStats",
     "MetricsRegistry",
     "NetworkStats",
     "SimulatedClock",

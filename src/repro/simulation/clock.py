@@ -34,6 +34,21 @@ class SimulatedClock:
         """Advance the clock by ``milliseconds``."""
         return self.advance(milliseconds / 1000.0)
 
+    def rewind_to(self, timestamp: float) -> float:
+        """Rewind to an earlier instant (concurrent-branch simulation only).
+
+        A fleet of clients acting "at the same time" is simulated by running
+        each client serially from the same start instant and rewinding the
+        clock between them, so that N concurrent requests advance time by the
+        slowest request rather than the sum of all of them.  Only the workload
+        engine's round loop should call this; everything else treats the clock
+        as monotonic.
+        """
+        if timestamp < 0.0 or timestamp > self._now:
+            raise ValueError("can only rewind to a past, non-negative instant")
+        self._now = timestamp
+        return self._now
+
     @property
     def advance_count(self) -> int:
         """How many times the clock has been advanced (useful in tests)."""

@@ -1,0 +1,70 @@
+"""A small LRU cache primitive shared by the client-side caches.
+
+:class:`repro.discovery.cache.DiscoveryCache` (TTL-aware) and
+:class:`repro.tiles.cache.TileCache` (immutable entries) are both bounded
+LRU maps with the same hit/miss/eviction accounting; this module holds the
+one copy of that machinery so the eviction and stats semantics cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+@dataclass
+class LruStats:
+    hits: int = 0
+    misses: int = 0
+    insertions: int = 0
+    evictions: int = 0
+    expirations: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+@dataclass
+class LruCache:
+    """A bounded least-recently-used map with hit/miss accounting."""
+
+    max_entries: int = 256
+    stats: LruStats = field(default_factory=LruStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict)
+
+    def lookup(self, key: Any, is_live: Callable[[Any], bool] | None = None) -> Any | None:
+        """The live value for ``key`` (None on miss), refreshing its recency.
+
+        ``is_live`` lets a TTL-aware wrapper reject a stored entry: a stale
+        entry is dropped, counted as an expiration, and reported as a miss.
+        """
+        value = self._entries.get(key)
+        if value is not None and is_live is not None and not is_live(value):
+            del self._entries[key]
+            self.stats.expirations += 1
+            value = None
+        if value is None:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.stats.hits += 1
+        return value
+
+    def store(self, key: Any, value: Any) -> None:
+        """Insert or refresh ``key``, evicting the LRU entry when full."""
+        if key not in self._entries and len(self._entries) >= self.max_entries:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        self.stats.insertions += 1
+
+    def flush(self) -> None:
+        self._entries.clear()
+
+    @property
+    def size(self) -> int:
+        return len(self._entries)

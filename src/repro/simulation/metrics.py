@@ -53,13 +53,95 @@ class Summary:
         variance = self.total_squares / self.count - self.mean**2
         return math.sqrt(max(0.0, variance))
 
+    def snapshot(self) -> dict[str, float]:
+        """This summary's statistics, keyed ``<name>.<stat>``.
+
+        An empty summary reports 0.0 for min/max rather than the ±inf
+        sentinels used internally, so snapshots stay printable and
+        comparable.
+        """
+        empty = self.count == 0
+        return {
+            f"{self.name}.mean": self.mean,
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.min": 0.0 if empty else self.minimum,
+            f"{self.name}.max": 0.0 if empty else self.maximum,
+            f"{self.name}.stddev": self.stddev,
+        }
+
+
+@dataclass
+class Histogram:
+    """A value histogram that reports percentiles (p50/p95/p99).
+
+    The simulation scale (thousands of requests per run) makes it fine to
+    keep raw observations; percentiles are exact, not approximated.
+    """
+
+    name: str
+    values: list[float] = field(default_factory=list)
+    _sorted: list[float] | None = field(default=None, repr=False, compare=False)
+
+    def observe(self, value: float) -> None:
+        self.values.append(value)
+        self._sorted = None
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        self.values.extend(values)
+        self._sorted = None
+
+    @property
+    def count(self) -> int:
+        return len(self.values)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.values) / len(self.values) if self.values else 0.0
+
+    def quantile(self, fraction: float) -> float:
+        """The ``fraction`` percentile of the observations (0.0 when empty).
+
+        The sorted copy is cached between observations, so reading several
+        percentiles of one histogram (snapshot, p50/p95/p99) sorts once.
+        """
+        if not self.values:
+            return 0.0
+        if not (0.0 <= fraction <= 1.0):
+            raise ValueError("fraction must be in [0, 1]")
+        if self._sorted is None:
+            self._sorted = sorted(self.values)
+        return _interpolate(self._sorted, fraction)
+
+    @property
+    def p50(self) -> float:
+        return self.quantile(0.50)
+
+    @property
+    def p95(self) -> float:
+        return self.quantile(0.95)
+
+    @property
+    def p99(self) -> float:
+        return self.quantile(0.99)
+
+    def snapshot(self) -> dict[str, float]:
+        """Count, mean and tail percentiles, keyed ``<name>.<stat>``."""
+        return {
+            f"{self.name}.count": float(self.count),
+            f"{self.name}.mean": self.mean,
+            f"{self.name}.p50": self.p50,
+            f"{self.name}.p95": self.p95,
+            f"{self.name}.p99": self.p99,
+        }
+
 
 @dataclass
 class MetricsRegistry:
-    """A namespace of counters and summaries for one experiment run."""
+    """A namespace of counters, summaries and histograms for one run."""
 
     counters: dict[str, Counter] = field(default_factory=dict)
     summaries: dict[str, Summary] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -71,22 +153,26 @@ class MetricsRegistry:
             self.summaries[name] = Summary(name)
         return self.summaries[name]
 
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
     def snapshot(self) -> dict[str, float]:
         """Flat dict of every metric, suitable for printing a results row."""
         data: dict[str, float] = {}
         for counter in self.counters.values():
             data[counter.name] = float(counter.value)
         for summary in self.summaries.values():
-            data[f"{summary.name}.mean"] = summary.mean
-            data[f"{summary.name}.count"] = float(summary.count)
-            if summary.count:
-                data[f"{summary.name}.min"] = summary.minimum
-                data[f"{summary.name}.max"] = summary.maximum
+            data.update(summary.snapshot())
+        for histogram in self.histograms.values():
+            data.update(histogram.snapshot())
         return data
 
     def reset(self) -> None:
         self.counters.clear()
         self.summaries.clear()
+        self.histograms.clear()
 
 
 def percentile(values: list[float], fraction: float) -> float:
@@ -95,7 +181,11 @@ def percentile(values: list[float], fraction: float) -> float:
         raise ValueError("cannot take a percentile of no values")
     if not (0.0 <= fraction <= 1.0):
         raise ValueError("fraction must be in [0, 1]")
-    ordered = sorted(values)
+    return _interpolate(sorted(values), fraction)
+
+
+def _interpolate(ordered: list[float], fraction: float) -> float:
+    """Linear-interpolated percentile of an already-sorted list."""
     if len(ordered) == 1:
         return ordered[0]
     rank = fraction * (len(ordered) - 1)

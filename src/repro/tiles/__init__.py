@@ -1,5 +1,6 @@
 """Tile substrate: XYZ tile math, rasterisation, alignment, stitching."""
 
+from repro.tiles.cache import TileCache, TileCacheStats
 from repro.tiles.correspondence import Correspondence, CorrespondenceSet, MapAlignment
 from repro.tiles.renderer import FeatureClass, Tile, TileRenderer
 from repro.tiles.stitcher import CompositeTile, TileStitcher, composite_coverage
@@ -23,6 +24,8 @@ __all__ = [
     "MapAlignment",
     "TILE_SIZE_PIXELS",
     "Tile",
+    "TileCache",
+    "TileCacheStats",
     "TileCoordinate",
     "TileRenderer",
     "TileStitcher",

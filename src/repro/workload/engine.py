@@ -1,0 +1,348 @@
+"""The workload engine: run a fleet of clients against one federation.
+
+The engine owns nothing but orchestration: it builds one
+:class:`repro.core.client.OpenFlameClient` per simulated device (so every
+device has its own discovery and tile caches), assigns each a mobility model
+and a seed-derived RNG, and then interleaves the fleet step by step issuing a
+mixed request workload.  All latency comes from the federation's simulated
+network, and per-service latency is recorded into percentile histograms so a
+run can report tail latency (p50/p95/p99) alongside cache hit-rates.
+
+Everything is deterministic: the same scenario and :class:`WorkloadConfig`
+produce byte-identical :meth:`WorkloadReport.snapshot` dictionaries.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.core.client import OpenFlameClient
+from repro.geometry.bbox import BoundingBox
+from repro.geometry.point import LatLng
+from repro.localization.cues import CueBundle, GnssCue
+from repro.services.routing import FederatedRoutingError
+from repro.simulation.metrics import MetricsRegistry
+from repro.workload.mobility import AisleWalk, CommuterHandoff, MobilityModel, RandomWaypoint
+from repro.workload.traffic import RequestKind, RequestMix, ZipfSampler
+from repro.worldgen.scenario import FederatedScenario
+
+_CLIENT_SEED_STRIDE = 1_000_003
+"""Prime stride separating per-client RNG streams derived from one seed."""
+
+
+@dataclass(frozen=True)
+class PointOfInterest:
+    """One named place requests can target, ranked by popularity."""
+
+    name: str
+    location: LatLng
+    store_index: int | None = None
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Tunables of one workload run."""
+
+    clients: int = 25
+    steps: int = 8
+    seed: int = 0
+    mix: RequestMix = field(default_factory=RequestMix)
+    zipf_exponent: float = 1.0
+    search_radius_meters: float = 350.0
+    viewport_meters: float = 120.0
+    tile_zoom: int = 17
+    gnss_error_meters: float = 12.0
+    step_seconds: float = 2.0
+    """Wall-clock pacing between fleet rounds (thinking/walking time)."""
+
+    def __post_init__(self) -> None:
+        if self.clients < 1:
+            raise ValueError("a workload needs at least one client")
+        if self.steps < 1:
+            raise ValueError("a workload needs at least one step")
+        if self.step_seconds < 0.0:
+            raise ValueError("step pacing cannot be negative")
+
+
+@dataclass
+class FleetClient:
+    """One simulated device: client stack + mobility + its own RNG stream."""
+
+    index: int
+    client: OpenFlameClient
+    mobility: MobilityModel
+    rng: random.Random
+    position: LatLng = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.position = self.mobility.reset(self.rng)
+
+    def advance(self) -> LatLng:
+        self.position = self.mobility.step(self.rng)
+        return self.position
+
+
+@dataclass
+class WorkloadReport:
+    """The outcome of one workload run."""
+
+    metrics: MetricsRegistry
+    requests: int
+    errors: int
+    discovery_cache_hits: int
+    discovery_cache_misses: int
+    tile_cache_hits: int
+    tile_cache_misses: int
+    dns_cache_hit_rate: float
+    simulated_seconds: float
+
+    @property
+    def discovery_cache_hit_rate(self) -> float:
+        total = self.discovery_cache_hits + self.discovery_cache_misses
+        return self.discovery_cache_hits / total if total else 0.0
+
+    @property
+    def tile_cache_hit_rate(self) -> float:
+        total = self.tile_cache_hits + self.tile_cache_misses
+        return self.tile_cache_hits / total if total else 0.0
+
+    def latency_percentiles(self, service: str = "all") -> dict[str, float]:
+        # Read without the creating accessor: querying a service that saw no
+        # traffic must not grow the registry (snapshots stay deterministic).
+        histogram = self.metrics.histograms.get(f"latency_ms.{service}")
+        if histogram is None:
+            return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+        return {"p50": histogram.p50, "p95": histogram.p95, "p99": histogram.p99}
+
+    def snapshot(self) -> dict[str, float]:
+        """One flat, deterministic dict describing the whole run."""
+        data = dict(sorted(self.metrics.snapshot().items()))
+        data["requests"] = float(self.requests)
+        data["errors"] = float(self.errors)
+        data["discovery_cache.hit_rate"] = self.discovery_cache_hit_rate
+        data["tile_cache.hit_rate"] = self.tile_cache_hit_rate
+        data["dns_cache.hit_rate"] = self.dns_cache_hit_rate
+        data["simulated_seconds"] = self.simulated_seconds
+        return data
+
+
+class WorkloadEngine:
+    """Drives a fleet of simulated clients through a federated scenario."""
+
+    def __init__(
+        self,
+        scenario: FederatedScenario,
+        config: WorkloadConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.scenario = scenario
+        self.config = config or WorkloadConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.pois = self._build_poi_pool()
+        self._poi_sampler: ZipfSampler[PointOfInterest] = ZipfSampler(
+            self.pois, self.config.zipf_exponent
+        )
+        self.fleet = self._build_fleet()
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build_poi_pool(self) -> list[PointOfInterest]:
+        """All POIs requests can target, in a deterministic popularity order.
+
+        Products from every store are interleaved with the city POIs so the
+        popular head of the Zipf distribution spans several map servers.
+        """
+        pois: list[PointOfInterest] = []
+        for store_index, store in enumerate(self.scenario.stores):
+            for name in sorted(store.product_locations):
+                pois.append(
+                    PointOfInterest(name, store.product_locations[name], store_index)
+                )
+        for name in sorted(self.scenario.city.poi_locations):
+            pois.append(PointOfInterest(name, self.scenario.city.poi_locations[name]))
+        if not pois:
+            raise ValueError("scenario has no POIs to build a workload from")
+        # Deterministic popularity shuffle so rank is not correlated with
+        # store order.
+        random.Random(self.config.seed).shuffle(pois)
+        return pois
+
+    def _build_fleet(self) -> list[FleetClient]:
+        stores = self.scenario.stores
+        city_bounds = self.scenario.city.bounds
+        commute_stops = [store.entrance for store in stores[:2]]
+        if len(commute_stops) < 2:
+            commute_stops = [
+                city_bounds.south_west,
+                stores[0].entrance if stores else city_bounds.north_east,
+            ]
+
+        fleet: list[FleetClient] = []
+        for index in range(self.config.clients):
+            mobility: MobilityModel
+            if stores and index % 3 == 1:
+                mobility = AisleWalk(stores[(index // 3) % len(stores)])
+            elif index % 3 == 2:
+                mobility = CommuterHandoff(list(commute_stops))
+            else:
+                mobility = RandomWaypoint(city_bounds)
+            fleet.append(
+                FleetClient(
+                    index=index,
+                    client=self.scenario.federation.client(),
+                    mobility=mobility,
+                    rng=random.Random(self.config.seed + _CLIENT_SEED_STRIDE * (index + 1)),
+                )
+            )
+        return fleet
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self) -> WorkloadReport:
+        """Run the configured number of steps across the whole fleet.
+
+        Clients within one round act *concurrently*: each runs serially from
+        the same simulated instant and the clock is rewound between them, so
+        a round advances time by its slowest request (plus the configured
+        inter-round pacing) rather than by the sum over the whole fleet.
+        Without this, large fleets would spuriously age every TTL between one
+        client's consecutive requests.
+        """
+        clock = self.scenario.federation.network.clock
+        started_at = clock.now()
+        for _ in range(self.config.steps):
+            round_start = clock.now()
+            slowest = 0.0
+            for device in self.fleet:
+                device.advance()
+                kind = self.config.mix.sample(device.rng)
+                self._issue(device, kind)
+                slowest = max(slowest, clock.now() - round_start)
+                clock.rewind_to(round_start)
+            clock.advance(slowest + self.config.step_seconds)
+        return self._report(clock.now() - started_at)
+
+    def _issue(self, device: FleetClient, kind: RequestKind) -> None:
+        network = self.scenario.federation.network
+        latency_before = network.stats.total_latency_ms
+        issued = True
+        try:
+            if kind == RequestKind.SEARCH:
+                self._do_search(device)
+            elif kind == RequestKind.ROUTE:
+                issued = self._do_route(device)
+            elif kind == RequestKind.TILES:
+                self._do_tiles(device)
+            else:
+                self._do_localize(device)
+        except FederatedRoutingError:
+            # Failed requests are counted separately; their (often short)
+            # abort latency must not dilute the success-path percentiles.
+            self.metrics.counter(f"errors.{kind.value}").increment()
+            return
+        if not issued:
+            # No traffic was generated; recording a request with 0 ms latency
+            # would dilute the tail percentiles the benchmarks compare.  The
+            # counter lives outside the "requests." namespace so _report's
+            # prefix sum counts only real traffic.
+            self.metrics.counter(f"skipped.{kind.value}").increment()
+            return
+        self.metrics.counter(f"requests.{kind.value}").increment()
+        latency_ms = network.stats.total_latency_ms - latency_before
+        self.metrics.histogram("latency_ms.all").observe(latency_ms)
+        self.metrics.histogram(f"latency_ms.{kind.value}").observe(latency_ms)
+
+    def _do_search(self, device: FleetClient) -> None:
+        poi = self._poi_sampler.sample(device.rng)
+        result = device.client.search(
+            poi.name, near=poi.location, radius_meters=self.config.search_radius_meters
+        )
+        self.metrics.counter("search.results").increment(len(result))
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+
+    def _do_route(self, device: FleetClient) -> bool:
+        """Route to a popular POI; returns False if no route was worth issuing.
+
+        A shopper standing on the very shelf it would route to resamples a
+        few times before giving up, so zero-length "routes" never happen.
+        """
+        for _ in range(4):
+            poi = self._poi_sampler.sample(device.rng)
+            if device.position.distance_to(poi.location) < 1.0:
+                continue
+            result = device.client.route(device.position, poi.location)
+            self.metrics.histogram("route.length_meters").observe(result.length_meters)
+            self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+            return True
+        return False
+
+    def _do_tiles(self, device: FleetClient) -> None:
+        viewport = BoundingBox.around(device.position, self.config.viewport_meters)
+        result = device.client.render_viewport(viewport, zoom=self.config.tile_zoom)
+        self.metrics.counter("tiles.downloaded").increment(result.tiles_downloaded)
+        self.metrics.counter("tiles.from_cache").increment(result.tiles_from_cache)
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+
+    def _do_localize(self, device: FleetClient) -> None:
+        cues = self._sense(device)
+        result = device.client.localize(device.position, cues)
+        if result.best is not None:
+            self.metrics.counter("localize.fixes").increment()
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+
+    def _sense(self, device: FleetClient) -> CueBundle:
+        """What the device senses where it stands.
+
+        Devices walking a store sense that store's beacons and imagery (the
+        rich indoor bundle); everyone else has only a noisy satellite fix.
+        """
+        if isinstance(device.mobility, AisleWalk):
+            store = device.mobility.store
+            local = store.geographic_to_local(device.position)
+            if store.contains_local(local):
+                return store.sense_cues(local, device.rng)
+        bearing = device.rng.uniform(0.0, 360.0)
+        offset = abs(device.rng.gauss(0.0, self.config.gnss_error_meters))
+        return CueBundle(
+            gnss=GnssCue(
+                device.position.destination(bearing, offset),
+                accuracy_meters=self.config.gnss_error_meters,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def _report(self, simulated_seconds: float) -> WorkloadReport:
+        requests = sum(
+            counter.value
+            for name, counter in self.metrics.counters.items()
+            if name.startswith("requests.")
+        )
+        errors = sum(
+            counter.value
+            for name, counter in self.metrics.counters.items()
+            if name.startswith("errors.")
+        )
+        discovery_hits = discovery_misses = 0
+        tile_hits = tile_misses = 0
+        for device in self.fleet:
+            stats = device.client.cache_stats()
+            discovery_hits += int(stats["discovery.hits"])
+            discovery_misses += int(stats["discovery.misses"])
+            tile_hits += int(stats["tiles.hits"])
+            tile_misses += int(stats["tiles.misses"])
+        return WorkloadReport(
+            metrics=self.metrics,
+            requests=requests,
+            errors=errors,
+            discovery_cache_hits=discovery_hits,
+            discovery_cache_misses=discovery_misses,
+            tile_cache_hits=tile_hits,
+            tile_cache_misses=tile_misses,
+            dns_cache_hit_rate=self.scenario.federation.resolver.cache.stats.hit_rate,
+            simulated_seconds=simulated_seconds,
+        )

@@ -1,0 +1,181 @@
+"""Unit tests for the client-side caches (discovery LRU + tile LRU)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.discovery.cache import DiscoveryCache
+from repro.simulation.clock import SimulatedClock
+from repro.tiles.cache import TileCache
+from repro.tiles.renderer import Tile
+from repro.tiles.tile_math import TILE_SIZE_PIXELS, TileCoordinate
+
+
+class TestDiscoveryCache:
+    @pytest.fixture()
+    def clock(self) -> SimulatedClock:
+        return SimulatedClock()
+
+    @pytest.fixture()
+    def cache(self, clock: SimulatedClock) -> DiscoveryCache:
+        return DiscoveryCache(clock=clock, max_entries=3, default_ttl_seconds=100.0)
+
+    def test_miss_then_hit(self, cache: DiscoveryCache):
+        assert cache.get("cell-a") is None
+        cache.put("cell-a", ["s1", "s2"])
+        assert cache.get("cell-a") == ("s1", "s2")
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_servers_deduplicated_in_order(self, cache: DiscoveryCache):
+        cache.put("cell-a", ["s2", "s1", "s2"])
+        assert cache.get("cell-a") == ("s2", "s1")
+
+    def test_ttl_expiry(self, cache: DiscoveryCache, clock: SimulatedClock):
+        cache.put("cell-a", ["s1"])
+        clock.advance(101.0)
+        assert cache.get("cell-a") is None
+        assert cache.stats.expirations == 1
+
+    def test_dns_ttl_clamps_entry_lifetime(self, cache: DiscoveryCache, clock: SimulatedClock):
+        cache.put("cell-a", ["s1"], ttl_seconds=10.0)
+        clock.advance(11.0)
+        assert cache.get("cell-a") is None
+        cache.put("cell-b", ["s1"], ttl_seconds=500.0)  # device TTL is smaller
+        clock.advance(101.0)
+        assert cache.get("cell-b") is None
+
+    def test_lru_eviction_order(self, cache: DiscoveryCache):
+        for token in ("a", "b", "c"):
+            cache.put(token, ["s"])
+        assert cache.get("a") is not None  # refresh "a"
+        cache.put("d", ["s"])  # evicts "b", the least recently used
+        assert cache.stats.evictions == 1
+        assert cache.get("b") is None
+        assert cache.get("a") is not None
+        assert cache.size == 3
+
+    def test_disabled_cache_is_inert(self, clock: SimulatedClock):
+        cache = DiscoveryCache(clock=clock, default_ttl_seconds=0.0)
+        cache.put("cell-a", ["s1"])
+        assert cache.get("cell-a") is None
+        assert not cache.enabled
+        assert cache.size == 0
+        assert cache.stats.hits == 0 and cache.stats.misses == 0
+
+    def test_flush(self, cache: DiscoveryCache):
+        cache.put("cell-a", ["s1"])
+        cache.flush()
+        assert cache.size == 0
+
+
+def _tile(name: str) -> Tile:
+    raster = np.zeros((TILE_SIZE_PIXELS, TILE_SIZE_PIXELS), dtype=np.uint8)
+    return Tile(coordinate=TileCoordinate(10, 1, 1), raster=raster, source_map=name)
+
+
+class TestTileCache:
+    def test_miss_then_hit(self):
+        cache = TileCache(max_entries=4)
+        coordinate = TileCoordinate(12, 5, 9)
+        assert cache.get("server-a", coordinate) is None
+        cache.put("server-a", coordinate, _tile("a"))
+        hit = cache.get("server-a", coordinate)
+        assert hit is not None and hit.source_map == "a"
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_keyed_by_server_and_coordinate(self):
+        cache = TileCache(max_entries=4)
+        coordinate = TileCoordinate(12, 5, 9)
+        cache.put("server-a", coordinate, _tile("a"))
+        assert cache.get("server-b", coordinate) is None
+        assert cache.get("server-a", TileCoordinate(12, 5, 8)) is None
+
+    def test_lru_eviction(self):
+        cache = TileCache(max_entries=2)
+        first = TileCoordinate(10, 0, 0)
+        second = TileCoordinate(10, 1, 0)
+        third = TileCoordinate(10, 2, 0)
+        cache.put("s", first, _tile("one"))
+        cache.put("s", second, _tile("two"))
+        assert cache.get("s", first) is not None  # refresh first
+        cache.put("s", third, _tile("three"))  # evicts second
+        assert cache.stats.evictions == 1
+        assert cache.get("s", second) is None
+        assert cache.get("s", first) is not None
+        assert cache.size == 2
+
+    def test_flush(self):
+        cache = TileCache()
+        cache.put("s", TileCoordinate(10, 0, 0), _tile("one"))
+        cache.flush()
+        assert cache.size == 0
+
+
+class TestCachedTileClient:
+    def test_repeat_viewport_hits_cache_and_skips_network(self):
+        from repro.core.config import FederationConfig
+        from repro.worldgen.scenario import build_scenario
+
+        cached_scenario = build_scenario(
+            store_count=1,
+            city_rows=4,
+            city_cols=4,
+            config=FederationConfig(client_tile_cache_entries=512),
+            seed=6,
+        )
+        client = cached_scenario.federation.client()
+        store = cached_scenario.stores[0]
+        viewport = store.map_data.bounding_box().expanded(30.0)
+
+        first = client.render_viewport(viewport, zoom=18)
+        assert first.tiles_downloaded > 0
+        assert first.tiles_from_cache == 0
+
+        before = cached_scenario.federation.network.stats.messages_by_kind.get(
+            "mapserver.request", 0
+        )
+        second = client.render_viewport(viewport, zoom=18)
+        after = cached_scenario.federation.network.stats.messages_by_kind.get(
+            "mapserver.request", 0
+        )
+        assert second.tiles_from_cache == first.tiles_downloaded
+        assert second.tiles_downloaded == 0
+        assert after == before
+        assert second.composites.keys() == first.composites.keys()
+        assert client.cache_stats()["tiles.hits"] > 0
+
+    def test_revoked_access_is_not_served_from_the_cache(self):
+        """Regression: cached tiles must respect the server's current policy."""
+        from repro.core.config import FederationConfig
+        from repro.mapserver.policy import ServiceName
+        from repro.worldgen.scenario import build_scenario
+
+        cached_scenario = build_scenario(
+            store_count=1,
+            city_rows=4,
+            city_cols=4,
+            config=FederationConfig(client_tile_cache_entries=512),
+            seed=6,
+        )
+        client = cached_scenario.federation.client()
+        store_server = cached_scenario.store_server(0)
+        viewport = cached_scenario.stores[0].map_data.bounding_box().expanded(30.0)
+
+        warm = client.render_viewport(viewport, zoom=18)
+        store_sources = {
+            source
+            for composite in warm.composites.values()
+            for source in composite.contributions
+        }
+        assert store_server.map_data.metadata.name in store_sources
+
+        store_server.policy.require_token(ServiceName.TILES, "secret")
+        revoked = client.render_viewport(viewport, zoom=18)
+        revoked_sources = {
+            source
+            for composite in revoked.composites.values()
+            for source in composite.contributions
+        }
+        assert store_server.map_data.metadata.name not in revoked_sources

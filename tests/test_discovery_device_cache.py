@@ -65,3 +65,28 @@ class TestDeviceCache:
         warm = cached_client.discover(ANCHOR, uncertainty_meters=60.0)
         repeat = cached_client.discover(ANCHOR, uncertainty_meters=60.0)
         assert set(repeat.server_ids) == set(warm.server_ids)
+
+    def test_device_entry_cannot_outlive_the_dns_record(self):
+        """Regression: entries seeded from a resolver-cached answer must
+        expire with the DNS record, not a full device TTL later."""
+        config = FederationConfig(
+            registration_ttl_seconds=90.0,
+            device_discovery_cache_ttl_seconds=120.0,
+        )
+        federation = Federation(config=config)
+        store = generate_store("ttl-store.example", ANCHOR, seed=5)
+        federation.add_map_server("ttl-store.example", store.map_data)
+
+        # Client A warms the resolver cache at t=0 (records expire at t=90).
+        federation.client().discover(ANCHOR, uncertainty_meters=40.0)
+        federation.network.clock.advance(80.0)
+
+        # Client B discovers at t=80 from the resolver cache: only ~10s of
+        # record lifetime remain, so its device entry must expire at t=90.
+        client_b = federation.client()
+        client_b.discover(ANCHOR, uncertainty_meters=40.0)
+        federation.network.clock.advance(35.0)  # t=115, past DNS expiry
+
+        result = client_b.discover(ANCHOR, uncertainty_meters=40.0)
+        assert result.dns_lookups > 0  # re-resolved, not served from the device cache
+        assert "ttl-store.example" in result.server_ids

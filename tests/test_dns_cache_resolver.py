@@ -74,6 +74,64 @@ class TestDnsCache:
         cache.flush()
         assert cache.size == 0
 
+    def test_remaining_ttl_tracks_the_clock(self, cache: DnsCache, clock: SimulatedClock):
+        cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 60)])
+        assert cache.remaining_ttl("a.example", RecordType.A) == pytest.approx(60.0)
+        clock.advance(20.0)
+        assert cache.remaining_ttl("a.example", RecordType.A) == pytest.approx(40.0)
+        clock.advance(41.0)
+        assert cache.remaining_ttl("a.example", RecordType.A) is None
+
+    def test_remaining_ttl_covers_negative_entries_and_keeps_stats(self, cache: DnsCache):
+        assert cache.remaining_ttl("ghost.example", RecordType.SRV) is None
+        cache.put_negative("ghost.example", RecordType.SRV)
+        assert cache.remaining_ttl("ghost.example", RecordType.SRV) == pytest.approx(
+            cache.negative_ttl_seconds
+        )
+        # remaining_ttl is a pure peek: no hits/misses are recorded.
+        assert cache.stats.hits == 0 and cache.stats.misses == 0 and cache.stats.negative_hits == 0
+
+    def test_filling_past_max_entries_counts_each_eviction(self, clock: SimulatedClock):
+        cache = DnsCache(clock=clock, max_entries=5)
+        for index in range(12):
+            cache.put(
+                f"n{index}.example",
+                RecordType.A,
+                [ResourceRecord(f"n{index}.example", RecordType.A, "1.1.1.1", 300)],
+            )
+            assert len(cache._positive) <= 5
+        # Every insertion past capacity displaced exactly one fresh entry.
+        assert cache.stats.evictions == 12 - 5
+        assert cache.stats.insertions == 12
+        # The survivors are all still resolvable from the cache.
+        surviving = sum(
+            1 for index in range(12) if cache.get(f"n{index}.example", RecordType.A)
+        )
+        assert surviving == 5
+
+    def test_expired_entries_evicted_before_live_ones(self, clock: SimulatedClock):
+        cache = DnsCache(clock=clock, max_entries=4)
+        for index in range(3):
+            cache.put(
+                f"short{index}.example",
+                RecordType.A,
+                [ResourceRecord(f"short{index}.example", RecordType.A, "1.1.1.1", 10)],
+            )
+        cache.put(
+            "long.example",
+            RecordType.A,
+            [ResourceRecord("long.example", RecordType.A, "2.2.2.2", 10_000)],
+        )
+        clock.advance(11.0)  # the three short entries are now expired
+        cache.put(
+            "new.example",
+            RecordType.A,
+            [ResourceRecord("new.example", RecordType.A, "3.3.3.3", 300)],
+        )
+        assert cache.stats.evictions == 3  # the expired entries, not the live one
+        assert cache.get("long.example", RecordType.A) is not None
+        assert cache.get("new.example", RecordType.A) is not None
+
     def test_hit_rate(self, cache: DnsCache):
         cache.get("a.example", RecordType.A)
         cache.put("a.example", RecordType.A, [ResourceRecord("a.example", RecordType.A, "1.1.1.1", 60)])
@@ -144,6 +202,32 @@ class TestRecursiveResolver:
         assert first.is_nxdomain
         second = resolver.resolve("ghost.maps.example", RecordType.A)
         assert second.from_cache
+
+    def test_expired_nxdomain_re_resolves(
+        self, resolver: RecursiveResolver, network: SimulatedNetwork
+    ):
+        """After the negative TTL lapses the resolver must go upstream again."""
+        resolver.resolve("ghost.maps.example", RecordType.A)
+        exchanges_after_first = resolver.stats.authoritative_exchanges
+        network.clock.advance(resolver.cache.negative_ttl_seconds + 1.0)
+        response = resolver.resolve("ghost.maps.example", RecordType.A)
+        assert not response.from_cache
+        assert response.is_nxdomain
+        assert resolver.stats.authoritative_exchanges > exchanges_after_first
+
+    def test_name_registered_after_nxdomain_becomes_visible(
+        self, network: SimulatedNetwork
+    ):
+        """A cell with no server today can gain one once the NXDOMAIN ages out."""
+        resolver, maps_server = _build_namespace(network)
+        assert resolver.resolve("late.maps.example", RecordType.A).is_nxdomain
+        maps_server.zones["maps.example"].add("late.maps.example", RecordType.A, "10.0.9.9")
+        # Still negative while the NXDOMAIN entry lives...
+        assert resolver.resolve("late.maps.example", RecordType.A).is_nxdomain
+        network.clock.advance(resolver.cache.negative_ttl_seconds + 1.0)
+        # ...and resolvable after it expires.
+        refreshed = resolver.resolve("late.maps.example", RecordType.A)
+        assert refreshed.answers and refreshed.answers[0].data == "10.0.9.9"
 
     def test_resolve_data_returns_strings(self, resolver: RecursiveResolver):
         data = resolver.resolve_data("city.maps.example", RecordType.SRV)

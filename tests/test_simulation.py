@@ -2,10 +2,12 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.simulation.clock import SimulatedClock
-from repro.simulation.metrics import Counter, MetricsRegistry, Summary, percentile
+from repro.simulation.metrics import Counter, Histogram, MetricsRegistry, Summary, percentile
 from repro.simulation.network import LatencyModel, SimulatedNetwork
 
 
@@ -24,6 +26,20 @@ class TestClock:
         clock = SimulatedClock()
         with pytest.raises(ValueError):
             clock.advance(-1.0)
+
+    def test_rewind_to_past_instant(self):
+        clock = SimulatedClock()
+        clock.advance(5.0)
+        clock.rewind_to(2.0)
+        assert clock.now() == 2.0
+
+    def test_rewind_cannot_go_forward_or_negative(self):
+        clock = SimulatedClock()
+        clock.advance(1.0)
+        with pytest.raises(ValueError):
+            clock.rewind_to(2.0)
+        with pytest.raises(ValueError):
+            clock.rewind_to(-0.1)
 
 
 class TestNetwork:
@@ -81,6 +97,43 @@ class TestMetrics:
         assert summary.mean == 0.0
         assert summary.stddev == 0.0
 
+    def test_empty_summary_snapshot_has_no_infinities(self):
+        """Regression: an empty summary must not leak its ±inf sentinels."""
+        snapshot = Summary("x").snapshot()
+        assert snapshot["x.min"] == 0.0
+        assert snapshot["x.max"] == 0.0
+        assert snapshot["x.mean"] == 0.0
+        assert snapshot["x.stddev"] == 0.0
+        assert snapshot["x.count"] == 0.0
+        assert all(math.isfinite(value) for value in snapshot.values())
+
+    def test_empty_summary_in_registry_snapshot(self):
+        registry = MetricsRegistry()
+        registry.summary("untouched")
+        snapshot = registry.snapshot()
+        assert snapshot["untouched.min"] == 0.0
+        assert snapshot["untouched.max"] == 0.0
+        assert all(math.isfinite(value) for value in snapshot.values())
+
+    def test_single_observation_stddev_is_zero(self):
+        summary = Summary("x")
+        summary.observe(7.5)
+        assert summary.stddev == 0.0
+        snapshot = summary.snapshot()
+        assert snapshot["x.min"] == 7.5
+        assert snapshot["x.max"] == 7.5
+        assert snapshot["x.stddev"] == 0.0
+
+    def test_summary_snapshot_round_trip(self):
+        summary = Summary("lat")
+        summary.observe_many([2.0, 4.0])
+        snapshot = summary.snapshot()
+        assert snapshot["lat.mean"] == pytest.approx(3.0)
+        assert snapshot["lat.count"] == 2.0
+        assert snapshot["lat.min"] == 2.0
+        assert snapshot["lat.max"] == 4.0
+        assert snapshot["lat.stddev"] == pytest.approx(1.0)
+
     def test_registry_snapshot(self):
         registry = MetricsRegistry()
         registry.counter("requests").increment(3)
@@ -110,3 +163,46 @@ class TestMetrics:
 
     def test_percentile_single_value(self):
         assert percentile([42.0], 0.99) == 42.0
+
+
+class TestHistogram:
+    def test_percentiles(self):
+        histogram = Histogram("latency")
+        histogram.observe_many(float(v) for v in range(1, 101))
+        assert histogram.count == 100
+        assert histogram.mean == pytest.approx(50.5)
+        assert histogram.p50 == pytest.approx(50.5)
+        assert histogram.p95 == pytest.approx(95.05)
+        assert histogram.p99 == pytest.approx(99.01)
+
+    def test_empty_histogram_reports_zero(self):
+        histogram = Histogram("x")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.p50 == 0.0
+        assert histogram.p99 == 0.0
+
+    def test_unordered_observations(self):
+        histogram = Histogram("x")
+        histogram.observe_many([9.0, 1.0, 5.0])
+        assert histogram.p50 == 5.0
+
+    def test_snapshot_keys(self):
+        histogram = Histogram("lat")
+        histogram.observe(10.0)
+        snapshot = histogram.snapshot()
+        assert snapshot == {
+            "lat.count": 1.0,
+            "lat.mean": 10.0,
+            "lat.p50": 10.0,
+            "lat.p95": 10.0,
+            "lat.p99": 10.0,
+        }
+
+    def test_registry_histogram_in_snapshot(self):
+        registry = MetricsRegistry()
+        registry.histogram("lat").observe_many([1.0, 3.0])
+        snapshot = registry.snapshot()
+        assert snapshot["lat.p50"] == pytest.approx(2.0)
+        registry.reset()
+        assert registry.snapshot() == {}

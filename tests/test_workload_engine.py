@@ -1,0 +1,201 @@
+"""Tests for the workload engine: traffic, mobility and determinism."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.geometry.bbox import BoundingBox
+from repro.workload import (
+    AisleWalk,
+    CommuterHandoff,
+    RandomWaypoint,
+    RequestKind,
+    RequestMix,
+    WorkloadConfig,
+    WorkloadEngine,
+    ZipfSampler,
+    zipf_weights,
+)
+from repro.worldgen.scenario import build_scenario
+
+
+def _workload_scenario(cached: bool, seed: int = 21):
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=120.0 if cached else 0.0,
+        client_tile_cache_entries=128 if cached else 0,
+    )
+    return build_scenario(store_count=2, city_rows=4, city_cols=4, config=config, seed=seed)
+
+
+class TestZipf:
+    def test_weights_normalized_and_decreasing(self):
+        weights = zipf_weights(10, exponent=1.0)
+        assert sum(weights) == pytest.approx(1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] > weights[-1]
+
+    def test_exponent_zero_is_uniform(self):
+        weights = zipf_weights(4, exponent=0.0)
+        assert all(weight == pytest.approx(0.25) for weight in weights)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, exponent=-1.0)
+        with pytest.raises(ValueError):
+            ZipfSampler([])
+
+    def test_sampler_deterministic_and_skewed(self):
+        sampler = ZipfSampler(list("abcdefgh"), exponent=1.2)
+        first = [sampler.sample(random.Random(5)) for _ in range(1)]
+        second = [sampler.sample(random.Random(5)) for _ in range(1)]
+        assert first == second
+        rng = random.Random(0)
+        draws = [sampler.sample(rng) for _ in range(500)]
+        assert draws.count("a") > draws.count("h")
+
+
+class TestRequestMix:
+    def test_sampling_covers_all_kinds(self):
+        mix = RequestMix()
+        rng = random.Random(3)
+        kinds = {mix.sample(rng) for _ in range(300)}
+        assert kinds == set(RequestKind)
+
+    def test_zero_weight_kind_never_sampled(self):
+        mix = RequestMix(search=1.0, route=0.0, tiles=0.0, localize=0.0)
+        rng = random.Random(3)
+        assert all(mix.sample(rng) == RequestKind.SEARCH for _ in range(50))
+
+    def test_invalid_mixes(self):
+        with pytest.raises(ValueError):
+            RequestMix(search=-0.1)
+        with pytest.raises(ValueError):
+            RequestMix(search=0.0, route=0.0, tiles=0.0, localize=0.0)
+
+
+class TestMobility:
+    BOUNDS = BoundingBox(40.40, -80.00, 40.46, -79.92)
+
+    def test_random_waypoint_stays_in_bounds(self):
+        model = RandomWaypoint(self.BOUNDS, step_meters=200.0)
+        rng = random.Random(8)
+        position = model.reset(rng)
+        roomy = self.BOUNDS.expanded(10.0)
+        for _ in range(100):
+            position = model.step(rng)
+            assert roomy.contains(position)
+
+    def test_random_waypoint_deterministic(self):
+        first = RandomWaypoint(self.BOUNDS)
+        second = RandomWaypoint(self.BOUNDS)
+        rng_a, rng_b = random.Random(4), random.Random(4)
+        first.reset(rng_a)
+        second.reset(rng_b)
+        for _ in range(30):
+            assert first.step(rng_a) == second.step(rng_b)
+
+    def test_aisle_walk_stays_near_store(self, store):
+        model = AisleWalk(store)
+        rng = random.Random(2)
+        position = model.reset(rng)
+        assert position == store.entrance
+        footprint = store.map_data.bounding_box().expanded(10.0)
+        for _ in range(60):
+            assert footprint.contains(model.step(rng))
+
+    def test_commuter_walks_between_stops_and_returns(self):
+        start = self.BOUNDS.south_west
+        end = start.destination(45.0, 400.0)
+        model = CommuterHandoff([start, end], step_meters=90.0)
+        rng = random.Random(1)
+        model.reset(rng)
+        visited_far = visited_home = False
+        for _ in range(30):
+            position = model.step(rng)
+            if position.distance_to(end) < 1.0:
+                visited_far = True
+            if visited_far and position.distance_to(start) < 1.0:
+                visited_home = True
+        assert visited_far and visited_home
+
+    def test_commuter_requires_two_stops(self):
+        with pytest.raises(ValueError):
+            CommuterHandoff([self.BOUNDS.south_west])
+
+
+class TestWorkloadEngine:
+    @pytest.fixture(scope="class")
+    def cached_report(self):
+        scenario = _workload_scenario(cached=True)
+        engine = WorkloadEngine(scenario, WorkloadConfig(clients=9, steps=4, seed=3))
+        return engine.run()
+
+    def test_fixed_seed_gives_identical_snapshots(self):
+        snapshots = []
+        for _ in range(2):
+            scenario = _workload_scenario(cached=True)
+            engine = WorkloadEngine(scenario, WorkloadConfig(clients=6, steps=3, seed=11))
+            snapshots.append(engine.run().snapshot())
+        assert snapshots[0] == snapshots[1]
+
+    def test_all_requests_recorded(self, cached_report):
+        skipped = sum(
+            counter.value
+            for name, counter in cached_report.metrics.counters.items()
+            if name.startswith("skipped.")
+        )
+        assert cached_report.requests + skipped + cached_report.errors == 9 * 4
+        assert cached_report.requests > 0
+        latency = cached_report.metrics.histogram("latency_ms.all")
+        assert latency.count == cached_report.requests
+        per_kind = sum(
+            cached_report.metrics.histogram(f"latency_ms.{kind.value}").count
+            for kind in RequestKind
+        )
+        assert per_kind == cached_report.requests
+
+    def test_no_zero_latency_route_observations(self, cached_report):
+        """Regression: skipped no-op routes must not dilute the tail percentiles."""
+        route_latency = cached_report.metrics.histograms.get("latency_ms.route")
+        if route_latency is not None and route_latency.count:
+            lengths = cached_report.metrics.histogram("route.length_meters")
+            assert all(length >= 1.0 for length in lengths.values)
+
+    def test_latency_percentiles_does_not_mutate_snapshot(self, cached_report):
+        """Regression: querying an unseen service must not grow the registry."""
+        before = cached_report.snapshot()
+        cached_report.latency_percentiles("never-issued-service")
+        assert cached_report.snapshot() == before
+        assert cached_report.latency_percentiles("never-issued-service") == {
+            "p50": 0.0,
+            "p95": 0.0,
+            "p99": 0.0,
+        }
+
+    def test_tail_percentiles_ordered(self, cached_report):
+        tail = cached_report.latency_percentiles()
+        assert 0.0 < tail["p50"] <= tail["p95"] <= tail["p99"]
+
+    def test_cached_fleet_beats_uncached_hit_rate(self, cached_report):
+        scenario = _workload_scenario(cached=False)
+        engine = WorkloadEngine(scenario, WorkloadConfig(clients=9, steps=4, seed=3))
+        uncached = engine.run()
+        assert uncached.discovery_cache_hit_rate == 0.0
+        assert cached_report.discovery_cache_hit_rate > uncached.discovery_cache_hit_rate
+        assert cached_report.tile_cache_hit_rate > 0.0
+
+    def test_simulated_time_advances_with_pacing(self, cached_report):
+        assert cached_report.simulated_seconds >= 4 * 2.0  # steps * step_seconds
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(clients=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(steps=0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(step_seconds=-1.0)

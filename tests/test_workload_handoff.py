@@ -1,0 +1,121 @@
+"""End-to-end multi-server test: a commuter crossing two map servers.
+
+A client walks a commuter trace between two independently operated stores in
+the same city.  Along the way its discovery results must hand off from one
+store's map server to the other without ever losing the outdoor world
+provider, the device discovery cache must never change what is discovered
+(only what it costs), and a route that spans the boundary must stitch legs
+from both sides.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.workload.mobility import CommuterHandoff
+from repro.worldgen.scenario import build_scenario, outdoor_point_near
+
+SEED = 17
+CITY_SERVER = "city.maps.example"
+STORE_0 = "store-0.maps.example"
+STORE_1 = "store-1.maps.example"
+
+
+def _commuter_scenario(cached: bool):
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=300.0 if cached else 0.0,
+    )
+    return build_scenario(store_count=2, city_rows=5, city_cols=5, config=config, seed=SEED)
+
+
+def _walk_trace(scenario, steps: int = 40) -> list:
+    """The deterministic commuter trace between the two store entrances."""
+    model = CommuterHandoff(
+        [scenario.stores[0].entrance, scenario.stores[1].entrance], step_meters=40.0
+    )
+    rng = random.Random(SEED)
+    trace = [model.reset(rng)]
+    trace.extend(model.step(rng) for _ in range(steps))
+    return trace
+
+
+@pytest.fixture(scope="module")
+def cached_scenario():
+    return _commuter_scenario(cached=True)
+
+
+@pytest.fixture(scope="module")
+def uncached_scenario():
+    return _commuter_scenario(cached=False)
+
+
+class TestDiscoveryHandoff:
+    def test_both_stores_discovered_at_their_entrances(self, cached_scenario):
+        client = cached_scenario.federation.client()
+        at_store_0 = client.discover(cached_scenario.stores[0].entrance, uncertainty_meters=30.0)
+        at_store_1 = client.discover(cached_scenario.stores[1].entrance, uncertainty_meters=30.0)
+        assert STORE_0 in at_store_0 and STORE_1 not in at_store_0
+        assert STORE_1 in at_store_1 and STORE_0 not in at_store_1
+
+    def test_walk_hands_off_between_servers(self, cached_scenario):
+        client = cached_scenario.federation.client()
+        seen_by_step = [
+            set(client.discover(position, uncertainty_meters=30.0).server_ids)
+            for position in _walk_trace(cached_scenario)
+        ]
+        # The world provider never drops out mid-walk...
+        assert all(CITY_SERVER in seen for seen in seen_by_step)
+        # ...both stores are reached...
+        assert any(STORE_0 in seen for seen in seen_by_step)
+        assert any(STORE_1 in seen for seen in seen_by_step)
+        # ...and the middle of the leg belongs to the outdoor map alone.
+        assert any(seen == {CITY_SERVER} for seen in seen_by_step)
+
+    def test_device_cache_never_changes_what_is_discovered(
+        self, cached_scenario, uncached_scenario
+    ):
+        """Same trace, cached vs uncached federation: identical server sets."""
+        cached_client = cached_scenario.federation.client()
+        uncached_client = uncached_scenario.federation.client()
+        cached_walk = _walk_trace(cached_scenario)
+        uncached_walk = _walk_trace(uncached_scenario)
+        for cached_position, uncached_position in zip(cached_walk, uncached_walk):
+            assert cached_position == uncached_position
+            cached_seen = set(
+                cached_client.discover(cached_position, uncertainty_meters=30.0).server_ids
+            )
+            uncached_seen = set(
+                uncached_client.discover(uncached_position, uncertainty_meters=30.0).server_ids
+            )
+            assert cached_seen == uncached_seen
+        assert cached_client.context.discoverer.device_cache_hits > 0
+
+
+class TestRouteStitchingAcrossServers:
+    def test_route_across_the_boundary_uses_both_sides(self, cached_scenario):
+        client = cached_scenario.federation.client()
+        origin = outdoor_point_near(cached_scenario, store_index=0, distance_meters=120.0)
+        store_1 = cached_scenario.stores[1]
+        product = sorted(store_1.product_locations)[0]
+        destination = store_1.product_locations[product]
+
+        result = client.route(origin, destination)
+        assert STORE_1 in result.servers
+        assert CITY_SERVER in result.servers
+        assert result.legs_used >= 2
+        # The stitched route actually arrives: its last leg ends near the shelf.
+        assert result.route.legs[-1].end.distance_to(destination) < 30.0
+        assert result.length_meters >= origin.distance_to(destination) * 0.8
+
+    def test_route_is_stable_across_repeat_queries(self, cached_scenario):
+        """Warm caches must not change the stitched route."""
+        client = cached_scenario.federation.client()
+        origin = outdoor_point_near(cached_scenario, store_index=0, distance_meters=120.0)
+        destination = cached_scenario.stores[1].entrance
+        first = client.route(origin, destination)
+        second = client.route(origin, destination)
+        assert first.servers == second.servers
+        assert first.length_meters == pytest.approx(second.length_meters)
