@@ -1,24 +1,31 @@
-"""E13 — workload engine: client fleets, tail latency and cache hit-rates.
+"""E13 — workload engine: client fleets, tail latency and server saturation.
 
 Sweeps fleet size with the mixed search/route/tile/localize workload and
 compares cached against uncached discovery, reporting p50/p95/p99 request
-latency and the hit-rates of the three cache layers (device discovery cache,
-client tile LRU, resolver DNS cache).  This is the traffic-side companion to
-E3: instead of one client repeating one query, a Zipf-skewed fleet exercises
-the whole client stack.
+latency (including server-side queueing delay), the hit-rates of the three
+cache layers (device discovery cache, client tile LRU, resolver DNS cache),
+and — new with the server-side load model — per-map-server utilization,
+queue depth and dropped requests, so the sweep shows *where the servers
+saturate* rather than only what clients observe.
 
-Runs two ways:
+Runs three ways:
 
-* under pytest-benchmark like the other experiments, or
+* under pytest-benchmark like the other experiments;
 * standalone: ``python benchmarks/bench_e13_workload.py [--smoke]`` —
-  ``--smoke`` runs a reduced sweep that finishes in well under 30 seconds
-  (used by ``scripts/check.sh``).
+  ``--smoke`` runs a reduced sweep that finishes in seconds (used by
+  ``scripts/check.sh``, which also holds it to a wall-clock budget via
+  ``--budget-seconds``);
+* the full sweep (default) runs 10 → 10,000 clients and emits a
+  machine-readable ``BENCH_e13.json`` next to the repo root so future
+  changes can track the perf trajectory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+import time
 from pathlib import Path
 
 try:
@@ -27,6 +34,7 @@ except ImportError:  # standalone invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
 from repro.core.config import FederationConfig
+from repro.simulation.queueing import ServiceTimeModel
 from repro.workload import WorkloadConfig, WorkloadEngine
 from repro.worldgen.scenario import build_scenario
 
@@ -38,35 +46,86 @@ WORKLOAD_SEED = 7
 DEVICE_CACHE_TTL_SECONDS = 120.0
 TILE_CACHE_ENTRIES = 256
 
+SERVICE_TIMES = ServiceTimeModel(
+    default_ms=2.0,
+    per_kind_ms={
+        "search": 1.5,
+        "routing": 4.0,
+        "tiles": 0.5,
+        "localization": 2.5,
+    },
+)
+"""Per-request service times for the map-server load model.
 
-def build_workload_scenario(cached: bool, seed: int = WORLD_SEED):
-    """The standard E13 world, with client-side caches on or off."""
+Small against the 50 ms WAN round trip, so small fleets still measure the
+network; at thousands of concurrent clients per round the per-server work
+adds up and the queueing delay (then the drop rate) exposes the saturation
+knee.
+"""
+
+SERVER_QUEUE_CAPACITY = 256
+"""Deeper than the library default (64): the deterministic fleet issues
+requests in near-lockstep phases, so a shallow buffer sheds load well before
+the service rate itself saturates.  256 keeps drops a signal of genuine
+saturation (thousands of clients) rather than phase alignment."""
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e13.json"
+
+
+def build_workload_scenario(cached: bool, seed: int = WORLD_SEED, loaded: bool = True):
+    """The standard E13 world, with client caches and the server load model."""
     config = FederationConfig(
         device_discovery_cache_ttl_seconds=DEVICE_CACHE_TTL_SECONDS if cached else 0.0,
         client_tile_cache_entries=TILE_CACHE_ENTRIES if cached else 0,
+        service_times=SERVICE_TIMES if loaded else None,
+        server_queue_capacity=SERVER_QUEUE_CAPACITY,
     )
-    return build_scenario(store_count=2, city_rows=5, city_cols=5, config=config, seed=seed)
+    return build_scenario(
+        store_count=2,
+        city_rows=5,
+        city_cols=5,
+        config=config,
+        seed=seed,
+        reuse_worlds=True,
+    )
 
 
-def run_fleet(clients: int, steps: int, cached: bool, seed: int = WORKLOAD_SEED) -> dict[str, object]:
+def run_fleet(
+    clients: int,
+    steps: int,
+    cached: bool,
+    seed: int = WORKLOAD_SEED,
+    loaded: bool = True,
+) -> dict[str, object]:
     """Run one fleet and distill the results row the sweep tables print."""
-    scenario = build_workload_scenario(cached)
+    started = time.perf_counter()
+    scenario = build_workload_scenario(cached, loaded=loaded)
     engine = WorkloadEngine(
         scenario, WorkloadConfig(clients=clients, steps=steps, seed=seed)
     )
     report = engine.run()
+    wall_seconds = time.perf_counter() - started
     tail = report.latency_percentiles()
+    utilizations = [s.get("utilization", 0.0) for s in report.server_stats.values()]
+    depths = [s.get("max_depth", 0.0) for s in report.server_stats.values()]
     return {
         "clients": clients,
         "cached": str(cached),
         "requests": report.requests,
         "errors": report.errors,
+        "dropped": report.dropped_requests,
         "p50_ms": tail["p50"],
         "p95_ms": tail["p95"],
         "p99_ms": tail["p99"],
+        "util_max": max(utilizations, default=0.0),
+        "qdepth_max": max(depths, default=0.0),
         "disc_hit_rate": report.discovery_cache_hit_rate,
         "tile_hit_rate": report.tile_cache_hit_rate,
         "dns_hit_rate": report.dns_cache_hit_rate,
+        # Carried for the JSON artifact (dropped from the printed table).
+        "_server_stats": report.server_stats,
+        "_wall_seconds": wall_seconds,
+        "_simulated_seconds": report.simulated_seconds,
     }
 
 
@@ -78,6 +137,53 @@ def sweep(fleet_sizes: list[int], steps: int) -> list[dict[str, object]]:
     return rows
 
 
+def table_rows(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]
+
+
+def emit_json(rows: list[dict[str, object]], steps: int, path: Path) -> None:
+    """Write the machine-readable sweep artifact future PRs can diff."""
+    payload = {
+        "experiment": "E13",
+        "description": "fleet sweep with server-side queueing model",
+        "world_seed": WORLD_SEED,
+        "workload_seed": WORKLOAD_SEED,
+        "steps": steps,
+        "service_times_ms": {
+            "default": SERVICE_TIMES.default_ms,
+            **dict(SERVICE_TIMES.per_kind_ms),
+        },
+        "server_queue_capacity": SERVER_QUEUE_CAPACITY,
+        "rows": [
+            {
+                "clients": row["clients"],
+                "cached": row["cached"] == "True",
+                "requests": row["requests"],
+                "errors": row["errors"],
+                "dropped": row["dropped"],
+                "latency_ms": {
+                    "p50": row["p50_ms"],
+                    "p95": row["p95_ms"],
+                    "p99": row["p99_ms"],
+                },
+                "cache_hit_rates": {
+                    "discovery": row["disc_hit_rate"],
+                    "tiles": row["tile_hit_rate"],
+                    "dns": row["dns_hit_rate"],
+                },
+                "servers": row["_server_stats"],
+                "simulated_seconds": row["_simulated_seconds"],
+                "wall_seconds": row["_wall_seconds"],
+            }
+            for row in rows
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
 # ----------------------------------------------------------------------
 # pytest-benchmark entry points
 # ----------------------------------------------------------------------
@@ -85,7 +191,7 @@ def test_e13_cached_vs_uncached(benchmark):
     """Client-side caching lifts hit-rate and cuts the latency distribution."""
     uncached = run_fleet(clients=25, steps=6, cached=False)
     cached = run_fleet(clients=25, steps=6, cached=True)
-    print_table("E13 cached vs uncached discovery (25 clients)", [uncached, cached])
+    print_table("E13 cached vs uncached discovery (25 clients)", table_rows([uncached, cached]))
 
     assert cached["disc_hit_rate"] > uncached["disc_hit_rate"]
     assert cached["disc_hit_rate"] > 0.3
@@ -101,10 +207,26 @@ def test_e13_cached_vs_uncached(benchmark):
 def test_e13_fleet_size_sweep(benchmark):
     """Tail latency stays bounded as the fleet grows (shared caches warm up)."""
     rows = sweep([10, 50], steps=4)
-    print_table("E13 fleet size sweep", rows)
+    print_table("E13 fleet size sweep", table_rows(rows))
     cached_rows = [row for row in rows if row["cached"] == "True"]
     assert all(row["disc_hit_rate"] > 0.0 for row in cached_rows)
     benchmark(lambda: run_fleet(clients=10, steps=2, cached=True))
+
+
+def test_e13_server_saturation(benchmark):
+    """Server utilization grows with fleet size under the queueing model."""
+    small = run_fleet(clients=10, steps=3, cached=True)
+    large = run_fleet(clients=400, steps=3, cached=True)
+    print_table("E13 server saturation", table_rows([small, large]))
+    assert large["util_max"] > small["util_max"]
+    assert large["qdepth_max"] >= small["qdepth_max"]
+    # The queueing delay clients wait out grows with the fleet.
+    def worst_mean_wait(row):
+        return max(s["mean_wait_ms"] for s in row["_server_stats"].values())
+
+    assert worst_mean_wait(large) > worst_mean_wait(small)
+    benchmark.extra_info["util_max_400"] = large["util_max"]
+    benchmark(lambda: run_fleet(clients=50, steps=2, cached=True))
 
 
 def test_e13_deterministic_snapshot(benchmark):
@@ -133,9 +255,28 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="reduced sweep (finishes in <30s) for CI smoke checks",
+        help="reduced sweep (finishes in seconds) for CI smoke checks",
     )
     parser.add_argument("--steps", type=int, default=None, help="steps per client (>= 1)")
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=(
+            f"where to write the sweep artifact (full sweeps default to "
+            f"{DEFAULT_JSON_PATH.name}; smoke runs write nothing unless a "
+            "path is given, so they never clobber the full-sweep artifact)"
+        ),
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON artifact"
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the sweep takes longer than this wall-clock budget",
+    )
     args = parser.parse_args(argv)
     if args.steps is not None and args.steps < 1:
         parser.error("--steps must be >= 1")
@@ -144,19 +285,45 @@ def main(argv: list[str] | None = None) -> int:
         fleet_sizes = [10, 50]
         steps = args.steps if args.steps is not None else 3
     else:
-        fleet_sizes = [10, 100, 1000]
+        fleet_sizes = [10, 100, 1000, 10_000]
         steps = args.steps if args.steps is not None else 4
 
+    started = time.perf_counter()
     rows = sweep(fleet_sizes, steps)
-    print_table("E13 workload sweep (cached vs uncached discovery)", rows)
+    elapsed = time.perf_counter() - started
+    print_table("E13 workload sweep (cached vs uncached discovery)", table_rows(rows))
 
+    json_path = args.json if args.json is not None else (None if args.smoke else DEFAULT_JSON_PATH)
+    if not args.no_json and json_path is not None:
+        emit_json(rows, steps, json_path)
+        print(f"\nwrote {json_path}")
+
+    failures = []
     uncached = [row for row in rows if row["cached"] == "False"]
     cached = [row for row in rows if row["cached"] == "True"]
     for before, after in zip(uncached, cached):
         if after["disc_hit_rate"] <= before["disc_hit_rate"]:
-            print("FAIL: cached discovery did not beat the uncached baseline")
-            return 1
-    print("\nOK: cached discovery hit-rate beats the uncached baseline at every fleet size")
+            failures.append("cached discovery did not beat the uncached baseline")
+            break
+    if len(fleet_sizes) > 1:
+        smallest = [r for r in rows if r["clients"] == fleet_sizes[0]]
+        largest = [r for r in rows if r["clients"] == fleet_sizes[-1]]
+        if max(r["util_max"] for r in largest) <= max(r["util_max"] for r in smallest):
+            failures.append("server utilization did not grow with fleet size")
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        failures.append(
+            f"sweep took {elapsed:.1f}s, over the {args.budget_seconds:.1f}s budget "
+            "(hot-path regression?)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"\nOK: cached discovery wins at every fleet size and server load grows "
+        f"toward saturation ({elapsed:.1f}s)"
+    )
     return 0
 
 

@@ -1,5 +1,9 @@
 #!/usr/bin/env bash
 # Repo check: tier-1 test suite plus the workload benchmark in smoke mode.
+#
+# The smoke run is held to a wall-clock budget (E13_SMOKE_BUDGET_SECONDS,
+# default 20s — the optimized smoke finishes in ~1s, so only an
+# order-of-magnitude hot-path regression trips it).
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -10,8 +14,9 @@ echo "== tier-1: pytest =="
 python -m pytest -x -q
 
 echo
-echo "== benchmark smoke: E13 workload =="
-python benchmarks/bench_e13_workload.py --smoke
+echo "== benchmark smoke: E13 workload (budgeted) =="
+python benchmarks/bench_e13_workload.py --smoke --no-json \
+  --budget-seconds "${E13_SMOKE_BUDGET_SECONDS:-20}"
 
 echo
 echo "All checks passed."

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.core.federation import Federation
+from repro.dns.resolver import StubResolver
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle
@@ -38,6 +39,9 @@ class OpenFlameClient:
 
     federation: Federation
     credential: Credential | None = None
+    stub_resolver: StubResolver | None = None
+    """Resolver this device points at; ``None`` uses the federation default.
+    Workloads use this to shard a fleet across shared regional resolvers."""
     context: FederationContext = field(init=False)
     geocoder: FederatedGeocoder = field(init=False)
     searcher: FederatedSearch = field(init=False)
@@ -46,7 +50,9 @@ class OpenFlameClient:
     tile_client: FederatedTileClient = field(init=False)
 
     def __post_init__(self) -> None:
-        self.context = self.federation.build_context(self.credential or ANONYMOUS)
+        self.context = self.federation.build_context(
+            self.credential or ANONYMOUS, stub_resolver=self.stub_resolver
+        )
         self.geocoder = FederatedGeocoder(
             context=self.context, world_provider=self.federation.world_provider
         )

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 from repro.discovery.naming import DEFAULT_DISCOVERY_SUFFIX
 from repro.simulation.network import LatencyModel
+from repro.simulation.queueing import ServiceTimeModel
 from repro.spatialindex.covering import CoveringOptions
 
 
@@ -36,5 +37,15 @@ class FederationConfig:
     discovery_cache_max_entries: int = 4096
     client_tile_cache_entries: int = 0
     latency: LatencyModel = field(default_factory=LatencyModel)
-    default_routing_algorithm: str = "dijkstra"
+    default_routing_algorithm: str = "contraction"
+    """Map servers preprocess with contraction hierarchies and answer routing
+    queries with the fast bidirectional upward search (falling back to
+    Dijkstra for metrics the hierarchy was not built for)."""
     route_stitch_max_gap_meters: float = 250.0
+    service_times: ServiceTimeModel | None = None
+    """Per-request-kind service times for the server-side queueing model;
+    ``None`` (the default) keeps every map server infinitely fast, preserving
+    the exact latency accounting of the single-request experiments."""
+    server_queue_capacity: int = 64
+    """Bounded queue depth per map server once ``service_times`` is set;
+    requests arriving at a full queue are dropped (load shedding)."""

@@ -28,6 +28,7 @@ from repro.osm.mapdata import MapData
 from repro.services.context import FederationContext
 from repro.simulation.clock import SimulatedClock
 from repro.simulation.network import SimulatedNetwork
+from repro.simulation.queueing import ServerQueue
 
 
 @dataclass
@@ -68,6 +69,7 @@ class Federation:
             network=self.network,
         )
         self.stub_resolver = StubResolver(recursive=self.resolver, network=self.network)
+        self._resolver_pool: list[StubResolver] = [self.stub_resolver]
 
     # ------------------------------------------------------------------
     # Map server lifecycle
@@ -86,11 +88,19 @@ class Federation:
             raise FederationConfigError(f"map server {server_id!r} is already deployed")
         if coverage is not None:
             map_data.set_coverage(coverage)
+        queue: ServerQueue | None = None
+        if self.config.service_times is not None:
+            queue = ServerQueue(
+                network=self.network,
+                service_times=self.config.service_times,
+                capacity=self.config.server_queue_capacity,
+            )
         server = MapServer(
             server_id=server_id,
             map_data=map_data,
             policy=policy or AccessPolicy(),
             routing_algorithm=routing_algorithm or self.config.default_routing_algorithm,
+            queue=queue,
         )
         self.servers[server_id] = server
         self.registry.register_region(server_id, server.coverage)
@@ -117,12 +127,39 @@ class Federation:
         return self.servers.get(self.world_provider_id)
 
     # ------------------------------------------------------------------
+    # Shared regional resolver pools
+    # ------------------------------------------------------------------
+    def resolver_pool(self, pool_count: int) -> list[StubResolver]:
+        """Stub resolvers backed by ``pool_count`` shared recursive resolvers.
+
+        Pool 0 is the federation's default resolver, so a pool of one is the
+        historical single-shared-resolver deployment.  Each further pool gets
+        its own recursive resolver (and therefore its own DNS cache) over the
+        same namespace — the "several regional resolvers" deployment whose
+        per-pool hit rates the workload engine compares.
+        """
+        if pool_count < 1:
+            raise FederationConfigError("a federation needs at least one resolver pool")
+        while len(self._resolver_pool) < pool_count:
+            recursive = RecursiveResolver(
+                root=self.root_server,
+                servers=dict(self.resolver.servers),
+                network=self.network,
+            )
+            self._resolver_pool.append(StubResolver(recursive=recursive, network=self.network))
+        return self._resolver_pool[:pool_count]
+
+    # ------------------------------------------------------------------
     # Client-side context
     # ------------------------------------------------------------------
-    def build_context(self, credential: Credential | None = None) -> FederationContext:
+    def build_context(
+        self,
+        credential: Credential | None = None,
+        stub_resolver: StubResolver | None = None,
+    ) -> FederationContext:
         """Build the client-side context (discoverer + directory + network)."""
         discoverer = Discoverer(
-            resolver=self.stub_resolver,
+            resolver=stub_resolver or self.stub_resolver,
             naming=self.naming,
             query_level=self.config.discovery_level,
             ancestor_levels=self.config.discovery_ancestor_levels,
@@ -138,11 +175,15 @@ class Federation:
             context.credential = credential
         return context
 
-    def client(self, credential: Credential | None = None):
+    def client(
+        self,
+        credential: Credential | None = None,
+        stub_resolver: StubResolver | None = None,
+    ):
         """Create an :class:`repro.core.client.OpenFlameClient` for this federation."""
         from repro.core.client import OpenFlameClient
 
-        return OpenFlameClient(federation=self, credential=credential)
+        return OpenFlameClient(federation=self, credential=credential, stub_resolver=stub_resolver)
 
     # ------------------------------------------------------------------
     # Introspection

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 from repro.discovery.cache import DiscoveryCache
 from repro.discovery.naming import SpatialNaming
@@ -36,6 +37,19 @@ from repro.spatialindex.cellid import CellId
 from repro.spatialindex.covering import cells_at_level, normalize_covering
 
 
+@lru_cache(maxsize=65536)
+def _ancestor_walk(naming: SpatialNaming, token: str, ancestor_levels: int) -> tuple[str, ...]:
+    """Domain names for one cell's ancestor walk (cell first, then coarser).
+
+    Every client in a fleet walks the same city cells, and each walk re-derives
+    the same ~``ancestor_levels`` parent tokens and names; the walk is pure in
+    (naming, token), so one process-wide cache serves the whole fleet.  The
+    names themselves come from :meth:`SpatialNaming.ancestor_names` — this is
+    only a bounded, memoized view of it.
+    """
+    return tuple(naming.ancestor_names(CellId(token))[: ancestor_levels + 1])
+
+
 @dataclass(frozen=True, slots=True)
 class DiscoveryResult:
     """The outcome of one discovery query."""
@@ -43,6 +57,8 @@ class DiscoveryResult:
     server_ids: tuple[str, ...]
     cells_queried: tuple[CellId, ...]
     dns_lookups: int
+    coalesced_lookups: int = 0
+    """DNS lookups avoided because an identical query was already in flight."""
 
     def __contains__(self, server_id: str) -> bool:
         return server_id in self.server_ids
@@ -118,38 +134,52 @@ class Discoverer:
     def _discover_cells(self, cells: list[CellId]) -> DiscoveryResult:
         servers: list[str] = []
         seen: set[str] = set()
+        # Single-flight tables for this query batch: duplicate queries for a
+        # cell (or for a name shared between two cells' ancestor walks) issued
+        # while the first one is logically in flight coalesce onto its result
+        # instead of issuing more DNS traffic.
         name_results: dict[str, tuple[list[str], float]] = {}
+        cell_results: dict[str, list[str]] = {}
         lookups = 0
+        coalesced = 0
 
         for cell in cells:
-            cached = self.cache.get(cell.token)
-            if cached is not None:
-                cell_servers: list[str] = list(cached)
+            inflight = cell_results.get(cell.token)
+            if inflight is not None:
+                cell_servers = inflight
+                coalesced += 1
             else:
-                cell_servers = []
-                cell_expires_at = math.inf
-                for name in self._names_for_cell(cell):
-                    if name not in name_results:
-                        lookups += 1
-                        name_results[name] = self._resolve_name(name)
-                    name_servers, name_expires_at = name_results[name]
-                    cell_servers.extend(name_servers)
-                    cell_expires_at = min(cell_expires_at, name_expires_at)
-                # The expiry is absolute: the clock advances while the walk
-                # resolves, and an entry derived from an answer expiring at T
-                # must itself expire at T no matter when it is stored.
-                self.cache.put(
-                    cell.token,
-                    cell_servers,
-                    ttl_seconds=cell_expires_at - self.resolver.network.clock.now(),
-                )
+                cached = self.cache.get(cell.token)
+                if cached is not None:
+                    cell_servers = list(cached)
+                else:
+                    cell_servers = []
+                    cell_expires_at = math.inf
+                    for name in self._names_for_cell(cell):
+                        if name not in name_results:
+                            lookups += 1
+                            name_results[name] = self._resolve_name(name)
+                        else:
+                            coalesced += 1
+                        name_servers, name_expires_at = name_results[name]
+                        cell_servers.extend(name_servers)
+                        cell_expires_at = min(cell_expires_at, name_expires_at)
+                    # The expiry is absolute: the clock advances while the walk
+                    # resolves, and an entry derived from an answer expiring at
+                    # T must itself expire at T no matter when it is stored.
+                    self.cache.put(
+                        cell.token,
+                        cell_servers,
+                        ttl_seconds=cell_expires_at - self.resolver.network.clock.now(),
+                    )
+                cell_results[cell.token] = cell_servers
 
             for server_id in cell_servers:
                 if server_id not in seen:
                     seen.add(server_id)
                     servers.append(server_id)
 
-        return DiscoveryResult(tuple(servers), tuple(cells), lookups)
+        return DiscoveryResult(tuple(servers), tuple(cells), lookups, coalesced)
 
     def _resolve_name(self, name: str) -> tuple[list[str], float]:
         """Resolve one spatial name to server targets plus an absolute expiry.
@@ -184,18 +214,12 @@ class Discoverer:
             ttl = min(ttl, remaining)
         return targets, now + ttl
 
-    def _names_for_cell(self, cell: CellId) -> list[str]:
+    def _names_for_cell(self, cell: CellId) -> tuple[str, ...]:
         """Names to query for a cell: the cell itself plus a few ancestors.
 
         Registrations may live at coarser cells than the query level (large
         providers cover whole districts with one record), so each query also
-        walks up the hierarchy.  The walk is bounded by ``ancestor_levels``.
+        walks up the hierarchy.  The walk is bounded by ``ancestor_levels``
+        and memoized process-wide (see :func:`_ancestor_walk`).
         """
-        names = []
-        current = cell
-        for _ in range(self.ancestor_levels + 1):
-            names.append(self.naming.cell_to_name(current))
-            if current.is_root:
-                break
-            current = current.parent()
-        return names
+        return _ancestor_walk(self.naming, cell.token, self.ancestor_levels)

@@ -12,6 +12,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from enum import Enum
+from functools import lru_cache
 
 _LABEL_RE = re.compile(r"^[a-z0-9]([a-z0-9-]{0,61}[a-z0-9])?$")
 
@@ -29,8 +30,14 @@ class RecordType(str, Enum):
     PTR = "PTR"
 
 
+@lru_cache(maxsize=65536)
 def normalize_name(name: str) -> str:
-    """Canonicalise a domain name: lower-case, no trailing dot, no whitespace."""
+    """Canonicalise a domain name: lower-case, no trailing dot, no whitespace.
+
+    Memoized: resolution normalizes the same spatial names on every cache
+    probe, referral and zone lookup, so the repertoire of distinct names in a
+    run is tiny compared to the number of normalizations.
+    """
     cleaned = name.strip().lower().rstrip(".")
     if not cleaned:
         return ""

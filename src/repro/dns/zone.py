@@ -36,6 +36,8 @@ class Zone:
     default_ttl: float = 300.0
     _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(default_factory=dict)
     _delegations: set[str] = field(default_factory=set)
+    _name_index: dict[str, int] = field(default_factory=dict)
+    """How many record buckets exist per name — O(1) existence checks."""
 
     def __post_init__(self) -> None:
         self.origin = normalize_name(self.origin)
@@ -50,7 +52,10 @@ class Zone:
         if not is_subdomain(record.name, self.origin):
             raise ZoneError(f"record {record.name!r} is outside zone {self.origin!r}")
         key = (record.name, record.record_type)
-        bucket = self._records.setdefault(key, [])
+        bucket = self._records.get(key)
+        if bucket is None:
+            bucket = self._records[key] = []
+            self._name_index[record.name] = self._name_index.get(record.name, 0) + 1
         if record in bucket:
             return
         bucket.append(record)
@@ -74,6 +79,11 @@ class Zone:
             if record_type is not None and key_type != record_type:
                 continue
             removed += len(self._records.pop(key))
+            remaining = self._name_index.get(key_name, 1) - 1
+            if remaining <= 0:
+                self._name_index.pop(key_name, None)
+            else:
+                self._name_index[key_name] = remaining
             if key_type == RecordType.NS:
                 self._delegations.discard(key_name)
         return removed
@@ -93,28 +103,38 @@ class Zone:
         return out
 
     def covering_delegation(self, name: str) -> str | None:
-        """The delegated child zone that covers ``name``, if any."""
+        """The delegated child zone that covers ``name``, if any.
+
+        A delegation covering ``name`` is by definition one of ``name``'s
+        label suffixes, so instead of scanning every delegation (the spatial
+        zone holds one per registered covering cell) the lookup walks the
+        name's own suffixes longest-first and probes the delegation set —
+        O(labels) regardless of how many zones are delegated.
+        """
         name_n = normalize_name(name)
-        best: str | None = None
-        for delegated in self._delegations:
-            if delegated == self.origin:
-                continue
-            if is_subdomain(name_n, delegated):
-                if best is None or len(delegated) > len(best):
-                    best = delegated
-        return best
+        delegations = self._delegations
+        if not delegations:
+            return None
+        candidate = name_n
+        while candidate:
+            if candidate != self.origin and candidate in delegations:
+                return candidate
+            dot = candidate.find(".")
+            if dot < 0:
+                return None
+            candidate = candidate[dot + 1 :]
+        return None
 
     def delegation_records(self, child: str) -> list[ResourceRecord]:
         return self.records_at(child, RecordType.NS)
 
     def contains_name(self, name: str) -> bool:
         """True if any record exists at exactly ``name``."""
-        name_n = normalize_name(name)
-        return any(key_name == name_n for key_name, _ in self._records)
+        return normalize_name(name) in self._name_index
 
     def names(self) -> set[str]:
         """All names with at least one record."""
-        return {key_name for key_name, _ in self._records}
+        return set(self._name_index)
 
     @property
     def record_count(self) -> int:

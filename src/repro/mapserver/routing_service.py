@@ -10,6 +10,7 @@ client-side stitching of partial legs possible.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from weakref import WeakKeyDictionary
 
 from repro.geometry.point import LatLng
 from repro.osm.mapdata import MapData
@@ -17,6 +18,15 @@ from repro.routing.contraction import ContractionHierarchy, build_contraction_hi
 from repro.routing.graph import RoutingGraph, graph_from_map
 from repro.routing.shortest_path import NoRouteError, Route, bidirectional_dijkstra, dijkstra
 from repro.routing.stitching import RouteLeg
+
+
+_hierarchy_memo: "WeakKeyDictionary[RoutingGraph, ContractionHierarchy]" = WeakKeyDictionary()
+"""Contraction hierarchies memoized per routing graph (identity-keyed).
+
+:func:`repro.routing.graph.graph_from_map` hands the same graph object to
+every service over an unchanged map, so the expensive preprocessing happens
+once per distinct graph rather than once per map-server instance.
+"""
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,18 +48,39 @@ class RouteResponse:
 
 @dataclass
 class RoutingService:
-    """Shortest-path routing over one map's navigable ways."""
+    """Shortest-path routing over one map's navigable ways.
+
+    With ``algorithm="contraction"`` (the federation default) the service
+    preprocesses its graph into a :class:`ContractionHierarchy` once and
+    answers every subsequent query with the fast bidirectional upward search;
+    queries for a different metric, or graphs too small to route, fall back
+    to plain Dijkstra.  The hierarchy is built lazily on the first routing
+    query so that servers that never route (tile-only providers, short-lived
+    scenario builds) never pay the preprocessing cost.
+    """
 
     map_data: MapData
     algorithm: str = "dijkstra"
     _graph: RoutingGraph = field(init=False)
     _hierarchy: ContractionHierarchy | None = field(init=False, default=None)
+    _hierarchy_built: bool = field(init=False, default=False)
     queries_served: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
         self._graph = graph_from_map(self.map_data)
-        if self.algorithm == "contraction" and self._graph.vertex_count > 0:
-            self._hierarchy = build_contraction_hierarchy(self._graph)
+
+    def _ensure_hierarchy(self) -> ContractionHierarchy | None:
+        if not self._hierarchy_built:
+            self._hierarchy_built = True
+            if self._graph.vertex_count > 0:
+                # Graphs are shared across services of the same (unmutated)
+                # map, so the one-off preprocessing is shared too.
+                hierarchy = _hierarchy_memo.get(self._graph)
+                if hierarchy is None:
+                    hierarchy = build_contraction_hierarchy(self._graph)
+                    _hierarchy_memo[self._graph] = hierarchy
+                self._hierarchy = hierarchy
+        return self._hierarchy
 
     # ------------------------------------------------------------------
     # Introspection
@@ -104,8 +135,10 @@ class RoutingService:
         return self._compute(source, target, metric)
 
     def _compute(self, source: int, target: int, metric: str) -> Route:
-        if self.algorithm == "contraction" and self._hierarchy is not None and metric == self._hierarchy.metric:
-            return self._hierarchy.query(source, target)
+        if self.algorithm == "contraction":
+            hierarchy = self._ensure_hierarchy()
+            if hierarchy is not None and metric == hierarchy.metric:
+                return hierarchy.query(source, target)
         if self.algorithm == "bidirectional":
             return bidirectional_dijkstra(self._graph, source, target, metric)
         return dijkstra(self._graph, source, target, metric)

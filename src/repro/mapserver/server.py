@@ -28,6 +28,7 @@ from repro.mapserver.routing_service import RouteResponse, RoutingService
 from repro.mapserver.search import SearchResult, SearchService
 from repro.mapserver.tile_service import TileService
 from repro.osm.mapdata import MapData
+from repro.simulation.queueing import ServerQueue
 from repro.tiles.renderer import Tile
 from repro.tiles.tile_math import TileCoordinate
 
@@ -56,6 +57,11 @@ class MapServer:
     policy: AccessPolicy = field(default_factory=AccessPolicy)
     routing_algorithm: str = "dijkstra"
     stats: ServerStats = field(default_factory=ServerStats)
+    queue: ServerQueue | None = None
+    """Server-side load model (service times + bounded queue).  ``None``
+    keeps the server infinitely fast, as the single-request experiments
+    expect; the federation attaches a queue when its config sets
+    ``service_times``."""
 
     geocode_service: GeocodeService = field(init=False)
     search_service: SearchService = field(init=False)
@@ -91,11 +97,28 @@ class MapServer:
         return self.map_data.coverage.bounding_box.expanded(slack_meters).contains(point)
 
     # ------------------------------------------------------------------
+    # Request admission
+    # ------------------------------------------------------------------
+    def _admit(self, service: ServiceName) -> None:
+        """Pass one request through the server's load model.
+
+        Charges queueing delay plus service time against the simulated clock
+        (so the caller's observed latency reflects server load) and raises
+        :class:`repro.simulation.queueing.ServerOverloadedError` when the
+        bounded queue sheds the request.  ``stats`` records only requests
+        actually serviced — shed requests live in ``queue.stats.dropped``,
+        mirroring how policy-denied requests never reach ``stats`` either.
+        """
+        if self.queue is not None:
+            self.queue.process(service.value)
+        self.stats.record(service)
+
+    # ------------------------------------------------------------------
     # Location-based services (policy enforced)
     # ------------------------------------------------------------------
     def geocode(self, address: Address, credential: Credential = ANONYMOUS, limit: int = 5) -> list[GeocodeResult]:
         self.policy.check(ServiceName.GEOCODE, credential)
-        self.stats.record(ServiceName.GEOCODE)
+        self._admit(ServiceName.GEOCODE)
         results = self.geocode_service.geocode(address, limit)
         if self.policy.can_see_private_data(credential):
             return results
@@ -112,7 +135,7 @@ class MapServer:
         max_distance_meters: float = 250.0,
     ) -> ReverseGeocodeResult | None:
         self.policy.check(ServiceName.REVERSE_GEOCODE, credential)
-        self.stats.record(ServiceName.REVERSE_GEOCODE)
+        self._admit(ServiceName.REVERSE_GEOCODE)
         return self.geocode_service.reverse_geocode(location, max_distance_meters)
 
     def search(
@@ -124,7 +147,7 @@ class MapServer:
         limit: int = 10,
     ) -> list[SearchResult]:
         self.policy.check(ServiceName.SEARCH, credential)
-        self.stats.record(ServiceName.SEARCH)
+        self._admit(ServiceName.SEARCH)
         results = self.search_service.search(query, near, radius_meters, limit=limit)
         if self.policy.can_see_private_data(credential):
             return results
@@ -142,15 +165,15 @@ class MapServer:
         metric: str = "distance",
     ) -> RouteResponse | None:
         self.policy.check(ServiceName.ROUTING, credential)
-        self.stats.record(ServiceName.ROUTING)
+        self._admit(ServiceName.ROUTING)
         return self.routing_service.route(origin, destination, metric)
 
     def localize(self, cues: CueBundle, credential: Credential = ANONYMOUS) -> list[LocalizationResult]:
         self.policy.check(ServiceName.LOCALIZATION, credential)
-        self.stats.record(ServiceName.LOCALIZATION)
+        self._admit(ServiceName.LOCALIZATION)
         return self.localization_service.localize(cues)
 
     def get_tile(self, coordinate: TileCoordinate, credential: Credential = ANONYMOUS) -> Tile:
         self.policy.check(ServiceName.TILES, credential)
-        self.stats.record(ServiceName.TILES)
+        self._admit(ServiceName.TILES)
         return self.tile_service.get_tile(coordinate)

@@ -58,6 +58,8 @@ class MapData:
         self.projection = projection
         self._index: QuadTree[int] | None = None
         self._index_dirty = True
+        self._bbox: BoundingBox | None = None
+        self._version = 0
 
     # ------------------------------------------------------------------
     # Element management
@@ -67,6 +69,8 @@ class MapData:
             raise MapDataError(f"duplicate node id {node.node_id}")
         self._nodes[node.node_id] = node
         self._index_dirty = True
+        self._bbox = None
+        self._version += 1
         return node
 
     def add_way(self, way: Way) -> Way:
@@ -76,6 +80,7 @@ class MapData:
         if missing:
             raise MapDataError(f"way {way.way_id} references missing nodes {missing}")
         self._ways[way.way_id] = way
+        self._version += 1
         return way
 
     def add_relation(self, relation: Relation) -> Relation:
@@ -88,6 +93,7 @@ class MapData:
                     f"{member.element_type.value} {member.element_id}"
                 )
         self._relations[relation.relation_id] = relation
+        self._version += 1
         return relation
 
     def remove_node(self, node_id: int) -> None:
@@ -99,6 +105,8 @@ class MapData:
             raise MapDataError(f"node {node_id} still referenced by ways {referencing}")
         del self._nodes[node_id]
         self._index_dirty = True
+        self._bbox = None
+        self._version += 1
 
     def has_element(self, element_type: ElementType, element_id: int) -> bool:
         if element_type == ElementType.NODE:
@@ -181,10 +189,25 @@ class MapData:
     def bounding_box(self) -> BoundingBox:
         if not self._nodes:
             raise MapDataError("map has no nodes")
-        return BoundingBox.from_points(n.location for n in self._nodes.values())
+        # Every tile/search request consults the map's extent; recomputing it
+        # is O(nodes), so the box is cached and rebuilt alongside the spatial
+        # index (``_index_dirty`` flips on any node mutation).
+        if self._bbox is None:
+            self._bbox = BoundingBox.from_points(n.location for n in self._nodes.values())
+        return self._bbox
 
     def covers_point(self, point: LatLng) -> bool:
         return self.coverage.contains(point)
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter.
+
+        Increments on every element addition/removal, so derived structures
+        (routing graphs, rendered tiles) can be memoized against a map and
+        invalidated precisely when it actually changed.
+        """
+        return self._version
 
     def _ensure_index(self) -> QuadTree[int]:
         if self._index is None or self._index_dirty:

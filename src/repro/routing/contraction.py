@@ -40,6 +40,7 @@ class ContractionHierarchy:
     downward: dict[int, list[_ShortcutEdge]]
     shortcut_count: int
     metric: str = "distance"
+    _shortcut_via: dict[tuple[int, int], int] | None = field(default=None, repr=False)
 
     # ------------------------------------------------------------------
     # Query
@@ -103,12 +104,17 @@ class ContractionHierarchy:
 
     def _expand_path(self, path: list[int]) -> list[int]:
         """Replace shortcut hops with the original vertices they bypass."""
-        shortcut_via: dict[tuple[int, int], int] = {}
-        for adjacency in (self.upward, self.downward):
-            for edges in adjacency.values():
-                for edge in edges:
-                    if edge.via is not None:
-                        shortcut_via[(edge.source, edge.target)] = edge.via
+        if self._shortcut_via is None:
+            # The expansion table only depends on the preprocessed edges, so
+            # it is built once on first use rather than per query.
+            shortcut_via: dict[tuple[int, int], int] = {}
+            for adjacency in (self.upward, self.downward):
+                for edges in adjacency.values():
+                    for edge in edges:
+                        if edge.via is not None:
+                            shortcut_via[(edge.source, edge.target)] = edge.via
+            self._shortcut_via = shortcut_via
+        shortcut_via = self._shortcut_via
 
         def expand(a: int, b: int) -> list[int]:
             via = shortcut_via.get((a, b))

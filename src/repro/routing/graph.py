@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
+from weakref import WeakKeyDictionary
 
 from repro.geometry.point import LatLng
 from repro.osm.elements import TAG_HIGHWAY, Node, Way
@@ -47,9 +48,14 @@ class Edge:
         raise GraphError(f"unknown routing metric {metric!r}")
 
 
-@dataclass
+@dataclass(eq=False)
 class RoutingGraph:
-    """A directed graph whose vertices are map node ids."""
+    """A directed graph whose vertices are map node ids.
+
+    ``eq=False`` keeps identity semantics (and hashability), which the
+    preprocessing memos key on; structural comparison of whole graphs was
+    never meaningful.
+    """
 
     _locations: dict[int, LatLng] = field(default_factory=dict)
     _adjacency: dict[int, list[Edge]] = field(default_factory=dict)
@@ -155,19 +161,45 @@ class RoutingGraph:
         return [self.location(node_id) for node_id in path]
 
 
-def graph_from_map(map_data: MapData, routable_tags: Iterable[str] = ROUTABLE_TAGS) -> RoutingGraph:
-    """Build a routing graph from a map's routable ways.
+_graph_memo: "WeakKeyDictionary[MapData, tuple[int, tuple[str, ...], RoutingGraph]]" = (
+    WeakKeyDictionary()
+)
+"""Extracted graphs memoized per map (weakly) and per map *version*.
+
+Benchmarks and fleet sweeps build many federations over the same generated
+worlds; re-extracting an identical graph per federation is pure waste.  The
+entry is keyed on :attr:`MapData.version`, so any mutation of the map
+invalidates it, and the weak reference lets worlds be garbage collected.
+"""
+
+
+def graph_from_map(
+    map_data: MapData,
+    routable_tags: Iterable[str] = ROUTABLE_TAGS,
+    use_cache: bool = True,
+) -> RoutingGraph:
+    """Build a routing graph from a map's routable ways (memoized per map).
 
     Every way tagged with one of ``routable_tags`` contributes a chain of
-    bidirectional edges between consecutive nodes.
+    bidirectional edges between consecutive nodes.  ``use_cache=False``
+    forces a fresh extraction — callers that *measure* extraction cost (the
+    centralized preprocessing benchmarks) must not time a memo lookup.
     """
-    graph = RoutingGraph()
     tag_set = tuple(routable_tags)
+    if use_cache:
+        cached = _graph_memo.get(map_data)
+        if cached is not None:
+            version, cached_tags, cached_graph = cached
+            if version == map_data.version and cached_tags == tag_set:
+                return cached_graph
+    graph = RoutingGraph()
     for way in map_data.ways():
         if not _is_routable(way, tag_set):
             continue
         nodes = map_data.way_nodes(way.way_id)
         _add_way_edges(graph, way, nodes)
+    if use_cache:
+        _graph_memo[map_data] = (map_data.version, tag_set, graph)
     return graph
 
 

@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from repro.geometry.point import LatLng
 from repro.mapserver.geocode import Address, GeocodeResult, ReverseGeocodeResult
 from repro.mapserver.policy import AccessDenied
+from repro.simulation.queueing import ServerOverloadedError
 from repro.mapserver.server import MapServer
 from repro.services.context import FederationContext
 
@@ -70,7 +71,7 @@ class FederatedGeocoder:
                 servers_consulted += 1
                 try:
                     candidates.extend(server.geocode(address, self.context.credential, limit))
-                except AccessDenied:
+                except (AccessDenied, ServerOverloadedError):
                     continue
 
         # Fall back to (or augment with) the world provider's own answers.
@@ -81,7 +82,7 @@ class FederatedGeocoder:
                 candidates.extend(
                     self.world_provider.geocode(address, self.context.credential, limit)
                 )
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 pass
 
         deduped = self._dedupe(candidates)
@@ -111,7 +112,7 @@ class FederatedGeocoder:
             servers_consulted += 1
             try:
                 result = server.reverse_geocode(location, self.context.credential, max_distance_meters)
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 continue
             if result is not None:
                 candidates.append(result)
@@ -124,7 +125,7 @@ class FederatedGeocoder:
                 )
                 if result is not None:
                     candidates.append(result)
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 pass
         candidates.sort(key=lambda r: r.distance_meters)
         best = candidates[0] if candidates else None
@@ -145,7 +146,7 @@ class FederatedGeocoder:
         self.context.charge_map_server_request()
         try:
             results = self.world_provider.geocode(address, self.context.credential, limit=1)
-        except AccessDenied:
+        except (AccessDenied, ServerOverloadedError):
             return None
         if not results:
             return None

@@ -15,6 +15,7 @@ from repro.localization.cues import CueBundle, LocalizationResult
 from repro.localization.fusion import LocalizationSelector, ScoredResult
 from repro.localization.imu import DeadReckoningTracker
 from repro.mapserver.policy import AccessDenied
+from repro.simulation.queueing import ServerOverloadedError
 from repro.services.context import FederationContext
 
 
@@ -76,7 +77,7 @@ class FederatedLocalizer:
             servers_consulted += 1
             try:
                 results = server.localize(cues, self.context.credential)
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 continue
             if results:
                 servers_answering += 1

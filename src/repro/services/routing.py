@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 
 from repro.geometry.point import LatLng
 from repro.mapserver.policy import AccessDenied
+from repro.simulation.queueing import ServerOverloadedError
 from repro.mapserver.server import MapServer
 from repro.routing.stitching import RouteLeg, RouteStitcher, StitchedRoute, StitchError
 from repro.services.context import FederationContext
@@ -108,7 +109,7 @@ class FederatedRouter:
             leg_destination = self._clamp_to_coverage(server, destination)
             try:
                 response = server.route(leg_origin, leg_destination, self.context.credential, metric)
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 continue
             if response is None or len(response.points) < 2:
                 continue

@@ -14,6 +14,7 @@ from dataclasses import dataclass, field
 
 from repro.geometry.point import LatLng
 from repro.mapserver.policy import AccessDenied
+from repro.simulation.queueing import ServerOverloadedError
 from repro.mapserver.search import SearchResult
 from repro.services.context import FederationContext
 
@@ -68,7 +69,7 @@ class FederatedSearch:
                     credential=self.context.credential,
                     limit=limit,
                 )
-            except AccessDenied:
+            except (AccessDenied, ServerOverloadedError):
                 continue
             if results:
                 servers_with_results += 1

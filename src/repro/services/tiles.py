@@ -11,6 +11,7 @@ from dataclasses import dataclass, field
 
 from repro.geometry.bbox import BoundingBox
 from repro.mapserver.policy import AccessDenied, ServiceName
+from repro.simulation.queueing import ServerOverloadedError
 from repro.services.context import FederationContext
 from repro.tiles.cache import TileCache
 from repro.tiles.renderer import Tile
@@ -84,7 +85,7 @@ class FederatedTileClient:
                 self.context.charge_map_server_request()
                 try:
                     tile = server.get_tile(coordinate, self.context.credential)
-                except AccessDenied:
+                except (AccessDenied, ServerOverloadedError):
                     break
                 if self.cache is not None:
                     self.cache.put(server.server_id, coordinate, tile)

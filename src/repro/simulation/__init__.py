@@ -8,6 +8,12 @@ from repro.simulation.network import (
     NetworkStats,
     SimulatedNetwork,
 )
+from repro.simulation.queueing import (
+    QueueStats,
+    ServerOverloadedError,
+    ServerQueue,
+    ServiceTimeModel,
+)
 
 __all__ = [
     "Counter",
@@ -17,6 +23,10 @@ __all__ = [
     "LruStats",
     "MetricsRegistry",
     "NetworkStats",
+    "QueueStats",
+    "ServerOverloadedError",
+    "ServerQueue",
+    "ServiceTimeModel",
     "SimulatedClock",
     "SimulatedNetwork",
     "Summary",

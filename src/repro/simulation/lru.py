@@ -13,6 +13,10 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+_MISSING = object()
+"""Sentinel distinguishing "no entry" from a stored ``None`` value."""
+
+
 @dataclass
 class LruStats:
     hits: int = 0
@@ -29,7 +33,14 @@ class LruStats:
 
 @dataclass
 class LruCache:
-    """A bounded least-recently-used map with hit/miss accounting."""
+    """A bounded least-recently-used map with hit/miss accounting.
+
+    Every operation is strictly O(1): lookups are one hash probe plus an
+    OrderedDict ``move_to_end`` relink, and stores evict with ``popitem`` —
+    no scans, no sorting, no per-entry walks.  A micro-benchmark guard test
+    (``tests/test_simulation.py``) holds this to account: per-operation cost
+    must not grow with the cache size.
+    """
 
     max_entries: int = 256
     stats: LruStats = field(default_factory=LruStats)
@@ -41,12 +52,13 @@ class LruCache:
         ``is_live`` lets a TTL-aware wrapper reject a stored entry: a stale
         entry is dropped, counted as an expiration, and reported as a miss.
         """
-        value = self._entries.get(key)
-        if value is not None and is_live is not None and not is_live(value):
+        value = self._entries.get(key, _MISSING)
+        if value is _MISSING:
+            self.stats.misses += 1
+            return None
+        if is_live is not None and not is_live(value):
             del self._entries[key]
             self.stats.expirations += 1
-            value = None
-        if value is None:
             self.stats.misses += 1
             return None
         self._entries.move_to_end(key)
@@ -55,11 +67,16 @@ class LruCache:
 
     def store(self, key: Any, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
-        if key not in self._entries and len(self._entries) >= self.max_entries:
-            self._entries.popitem(last=False)
-            self.stats.evictions += 1
-        self._entries[key] = value
-        self._entries.move_to_end(key)
+        entries = self._entries
+        if key in entries:
+            # Refresh: overwrite in place and relink to the MRU end.
+            entries[key] = value
+            entries.move_to_end(key)
+        else:
+            if len(entries) >= self.max_entries:
+                entries.popitem(last=False)
+                self.stats.evictions += 1
+            entries[key] = value
         self.stats.insertions += 1
 
     def flush(self) -> None:

@@ -4,10 +4,22 @@ The paper's argument for DNS-based discovery rests on message counts and
 cacheability rather than raw bandwidth, so the network model is simple: each
 logical link has a fixed one-way latency, and every message sent over it is
 counted and charged against a simulated clock.
+
+Two optional refinements serve the fleet-scale experiments:
+
+* **Jitter/loss** — ``LatencyModel.jitter_sigma`` draws a lognormal
+  multiplier per exchange and ``loss_probability`` retransmits lost
+  exchanges, both from a deterministic RNG stream that the workload engine
+  reseeds per client (so every device sees its own reproducible network).
+* **Server processing** — :meth:`SimulatedNetwork.server_processing` charges
+  server-side queueing + service time (see
+  :mod:`repro.simulation.queueing`) into the same latency accounting,
+  without counting a network message.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.simulation.clock import SimulatedClock
@@ -16,16 +28,38 @@ DEFAULT_LOCAL_LATENCY_MS = 0.1
 DEFAULT_LAN_LATENCY_MS = 1.0
 DEFAULT_WAN_LATENCY_MS = 25.0
 
+_MAX_RETRANSMISSIONS = 8
+"""Retry bound per exchange so a high loss probability cannot loop forever."""
+
 
 @dataclass(frozen=True, slots=True)
 class LatencyModel:
-    """Per-hop one-way latencies between classes of endpoints (milliseconds)."""
+    """Per-hop one-way latencies between classes of endpoints (milliseconds).
+
+    ``jitter_sigma`` > 0 turns every exchange's latency into
+    ``base * Lognormal(0, sigma)``; ``loss_probability`` > 0 makes each
+    exchange independently lose its datagram with that probability and pay a
+    full extra (jittered) round trip per retransmission.  Both default to
+    off, keeping the historical fixed-latency behaviour bit-for-bit.
+    """
 
     client_to_resolver_ms: float = DEFAULT_LAN_LATENCY_MS
     resolver_to_authority_ms: float = DEFAULT_WAN_LATENCY_MS
     client_to_map_server_ms: float = DEFAULT_WAN_LATENCY_MS
     client_to_central_ms: float = DEFAULT_WAN_LATENCY_MS
     local_compute_ms: float = DEFAULT_LOCAL_LATENCY_MS
+    jitter_sigma: float = 0.0
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma < 0.0:
+            raise ValueError("jitter sigma cannot be negative")
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise ValueError("loss probability must be in [0, 1)")
+
+    @property
+    def is_stochastic(self) -> bool:
+        return self.jitter_sigma > 0.0 or self.loss_probability > 0.0
 
 
 @dataclass
@@ -35,6 +69,8 @@ class NetworkStats:
     messages_sent: int = 0
     total_latency_ms: float = 0.0
     messages_by_kind: dict[str, int] = field(default_factory=dict)
+    retransmissions: int = 0
+    server_processing_ms: float = 0.0
 
     def record(self, kind: str, latency_ms: float) -> None:
         self.messages_sent += 1
@@ -45,6 +81,8 @@ class NetworkStats:
         self.messages_sent = 0
         self.total_latency_ms = 0.0
         self.messages_by_kind.clear()
+        self.retransmissions = 0
+        self.server_processing_ms = 0.0
 
 
 @dataclass
@@ -54,10 +92,50 @@ class SimulatedNetwork:
     clock: SimulatedClock = field(default_factory=SimulatedClock)
     latency: LatencyModel = field(default_factory=LatencyModel)
     stats: NetworkStats = field(default_factory=NetworkStats)
+    jitter_seed: int = 0
+    _jitter_rng: random.Random | None = field(default=None, repr=False)
+
+    def reseed_jitter(self, stream_key: int) -> None:
+        """Restart the jitter/loss RNG from a fresh deterministic stream.
+
+        Convenience for single-client experiments and tests.  A fleet must
+        NOT call this per client per round (each call restarts the stream and
+        would replay the same draws); fleets hold one RNG per device and
+        install it with :meth:`set_jitter_stream` instead.
+        """
+        if self.latency.is_stochastic:
+            self.set_jitter_stream(random.Random((self.jitter_seed << 32) ^ stream_key))
+
+    def set_jitter_stream(self, rng: random.Random | None) -> None:
+        """Point the network at a caller-owned jitter RNG stream.
+
+        The stream's state persists across calls: each workload device holds
+        its own RNG and installs it before issuing requests, so a device's
+        network draws form one continuous stream no matter how the fleet's
+        requests interleave.
+        """
+        self._jitter_rng = rng
+
+    def _jittered(self, latency_ms: float) -> float:
+        """One exchange's latency after jitter and (retransmitted) losses."""
+        if not self.latency.is_stochastic:
+            return latency_ms
+        if self._jitter_rng is None:
+            self._jitter_rng = random.Random(self.jitter_seed)
+        rng = self._jitter_rng
+        sigma = self.latency.jitter_sigma
+        loss = self.latency.loss_probability
+        total = latency_ms * (rng.lognormvariate(0.0, sigma) if sigma > 0.0 else 1.0)
+        retries = 0
+        while loss > 0.0 and retries < _MAX_RETRANSMISSIONS and rng.random() < loss:
+            retries += 1
+            total += latency_ms * (rng.lognormvariate(0.0, sigma) if sigma > 0.0 else 1.0)
+        self.stats.retransmissions += retries
+        return total
 
     def round_trip(self, kind: str, one_way_latency_ms: float) -> float:
         """Charge one request/response exchange and return its latency in ms."""
-        latency_ms = 2.0 * one_way_latency_ms
+        latency_ms = self._jittered(2.0 * one_way_latency_ms)
         self.clock.advance_ms(latency_ms)
         self.stats.record(kind, latency_ms)
         return latency_ms
@@ -79,6 +157,17 @@ class SimulatedNetwork:
         """Charge a small local computation (no message is counted)."""
         self.clock.advance_ms(self.latency.local_compute_ms)
         return self.latency.local_compute_ms
+
+    def server_processing(self, latency_ms: float) -> float:
+        """Charge server-side queueing + service time (no message is counted).
+
+        The delay lands in ``total_latency_ms`` so client-observed request
+        latency includes how loaded the serving map server was.
+        """
+        self.clock.advance_ms(latency_ms)
+        self.stats.total_latency_ms += latency_ms
+        self.stats.server_processing_ms += latency_ms
+        return latency_ms
 
     def reset_stats(self) -> None:
         self.stats.reset()

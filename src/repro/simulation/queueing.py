@@ -1,0 +1,217 @@
+"""Server-side load model: per-server service times and a bounded queue.
+
+The single-request experiments treat every map server as infinitely fast —
+useful for isolating discovery and network costs, but useless for answering
+the fleet-scale question of *where map servers saturate*.  This module adds
+the missing half: each map server owns a :class:`ServerQueue` that models a
+single logical worker with deterministic per-request-kind service times and a
+bounded FIFO queue.
+
+The model is deliberately simple and exactly reproducible:
+
+* A request arriving at simulated time ``t`` starts service at
+  ``max(t, busy_until)`` — it waits behind every request still outstanding.
+* Requests arriving while ``capacity`` requests are outstanding are dropped
+  (load shedding); callers surface the drop as
+  :class:`ServerOverloadedError` and clients fall back to other servers.
+* Waiting time plus service time is charged against the simulated network's
+  latency accounting, so client-observed percentiles include queueing delay.
+
+The model composes with the workload engine's concurrent-round clock: the
+engine rewinds the clock between clients of one round, so the server sees
+its round's requests *out of processing order* but with true (overlapping)
+arrival timestamps.  The queue therefore keeps the server's schedule as a
+sorted list of busy intervals and places each request into the earliest
+idle slot at or after its own arrival: two requests contend only when their
+arrival instants genuinely overlap the same busy period, never merely
+because one was simulated after the other.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right, insort
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports nothing here)
+    from repro.simulation.network import SimulatedNetwork
+
+
+class ServerOverloadedError(Exception):
+    """Raised when a map server's bounded queue rejects a request."""
+
+
+@dataclass(frozen=True)
+class ServiceTimeModel:
+    """Deterministic service times per request kind, in milliseconds.
+
+    ``per_kind_ms`` overrides the ``default_ms`` for specific request kinds
+    (the :class:`repro.mapserver.policy.ServiceName` values).  Routing is
+    typically the most expensive service, tile fetches the cheapest.
+    """
+
+    default_ms: float = 2.0
+    per_kind_ms: Mapping[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.default_ms < 0.0:
+            raise ValueError("service time cannot be negative")
+        if any(ms < 0.0 for ms in self.per_kind_ms.values()):
+            raise ValueError("service time cannot be negative")
+
+    def service_ms(self, kind: str) -> float:
+        return self.per_kind_ms.get(kind, self.default_ms)
+
+
+@dataclass
+class QueueStats:
+    """Accounting for one server's queue over a run."""
+
+    arrivals: int = 0
+    served: int = 0
+    dropped: int = 0
+    busy_ms: float = 0.0
+    wait_ms_total: float = 0.0
+    depth_total: int = 0
+    max_depth: int = 0
+
+    @property
+    def drop_rate(self) -> float:
+        return self.dropped / self.arrivals if self.arrivals else 0.0
+
+    @property
+    def mean_wait_ms(self) -> float:
+        return self.wait_ms_total / self.served if self.served else 0.0
+
+    @property
+    def mean_depth(self) -> float:
+        """Mean queue depth observed by admitted arrivals."""
+        admitted = self.arrivals - self.dropped
+        return self.depth_total / admitted if admitted else 0.0
+
+    def utilization(self, window_seconds: float) -> float:
+        """Fraction of ``window_seconds`` the server spent serving requests.
+
+        Not clamped: a value near (or briefly above) 1.0 means the offered
+        load saturated the server — the knee the fleet sweeps look for.
+        """
+        if window_seconds <= 0.0:
+            return 0.0
+        return self.busy_ms / (window_seconds * 1000.0)
+
+    def snapshot(self, window_seconds: float | None = None) -> dict[str, float]:
+        data = {
+            "arrivals": float(self.arrivals),
+            "served": float(self.served),
+            "dropped": float(self.dropped),
+            "drop_rate": self.drop_rate,
+            "busy_ms": self.busy_ms,
+            "mean_wait_ms": self.mean_wait_ms,
+            "mean_depth": self.mean_depth,
+            "max_depth": float(self.max_depth),
+        }
+        if window_seconds is not None:
+            data["utilization"] = self.utilization(window_seconds)
+        return data
+
+
+@dataclass
+class ServerQueue:
+    """A single-worker bounded queue in front of one map server.
+
+    The server's committed work is a set of non-overlapping busy intervals
+    (kept as parallel sorted ``_starts``/``_ends`` lists).  Because the
+    intervals never overlap, both lists are individually sorted and the
+    requests still outstanding at any instant form a suffix of ``_ends`` —
+    which makes admission O(log n + outstanding), with ``outstanding``
+    bounded by the queue capacity.
+    """
+
+    network: "SimulatedNetwork"
+    service_times: ServiceTimeModel = field(default_factory=ServiceTimeModel)
+    capacity: int = 64
+    stats: QueueStats = field(default_factory=QueueStats)
+    _starts: list[float] = field(default_factory=list, repr=False)
+    _ends: list[float] = field(default_factory=list, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+
+    @property
+    def busy_until(self) -> float:
+        """Simulated instant at which the last scheduled request completes."""
+        return self._ends[-1] if self._ends else 0.0
+
+    @property
+    def depth(self) -> int:
+        """Requests outstanding (queued or in service) at the current instant."""
+        return len(self._ends) - bisect_right(self._ends, self.network.clock.now())
+
+    _PRUNE_LAG_SECONDS = 120.0
+    """How far behind the newest arrival completed intervals are retained.
+
+    The workload engine's clock only rewinds within one concurrent round
+    (seconds at most), so intervals that completed minutes before the
+    current arrival can never be observed again and are dropped to keep the
+    schedule lists — and their insertion cost — small."""
+
+    def _prune(self, now: float) -> None:
+        cut = bisect_right(self._ends, now - self._PRUNE_LAG_SECONDS)
+        if cut:
+            del self._starts[:cut]
+            del self._ends[:cut]
+
+    def process(self, kind: str) -> float:
+        """Admit one request, wait out the backlog, and serve it.
+
+        Advances the simulated clock by queueing delay plus service time and
+        charges both to the network's latency accounting (so client latency
+        percentiles include server load).  Returns the total milliseconds
+        spent server-side; raises :class:`ServerOverloadedError` when the
+        bounded queue is full.
+        """
+        now = self.network.clock.now()
+        self.stats.arrivals += 1
+        if len(self._ends) > 1024:
+            self._prune(now)
+        service_ms = self.service_times.service_ms(kind)
+        service_s = service_ms / 1000.0
+        # Earliest idle slot at or after the arrival: walk the live suffix
+        # (intervals ending after ``now``), jumping over each busy interval
+        # until a gap fits the service time.  The intervals jumped are the
+        # requests this one actually sits behind — the queue it joins — and
+        # their count is what the bounded buffer limits.  The walk is
+        # bounded by the capacity, so admission cost never grows with the
+        # length of the run.
+        first_live = bisect_right(self._ends, now)
+        cursor = now
+        queued_behind = 0
+        for index in range(first_live, len(self._starts)):
+            if self._starts[index] - cursor >= service_s:
+                break
+            interval_end = self._ends[index]
+            if interval_end > cursor:
+                cursor = interval_end
+                queued_behind += 1
+                if queued_behind >= self.capacity:
+                    self.stats.dropped += 1
+                    raise ServerOverloadedError(
+                        f"queue full ({queued_behind}/{self.capacity} queued) "
+                        f"for {kind!r} request"
+                    )
+        self.stats.depth_total += queued_behind
+        if queued_behind > self.stats.max_depth:
+            self.stats.max_depth = queued_behind
+
+        start = cursor
+        wait_ms = (start - now) * 1000.0
+        insort(self._starts, start)
+        insort(self._ends, start + service_s)
+
+        self.stats.served += 1
+        self.stats.busy_ms += service_ms
+        self.stats.wait_ms_total += wait_ms
+        total_ms = wait_ms + service_ms
+        self.network.server_processing(total_ms)
+        return total_ms

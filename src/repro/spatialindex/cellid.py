@@ -21,7 +21,7 @@ level-6 cell.  The empty token is the root cell covering the whole world.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import total_ordering
+from functools import lru_cache, total_ordering
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
@@ -30,6 +30,33 @@ MAX_LEVEL = 30
 """Deepest refinement level supported (sub-centimetre at the equator)."""
 
 _WORLD = BoundingBox(-90.0, -180.0, 90.0, 180.0)
+
+_DIGITS = ("0", "1", "2", "3")
+
+
+@lru_cache(maxsize=65536)
+def _bounds_of(token: str) -> BoundingBox:
+    """Geographic bounds of a cell token (cached — tokens repeat heavily).
+
+    Discovery enumerates the same handful of city cells for every request a
+    fleet makes, so the successive-halving walk is paid once per distinct
+    token instead of once per lookup.  BoundingBox is frozen, so sharing the
+    instance is safe.
+    """
+    south, west, north, east = _WORLD.south, _WORLD.west, _WORLD.north, _WORLD.east
+    for digit in token:
+        value = int(digit)
+        mid_lat = (south + north) / 2.0
+        mid_lng = (west + east) / 2.0
+        if value & 2:
+            south = mid_lat
+        else:
+            north = mid_lat
+        if value & 1:
+            west = mid_lng
+        else:
+            east = mid_lng
+    return BoundingBox(south, west, north, east)
 
 
 @total_ordering
@@ -42,7 +69,9 @@ class CellId:
     def __post_init__(self) -> None:
         if len(self.token) > MAX_LEVEL:
             raise ValueError(f"cell level {len(self.token)} exceeds MAX_LEVEL={MAX_LEVEL}")
-        if any(ch not in "0123" for ch in self.token):
+        # str.strip runs in C; a per-character generator is ~10x slower and
+        # this constructor sits on the discovery hot path.
+        if self.token.strip("0123"):
             raise ValueError(f"invalid cell token {self.token!r}: digits must be 0-3")
 
     # ------------------------------------------------------------------
@@ -77,6 +106,38 @@ class CellId:
                 east = mid_lng
             digits.append(str(vertical * 2 + horizontal))
         return cls("".join(digits))
+
+    @classmethod
+    @lru_cache(maxsize=65536)
+    def from_indices(cls, row: int, col: int, level: int) -> "CellId":
+        """The cell at integer grid position (``row``, ``col``) of ``level``.
+
+        Rows count south→north and columns west→east; both must lie in
+        ``[0, 2**level)``.  Each token digit packs one row bit (value 2) and
+        one column bit (value 1), most significant first — the inverse of
+        :meth:`indices`.  Grid enumeration (coverings of a box) uses this to
+        step between adjacent cells without re-deriving each token from a
+        floating-point point.
+        """
+        if not (0 <= level <= MAX_LEVEL):
+            raise ValueError(f"level must be in [0, {MAX_LEVEL}]")
+        side = 1 << level
+        if not (0 <= row < side and 0 <= col < side):
+            raise ValueError(f"indices ({row}, {col}) outside level-{level} grid")
+        digits = []
+        for bit in range(level - 1, -1, -1):
+            digits.append(_DIGITS[((row >> bit) & 1) * 2 + ((col >> bit) & 1)])
+        return cls("".join(digits))
+
+    def indices(self) -> tuple[int, int]:
+        """This cell's (row, col) position in the level grid (inverse of
+        :meth:`from_indices`)."""
+        row = col = 0
+        for ch in self.token:
+            value = int(ch)
+            row = (row << 1) | (value >> 1)
+            col = (col << 1) | (value & 1)
+        return row, col
 
     # ------------------------------------------------------------------
     # Structure
@@ -116,20 +177,7 @@ class CellId:
     # ------------------------------------------------------------------
     def bounds(self) -> BoundingBox:
         """The geographic rectangle covered by this cell."""
-        south, west, north, east = _WORLD.south, _WORLD.west, _WORLD.north, _WORLD.east
-        for digit in self.token:
-            value = int(digit)
-            mid_lat = (south + north) / 2.0
-            mid_lng = (west + east) / 2.0
-            if value & 2:
-                south = mid_lat
-            else:
-                north = mid_lat
-            if value & 1:
-                west = mid_lng
-            else:
-                east = mid_lng
-        return BoundingBox(south, west, north, east)
+        return _bounds_of(self.token)
 
     def center(self) -> LatLng:
         return self.bounds().center

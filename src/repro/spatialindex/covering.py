@@ -11,12 +11,14 @@ argues is acceptable for discovery.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Callable
 
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
 from repro.geometry.polygon import Polygon
-from repro.spatialindex.cellid import MAX_LEVEL, CellId
+from repro.simulation.lru import LruCache
+from repro.spatialindex.cellid import MAX_LEVEL, CellId, _bounds_of
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,6 +41,17 @@ class CoveringOptions:
             raise ValueError("max_cells must be >= 1")
 
 
+_polygon_covering_memo: LruCache = LruCache(max_entries=1024)
+"""Bounded memo of polygon coverings keyed by (vertices, covering options).
+
+Map-server coverage polygons are registered every time a scenario is built,
+and a fleet sweep builds one scenario per sweep point — the recursive
+covering of an identical region is computed once per process instead of once
+per registration.  Both Polygon and CellId are immutable, so sharing entries
+is safe; callers get a fresh list.
+"""
+
+
 @dataclass
 class RegionCoverer:
     """Computes cell coverings of boxes, polygons and discs."""
@@ -54,11 +67,17 @@ class RegionCoverer:
                            lambda cell_box: box.contains_box(cell_box))
 
     def cover_polygon(self, polygon: Polygon) -> list[CellId]:
-        """Covering of a polygon."""
-        return self._cover(
-            lambda cell_box: polygon.intersects_box(cell_box),
-            lambda cell_box: all(polygon.contains(c) for c in cell_box.corners()),
-        )
+        """Covering of a polygon (memoized per region + options)."""
+        opts = self.options
+        key = (polygon.vertices, opts.min_level, opts.max_level, opts.max_cells)
+        cached = _polygon_covering_memo.lookup(key)
+        if cached is None:
+            cached = self._cover(
+                lambda cell_box: polygon.intersects_box(cell_box),
+                lambda cell_box: all(polygon.contains(c) for c in cell_box.corners()),
+            )
+            _polygon_covering_memo.store(key, cached)
+        return list(cached)
 
     def cover_disc(self, center: LatLng, radius_meters: float) -> list[CellId]:
         """Covering of a disc, via its bounding box.
@@ -138,40 +157,72 @@ def cells_at_level(box: BoundingBox, level: int, max_cells: int = 64) -> list[Ce
     """
     if max_cells < 1:
         raise ValueError("max_cells must be >= 1")
-    seed = CellId.from_point(LatLng(box.south, box.west), level)
-    seed_box = seed.bounds()
-    cell_height = seed_box.height_degrees
-    cell_width = seed_box.width_degrees
+    # Corner cells pin the integer index range of the aligned grid; every
+    # candidate in between is then derived with bit arithmetic rather than
+    # re-quantizing a floating-point probe per cell (this enumeration runs
+    # for every discovery query a fleet issues).
+    south_west = LatLng(max(-90.0, box.south), max(-180.0, box.west))
+    north_east = LatLng(min(90.0, box.north), min(180.0, box.east))
+    row0, col0 = CellId.from_point(south_west, level).indices()
+    row1, col1 = CellId.from_point(north_east, level).indices()
+    row1, col1 = max(row0, row1), max(col0, col1)
     cells: list[CellId] = []
-    # Walk the aligned cell grid starting from the cell containing the
-    # south-west corner, stepping one cell at a time.
-    lat = seed_box.center.latitude
-    while lat <= box.north + cell_height / 2.0 and len(cells) < max_cells:
-        lng = seed_box.center.longitude
-        while lng <= box.east + cell_width / 2.0 and len(cells) < max_cells:
-            clamped_lat = max(-90.0, min(90.0, lat))
-            clamped_lng = max(-180.0, min(180.0, lng))
-            cell = CellId.from_point(LatLng(clamped_lat, clamped_lng), level)
+    # Same scan order as the historical implementation: south→north rows,
+    # west→east within a row, dropping the outermost cells once the budget
+    # is exhausted.
+    for row in range(row0, row1 + 1):
+        if len(cells) >= max_cells:
+            break
+        for col in range(col0, col1 + 1):
+            if len(cells) >= max_cells:
+                break
+            cell = CellId.from_indices(row, col, level)
             if cell.bounds().intersects(box):
                 cells.append(cell)
-            lng += cell_width
-        lat += cell_height
-    return normalize_covering(cells)
+    # The grid scan yields unique same-level cells, so normalization reduces
+    # to the canonical (level, token) ordering — no containment pass needed.
+    cells.sort(key=lambda cell: cell.token)
+    return cells
 
 
 def normalize_covering(cells: list[CellId]) -> list[CellId]:
-    """Sort a covering and drop cells already contained in coarser members."""
+    """Sort a covering and drop cells already contained in coarser members.
+
+    Containment of cell ids is a token-prefix test, so instead of comparing
+    every pair (quadratic in the covering size) each cell checks its ancestor
+    prefixes — one per coarser level already kept — against a set.
+    """
     unique = sorted(set(cells), key=lambda c: (c.level, c.token))
     kept: list[CellId] = []
+    kept_tokens: set[str] = set()
+    kept_levels: list[int] = []
     for cell in unique:
-        if not any(prev.contains(cell) for prev in kept):
-            kept.append(cell)
+        token = cell.token
+        if any(token[:level] in kept_tokens for level in kept_levels):
+            continue
+        kept.append(cell)
+        kept_tokens.add(token)
+        if not kept_levels or kept_levels[-1] != cell.level:
+            kept_levels.append(cell.level)
     return kept
 
 
+@lru_cache(maxsize=2048)
+def _covering_contains(tokens: tuple[str, ...], latitude: float, longitude: float) -> bool:
+    point = LatLng(latitude, longitude)
+    return any(_bounds_of(token).contains(point) for token in tokens)
+
+
 def covering_contains_point(cells: list[CellId], point: LatLng) -> bool:
-    """True if any cell of the covering contains ``point``."""
-    return any(cell.contains_point(point) for cell in cells)
+    """True if any cell of the covering contains ``point``.
+
+    Memoized on (covering tokens, exact coordinates) — this only pays off
+    for callers re-checking *recurring* points (popular POIs, fixed probe
+    grids) against stable coverings; continuously varying positions miss.
+    """
+    return _covering_contains(
+        tuple(cell.token for cell in cells), point.latitude, point.longitude
+    )
 
 
 def covering_area_square_meters(cells: list[CellId]) -> float:

@@ -7,8 +7,10 @@ coverage and stitching quality without dragging in an imaging stack.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field
 from enum import IntEnum
+from functools import cached_property
 
 import numpy as np
 
@@ -39,6 +41,15 @@ class Tile:
             raise ValueError(
                 f"tile raster must be {TILE_SIZE_PIXELS}x{TILE_SIZE_PIXELS}, got {self.raster.shape}"
             )
+
+    @cached_property
+    def content_key(self) -> bytes:
+        """Digest of the raster, for memoizing work keyed on tile content.
+
+        Two tiles with equal digests composite identically even if they come
+        from different scenario builds that happen to reuse a map name.
+        """
+        return hashlib.blake2b(self.raster.tobytes(), digest_size=16).digest()
 
     @property
     def coverage_fraction(self) -> float:

@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.simulation.lru import LruCache
 from repro.tiles.renderer import FeatureClass, Tile
 from repro.tiles.tile_math import TILE_SIZE_PIXELS, TileCoordinate
 
@@ -37,6 +38,20 @@ class CompositeTile:
         return self.contributions.get(source_map, 0) / total_pixels
 
 
+_composite_memo: LruCache = LruCache(max_entries=512)
+"""Process-wide bounded memo of stitched composites (LRU, ~64KB/raster, so
+the cap bounds retention to ~32MB; a city's viewport working set is far
+smaller).
+
+Fleets of clients render the same viewports over and over, and the tiles
+they stitch are the immutable rasters the per-server renderers cache — so
+the composite of a given layer stack is computed once.  The key includes
+each layer's raster digest (:attr:`repro.tiles.renderer.Tile.content_key`),
+so scenarios that reuse a map name for different worlds cannot collide.
+CompositeTile is frozen, making the shared instances safe.
+"""
+
+
 @dataclass
 class TileStitcher:
     """Overlays tiles from several sources for the same tile coordinate."""
@@ -51,6 +66,16 @@ class TileStitcher:
         coordinate = tiles[0].coordinate
         if any(tile.coordinate != coordinate for tile in tiles):
             raise ValueError("all tiles being stitched must share a coordinate")
+
+        memo_key = (
+            self.prefer_later_layers,
+            coordinate,
+            tuple((tile.source_map, tile.content_key) for tile in tiles),
+        )
+        memoized = _composite_memo.lookup(memo_key)
+        if memoized is not None:
+            self.stitched_count += 1
+            return memoized
 
         composite = np.zeros((TILE_SIZE_PIXELS, TILE_SIZE_PIXELS), dtype=np.uint8)
         owner = np.full((TILE_SIZE_PIXELS, TILE_SIZE_PIXELS), -1, dtype=np.int32)
@@ -68,7 +93,9 @@ class TileStitcher:
             )
 
         self.stitched_count += 1
-        return CompositeTile(coordinate, composite, contributions)
+        result = CompositeTile(coordinate, composite, contributions)
+        _composite_memo.store(memo_key, result)
+        return result
 
     def stitch_grid(self, tiles_by_coordinate: dict[TileCoordinate, list[Tile]]) -> dict[TileCoordinate, CompositeTile]:
         """Stitch a whole viewport of tiles at once."""

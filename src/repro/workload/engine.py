@@ -55,6 +55,10 @@ class WorkloadConfig:
     gnss_error_meters: float = 12.0
     step_seconds: float = 2.0
     """Wall-clock pacing between fleet rounds (thinking/walking time)."""
+    resolver_pools: int = 1
+    """Recursive resolvers to shard the fleet across (round-robin).  One pool
+    is the historical single-shared-resolver deployment; more pools model
+    regional resolver deployments, each with its own DNS cache."""
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -63,6 +67,8 @@ class WorkloadConfig:
             raise ValueError("a workload needs at least one step")
         if self.step_seconds < 0.0:
             raise ValueError("step pacing cannot be negative")
+        if self.resolver_pools < 1:
+            raise ValueError("a workload needs at least one resolver pool")
 
 
 @dataclass
@@ -73,6 +79,9 @@ class FleetClient:
     client: OpenFlameClient
     mobility: MobilityModel
     rng: random.Random
+    net_rng: random.Random | None = None
+    """Jitter/loss RNG stream for this device's network exchanges (only set
+    when the federation's latency model is stochastic)."""
     position: LatLng = field(init=False)
 
     def __post_init__(self) -> None:
@@ -96,6 +105,11 @@ class WorkloadReport:
     tile_cache_misses: int
     dns_cache_hit_rate: float
     simulated_seconds: float
+    server_stats: dict[str, dict[str, float]] = field(default_factory=dict)
+    """Per-map-server load-model snapshot (utilization, queue depth, drops);
+    empty when the federation runs without a server-side queue model."""
+    dns_pool_hit_rates: tuple[float, ...] = ()
+    """Hit rate of each shared regional resolver pool, in pool order."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -115,6 +129,11 @@ class WorkloadReport:
             return {"p50": 0.0, "p95": 0.0, "p99": 0.0}
         return {"p50": histogram.p50, "p95": histogram.p95, "p99": histogram.p99}
 
+    @property
+    def dropped_requests(self) -> int:
+        """Requests shed by overloaded map servers across the whole run."""
+        return int(sum(stats.get("dropped", 0.0) for stats in self.server_stats.values()))
+
     def snapshot(self) -> dict[str, float]:
         """One flat, deterministic dict describing the whole run."""
         data = dict(sorted(self.metrics.snapshot().items()))
@@ -124,6 +143,11 @@ class WorkloadReport:
         data["tile_cache.hit_rate"] = self.tile_cache_hit_rate
         data["dns_cache.hit_rate"] = self.dns_cache_hit_rate
         data["simulated_seconds"] = self.simulated_seconds
+        for server_id in sorted(self.server_stats):
+            for stat, value in sorted(self.server_stats[server_id].items()):
+                data[f"server.{server_id}.{stat}"] = value
+        for pool_index, hit_rate in enumerate(self.dns_pool_hit_rates):
+            data[f"dns_pool.{pool_index}.hit_rate"] = hit_rate
         return data
 
 
@@ -179,6 +203,10 @@ class WorkloadEngine:
                 stores[0].entrance if stores else city_bounds.north_east,
             ]
 
+        federation = self.scenario.federation
+        pools = federation.resolver_pool(self.config.resolver_pools)
+        stochastic = federation.network.latency.is_stochastic
+
         fleet: list[FleetClient] = []
         for index in range(self.config.clients):
             mobility: MobilityModel
@@ -188,12 +216,16 @@ class WorkloadEngine:
                 mobility = CommuterHandoff(list(commute_stops))
             else:
                 mobility = RandomWaypoint(city_bounds)
+            client_seed = self.config.seed + _CLIENT_SEED_STRIDE * (index + 1)
             fleet.append(
                 FleetClient(
                     index=index,
-                    client=self.scenario.federation.client(),
+                    client=federation.client(stub_resolver=pools[index % len(pools)]),
                     mobility=mobility,
-                    rng=random.Random(self.config.seed + _CLIENT_SEED_STRIDE * (index + 1)),
+                    rng=random.Random(client_seed),
+                    # A distinct stream per device: network draws must not
+                    # depend on how the fleet's requests interleave.
+                    net_rng=random.Random(client_seed ^ 0x5EED) if stochastic else None,
                 )
             )
         return fleet
@@ -211,22 +243,30 @@ class WorkloadEngine:
         Without this, large fleets would spuriously age every TTL between one
         client's consecutive requests.
         """
-        clock = self.scenario.federation.network.clock
+        network = self.scenario.federation.network
+        clock = network.clock
         started_at = clock.now()
-        for _ in range(self.config.steps):
-            round_start = clock.now()
-            slowest = 0.0
-            for device in self.fleet:
-                device.advance()
-                kind = self.config.mix.sample(device.rng)
-                self._issue(device, kind)
-                slowest = max(slowest, clock.now() - round_start)
-                clock.rewind_to(round_start)
-            clock.advance(slowest + self.config.step_seconds)
+        try:
+            for _ in range(self.config.steps):
+                round_start = clock.now()
+                slowest = 0.0
+                for device in self.fleet:
+                    device.advance()
+                    kind = self.config.mix.sample(device.rng)
+                    self._issue(device, kind)
+                    slowest = max(slowest, clock.now() - round_start)
+                    clock.rewind_to(round_start)
+                clock.advance(slowest + self.config.step_seconds)
+        finally:
+            # Leave the shared network on its default jitter stream: direct
+            # (non-fleet) use after a run must not inherit the last device's.
+            network.set_jitter_stream(None)
         return self._report(clock.now() - started_at)
 
     def _issue(self, device: FleetClient, kind: RequestKind) -> None:
         network = self.scenario.federation.network
+        if device.net_rng is not None:
+            network.set_jitter_stream(device.net_rng)
         latency_before = network.stats.total_latency_ms
         issued = True
         try:
@@ -335,6 +375,24 @@ class WorkloadEngine:
             discovery_misses += int(stats["discovery.misses"])
             tile_hits += int(stats["tiles.hits"])
             tile_misses += int(stats["tiles.misses"])
+
+        federation = self.scenario.federation
+        server_stats: dict[str, dict[str, float]] = {}
+        for server_id, server in federation.servers.items():
+            if server.queue is not None:
+                server_stats[server_id] = server.queue.stats.snapshot(
+                    window_seconds=simulated_seconds
+                )
+
+        # Aggregate the DNS hit rate over every pool the fleet was sharded
+        # across (pool 0 alone is the historical single-resolver number).
+        pools = federation.resolver_pool(self.config.resolver_pools)
+        pool_hit_rates = tuple(pool.recursive.cache.stats.hit_rate for pool in pools)
+        answered = total = 0
+        for pool in pools:
+            stats = pool.recursive.cache.stats
+            answered += stats.hits + stats.negative_hits
+            total += stats.hits + stats.negative_hits + stats.misses
         return WorkloadReport(
             metrics=self.metrics,
             requests=requests,
@@ -343,6 +401,8 @@ class WorkloadEngine:
             discovery_cache_misses=discovery_misses,
             tile_cache_hits=tile_hits,
             tile_cache_misses=tile_misses,
-            dns_cache_hit_rate=self.scenario.federation.resolver.cache.stats.hit_rate,
+            dns_cache_hit_rate=answered / total if total else 0.0,
             simulated_seconds=simulated_seconds,
+            server_stats=server_stats,
+            dns_pool_hit_rates=pool_hit_rates,
         )

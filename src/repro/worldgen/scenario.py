@@ -20,6 +20,7 @@ from repro.core.config import FederationConfig
 from repro.core.federation import Federation
 from repro.geometry.point import LatLng
 from repro.mapserver.server import MapServer
+from repro.simulation.lru import LruCache
 from repro.worldgen.campus import CampusWorld, generate_campus
 from repro.worldgen.indoor import IndoorWorld, generate_store
 from repro.worldgen.outdoor import CityWorld, generate_city
@@ -57,6 +58,51 @@ class FederatedScenario:
         return random.Random(self.seed)
 
 
+_world_memo: LruCache = LruCache(max_entries=16)
+"""Generated worlds memoized (bounded LRU) by their full generation parameters.
+
+Opt-in via ``build_scenario(reuse_worlds=True)``: sweeps that stand up many
+federations over the *same* deterministic world (the E13 fleet benchmark
+builds one per sweep point per cache setting) skip regenerating and
+re-indexing identical geometry.  Callers that mutate maps must keep the
+default, which generates private worlds."""
+
+
+def _generate_worlds(
+    store_count: int,
+    include_campus: bool,
+    city_rows: int,
+    city_cols: int,
+    products_per_store: int,
+    seed: int,
+) -> tuple[CityWorld, list[IndoorWorld], CampusWorld | None]:
+    rng = random.Random(seed)
+    city = generate_city(rows=city_rows, cols=city_cols, seed=seed)
+    stores: list[IndoorWorld] = []
+    for index in range(store_count):
+        row = (index * 2 + 1) % max(1, city_rows - 1)
+        col = (index * 3 + 1) % max(1, city_cols - 1)
+        block_anchor = city.intersections[row][col].location
+        store_anchor = block_anchor.destination(90.0, 35.0).destination(0.0, 25.0)
+        store_name = f"store-{index}.maps.example"
+        street_address = city.address_near(store_anchor)
+        stores.append(
+            generate_store(
+                name=store_name,
+                anchor=store_anchor,
+                product_count=products_per_store,
+                street_address=street_address,
+                rotation_degrees=rng.uniform(-10.0, 10.0),
+                seed=seed + index + 1,
+            )
+        )
+    campus: CampusWorld | None = None
+    if include_campus:
+        campus_anchor = city.intersections[city_rows - 2][city_cols - 2].location.destination(90.0, 60.0)
+        campus = generate_campus(anchor=campus_anchor, seed=seed + 100)
+    return city, stores, campus
+
+
 def build_scenario(
     store_count: int = 2,
     include_campus: bool = False,
@@ -66,19 +112,37 @@ def build_scenario(
     products_per_store: int = 60,
     config: FederationConfig | None = None,
     seed: int = 0,
+    reuse_worlds: bool = False,
 ) -> FederatedScenario:
     """Build the standard scenario used throughout the experiments.
 
     ``centralized_ingests_indoor`` models the ablation where organizations
     *do* hand their indoor maps to the centralized provider; the default
     (False) reflects the paper's premise that they will not.
+
+    ``reuse_worlds`` shares the generated (immutable-by-convention) worlds
+    between scenarios with identical generation parameters — sweeps that
+    rebuild the same deterministic world many times opt in to skip the
+    regeneration cost.
     """
-    rng = random.Random(seed)
+    if reuse_worlds:
+        memo_key = (store_count, include_campus, city_rows, city_cols, products_per_store, seed)
+        worlds = _world_memo.lookup(memo_key)
+        if worlds is None:
+            worlds = _generate_worlds(
+                store_count, include_campus, city_rows, city_cols, products_per_store, seed
+            )
+            _world_memo.store(memo_key, worlds)
+        city, stores, campus = worlds
+    else:
+        city, stores, campus = _generate_worlds(
+            store_count, include_campus, city_rows, city_cols, products_per_store, seed
+        )
+
     federation = Federation(config=config or FederationConfig())
     centralized = CentralizedMapSystem(network=federation.network)
 
     # Outdoor city — the world provider, also fully ingested centrally.
-    city = generate_city(rows=city_rows, cols=city_cols, seed=seed)
     federation.add_map_server(
         "city.maps.example",
         city.map_data,
@@ -87,33 +151,14 @@ def build_scenario(
     centralized.ingest(city.map_data)
 
     # Grocery stores scattered next to street intersections.
-    stores: list[IndoorWorld] = []
-    for index in range(store_count):
-        row = (index * 2 + 1) % max(1, city_rows - 1)
-        col = (index * 3 + 1) % max(1, city_cols - 1)
-        block_anchor = city.intersections[row][col].location
-        store_anchor = block_anchor.destination(90.0, 35.0).destination(0.0, 25.0)
-        store_name = f"store-{index}.maps.example"
-        street_address = city.address_near(store_anchor)
-        store = generate_store(
-            name=store_name,
-            anchor=store_anchor,
-            product_count=products_per_store,
-            street_address=street_address,
-            rotation_degrees=rng.uniform(-10.0, 10.0),
-            seed=seed + index + 1,
-        )
-        server = federation.add_map_server(store_name, store.map_data)
+    for store in stores:
+        server = federation.add_map_server(store.name, store.map_data)
         store.equip_map_server(server)
-        stores.append(store)
         if centralized_ingests_indoor:
             centralized.ingest(store.map_data)
 
     # Optional campus with the Section 5.3 policy applied.
-    campus: CampusWorld | None = None
-    if include_campus:
-        campus_anchor = city.intersections[city_rows - 2][city_cols - 2].location.destination(90.0, 60.0)
-        campus = generate_campus(anchor=campus_anchor, seed=seed + 100)
+    if campus is not None:
         federation.add_map_server(
             campus.name,
             campus.map_data,

@@ -116,3 +116,29 @@ class TestClientWiring:
         client.discover(city.bounds.center, uncertainty_meters=40.0)
         federation.reset_network_stats()
         assert federation.network.stats.messages_sent == 0
+
+    def test_map_servers_default_to_contraction_routing(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        server = federation.add_map_server("city.example", city.map_data)
+        assert server.routing_algorithm == "contraction"
+        assert server.routing_service.algorithm == "contraction"
+
+    def test_resolver_pools_share_namespace_with_own_caches(self, federation: Federation):
+        city = generate_city(rows=3, cols=3, seed=1)
+        federation.add_map_server("city.example", city.map_data)
+        pools = federation.resolver_pool(3)
+        assert len(pools) == 3
+        assert pools[0] is federation.stub_resolver  # pool 0 = default resolver
+        assert pools[1].recursive is not pools[2].recursive
+        # Asking again returns the same pools (no cache state is thrown away).
+        assert federation.resolver_pool(2) == pools[:2]
+        # Both pools resolve over the same namespace.
+        client_a = federation.client(stub_resolver=pools[1])
+        client_b = federation.client(stub_resolver=pools[2])
+        location = city.bounds.center
+        found_a = client_a.discover(location, uncertainty_meters=40.0)
+        found_b = client_b.discover(location, uncertainty_meters=40.0)
+        assert found_a.server_ids == found_b.server_ids
+        # Each pool warmed its own cache, not the other's.
+        assert pools[1].recursive.cache.stats.misses > 0
+        assert pools[2].recursive.cache.stats.misses > 0

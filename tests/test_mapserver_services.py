@@ -167,6 +167,33 @@ class TestRoutingService:
             r2 = fast.route(a, b)
             assert r1.cost == pytest.approx(r2.cost, rel=1e-9)
 
+    def test_contraction_hierarchy_is_built_lazily(self, city):
+        service = RoutingService(city.map_data, algorithm="contraction")
+        assert service._hierarchy is None  # nothing preprocessed at startup
+        response = service.route(
+            city.intersections[0][0].location, city.intersections[1][1].location
+        )
+        assert response is not None
+        assert service._hierarchy is not None  # first query built it
+
+    def test_contraction_falls_back_to_dijkstra_for_other_metrics(self, city):
+        fast = RoutingService(city.map_data, algorithm="contraction")
+        plain = RoutingService(city.map_data, algorithm="dijkstra")
+        a = city.intersections[0][0].location
+        b = city.intersections[2][2].location
+        # The hierarchy is built for "distance"; a "time" query must fall
+        # back to Dijkstra yet return the same cost as a plain service.
+        assert fast.route(a, b, metric="time").cost == pytest.approx(
+            plain.route(a, b, metric="time").cost, rel=1e-9
+        )
+
+    def test_contraction_settles_fewer_vertices_than_dijkstra(self, city):
+        plain = RoutingService(city.map_data, algorithm="dijkstra")
+        fast = RoutingService(city.map_data, algorithm="contraction")
+        a = city.intersections[0][0].location
+        b = city.intersections[4][4].location
+        assert fast.route(a, b).settled_vertices <= plain.route(a, b).settled_vertices
+
     def test_unroutable_map_returns_none(self, store):
         # Build a map with no routable ways.
         from repro.osm.builder import MapBuilder

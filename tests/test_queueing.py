@@ -1,0 +1,240 @@
+"""Tests for the server-side load model (service times + bounded queue).
+
+Covers the queueing model in isolation (service, backlog, drops, the
+utilization→1 saturation property), its wiring into map servers and the
+federation, and the jittered latency / resolver-pool refinements that ride
+on the same fleet experiments.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FederationConfig
+from repro.simulation.clock import SimulatedClock
+from repro.simulation.network import LatencyModel, SimulatedNetwork
+from repro.simulation.queueing import (
+    QueueStats,
+    ServerOverloadedError,
+    ServerQueue,
+    ServiceTimeModel,
+)
+from repro.worldgen.scenario import build_scenario
+
+
+def drive_open_arrivals(queue: ServerQueue, interarrival_s: float, count: int) -> None:
+    """Feed ``count`` arrivals spaced ``interarrival_s`` apart.
+
+    ``process`` advances the clock past each request's completion (the caller
+    waits synchronously), so the driver rewinds/advances the clock to each
+    arrival instant — the same concurrent-branch pattern the workload engine
+    uses for fleet rounds.
+    """
+    clock = queue.network.clock
+    for index in range(count):
+        arrival = index * interarrival_s
+        if clock.now() > arrival:
+            clock.rewind_to(arrival)
+        elif clock.now() < arrival:
+            clock.advance(arrival - clock.now())
+        try:
+            queue.process("search")
+        except ServerOverloadedError:
+            pass  # shed load still counts in queue.stats.dropped
+
+
+class TestServiceTimeModel:
+    def test_default_and_override(self):
+        model = ServiceTimeModel(default_ms=2.0, per_kind_ms={"routing": 8.0})
+        assert model.service_ms("search") == 2.0
+        assert model.service_ms("routing") == 8.0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ServiceTimeModel(default_ms=-1.0)
+        with pytest.raises(ValueError):
+            ServiceTimeModel(per_kind_ms={"tiles": -0.5})
+
+
+class TestServerQueue:
+    def make_queue(self, service_ms: float = 10.0, capacity: int = 64) -> ServerQueue:
+        return ServerQueue(
+            network=SimulatedNetwork(),
+            service_times=ServiceTimeModel(default_ms=service_ms),
+            capacity=capacity,
+        )
+
+    def test_idle_server_charges_only_service_time(self):
+        queue = self.make_queue(service_ms=10.0)
+        total_ms = queue.process("search")
+        assert total_ms == pytest.approx(10.0)
+        assert queue.network.clock.now() == pytest.approx(0.010)
+        assert queue.network.stats.total_latency_ms == pytest.approx(10.0)
+        assert queue.stats.mean_wait_ms == 0.0
+
+    def test_concurrent_arrivals_queue_behind_each_other(self):
+        # Three requests arriving at the same instant (clock rewound between
+        # them, as the workload engine does within a round) serialize: the
+        # k-th pays k-1 service times of waiting.
+        queue = self.make_queue(service_ms=10.0)
+        clock = queue.network.clock
+        totals = []
+        for _ in range(3):
+            clock.rewind_to(0.0)
+            totals.append(queue.process("search"))
+        assert totals == [pytest.approx(10.0), pytest.approx(20.0), pytest.approx(30.0)]
+        assert queue.stats.max_depth == 2
+
+    def test_backlog_drains_with_time(self):
+        queue = self.make_queue(service_ms=10.0)
+        clock = queue.network.clock
+        for _ in range(3):
+            clock.rewind_to(0.0)
+            queue.process("search")
+        clock.rewind_to(0.0)
+        clock.advance(1.0)  # everything has completed by now
+        assert queue.depth == 0
+        assert queue.process("search") == pytest.approx(10.0)
+
+    def test_bounded_queue_drops_when_full(self):
+        queue = self.make_queue(service_ms=10.0, capacity=2)
+        clock = queue.network.clock
+        for _ in range(2):
+            clock.rewind_to(0.0)
+            queue.process("search")
+        clock.rewind_to(0.0)
+        with pytest.raises(ServerOverloadedError):
+            queue.process("search")
+        assert queue.stats.dropped == 1
+        assert queue.stats.served == 2
+        assert queue.stats.drop_rate == pytest.approx(1.0 / 3.0)
+
+    def test_utilization_tracks_offered_load(self):
+        # Offered load rho = service / interarrival; utilization ~= rho.
+        for rho in (0.25, 0.5, 0.9):
+            queue = self.make_queue(service_ms=10.0, capacity=10_000)
+            drive_open_arrivals(queue, interarrival_s=0.010 / rho, count=400)
+            window = 400 * (0.010 / rho)
+            assert queue.stats.utilization(window) == pytest.approx(rho, rel=0.05)
+
+    def test_utilization_approaches_one_at_saturation(self):
+        # Offered load beyond the service rate: the server is busy the whole
+        # horizon it worked through, i.e. utilization -> 1.
+        queue = self.make_queue(service_ms=10.0, capacity=10_000)
+        drive_open_arrivals(queue, interarrival_s=0.005, count=400)  # rho = 2
+        utilization = queue.stats.utilization(queue.busy_until)
+        assert utilization == pytest.approx(1.0, rel=0.01)
+        assert queue.stats.mean_wait_ms > 100.0  # backlog grew without bound
+
+    def test_deterministic(self):
+        def one_run() -> dict[str, float]:
+            queue = self.make_queue(service_ms=7.0, capacity=32)
+            drive_open_arrivals(queue, interarrival_s=0.004, count=100)
+            return queue.stats.snapshot(window_seconds=queue.busy_until)
+
+        assert one_run() == one_run()
+
+    def test_snapshot_fields(self):
+        queue = self.make_queue()
+        queue.process("search")
+        snapshot = queue.stats.snapshot(window_seconds=1.0)
+        for key in ("arrivals", "served", "dropped", "drop_rate", "busy_ms",
+                    "mean_wait_ms", "mean_depth", "max_depth", "utilization"):
+            assert key in snapshot
+
+    def test_rejects_silly_capacity(self):
+        with pytest.raises(ValueError):
+            ServerQueue(network=SimulatedNetwork(), capacity=0)
+
+
+class TestMapServerQueueWiring:
+    def make_scenario(self, **config_kwargs):
+        config = FederationConfig(
+            service_times=ServiceTimeModel(default_ms=5.0, per_kind_ms={"routing": 12.0}),
+            **config_kwargs,
+        )
+        return build_scenario(store_count=1, city_rows=3, city_cols=3, config=config, seed=11)
+
+    def test_servers_get_queues_and_charge_latency(self):
+        scenario = self.make_scenario()
+        federation = scenario.federation
+        assert all(server.queue is not None for server in federation.servers.values())
+        client = federation.client()
+        before = federation.network.stats.server_processing_ms
+        client.search("milk", near=scenario.stores[0].entrance, radius_meters=200.0)
+        after = federation.network.stats.server_processing_ms
+        assert after > before  # the consulted servers' service time was charged
+
+    def test_no_service_times_means_no_queue(self):
+        scenario = build_scenario(store_count=1, city_rows=3, city_cols=3, seed=11)
+        assert all(server.queue is None for server in scenario.federation.servers.values())
+
+    def test_overloaded_server_is_skipped_not_fatal(self):
+        config = FederationConfig(
+            # One slot, and a service slow enough that the backlog outlives
+            # the client's own DNS walk to the server.
+            service_times=ServiceTimeModel(default_ms=60_000.0),
+            server_queue_capacity=1,
+        )
+        scenario = build_scenario(store_count=1, city_rows=3, city_cols=3, config=config, seed=11)
+        federation = scenario.federation
+        server = scenario.store_server(0)
+        # Saturate the store server's queue with a request whose completion
+        # (at t=160s) outlives everything the client's fan-out does first —
+        # including a full 60s service at the city server.
+        clock = federation.network.clock
+        clock.advance(100.0)
+        server.queue.process("search")
+        clock.rewind_to(10.0)
+        client = federation.client()
+        # The fan-out search must survive the overloaded server (it is
+        # skipped like a denied one) and still consult the city server.
+        result = client.search("milk", near=scenario.stores[0].entrance, radius_meters=200.0)
+        assert result.servers_consulted >= 1
+        assert server.queue.stats.dropped >= 1
+
+
+class TestJitteredLatency:
+    def test_default_latency_model_is_deterministic(self):
+        model = LatencyModel()
+        assert not model.is_stochastic
+        network = SimulatedNetwork(latency=model)
+        assert network.client_map_server_exchange() == pytest.approx(50.0)
+
+    def test_jitter_varies_latency_reproducibly(self):
+        model = LatencyModel(jitter_sigma=0.5)
+
+        def draws(seed: int) -> list[float]:
+            network = SimulatedNetwork(latency=model, jitter_seed=seed)
+            network.reseed_jitter(7)
+            return [network.client_map_server_exchange() for _ in range(5)]
+
+        first = draws(1)
+        assert draws(1) == first  # deterministic per seed/stream
+        assert draws(2) != first  # distinct streams differ
+        assert len(set(first)) > 1  # latency actually varies
+
+    def test_loss_charges_retransmissions(self):
+        model = LatencyModel(loss_probability=0.5)
+        network = SimulatedNetwork(latency=model, jitter_seed=3)
+        network.reseed_jitter(1)
+        total = sum(network.client_map_server_exchange() for _ in range(50))
+        assert network.stats.retransmissions > 0
+        # Every retransmission costs one extra full round trip.
+        expected = 50 * 50.0 + network.stats.retransmissions * 50.0
+        assert total == pytest.approx(expected)
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyModel(jitter_sigma=-0.1)
+        with pytest.raises(ValueError):
+            LatencyModel(loss_probability=1.0)
+
+
+class TestQueueStatsEdgeCases:
+    def test_empty_stats(self):
+        stats = QueueStats()
+        assert stats.drop_rate == 0.0
+        assert stats.mean_wait_ms == 0.0
+        assert stats.mean_depth == 0.0
+        assert stats.utilization(0.0) == 0.0

@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.simulation.clock import SimulatedClock
+from repro.simulation.lru import LruCache
 from repro.simulation.metrics import Counter, Histogram, MetricsRegistry, Summary, percentile
 from repro.simulation.network import LatencyModel, SimulatedNetwork
 
@@ -206,3 +207,78 @@ class TestHistogram:
         assert snapshot["lat.p50"] == pytest.approx(2.0)
         registry.reset()
         assert registry.snapshot() == {}
+
+
+class TestLruCache:
+    def test_basic_hit_miss_and_eviction_order(self):
+        cache = LruCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        assert cache.lookup("a") == 1  # refreshes "a" to MRU
+        cache.store("c", 3)  # evicts "b", the LRU entry
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") == 1
+        assert cache.lookup("c") == 3
+        assert cache.stats.evictions == 1
+
+    def test_stored_none_is_a_hit(self):
+        """A stored ``None`` value must not masquerade as a miss."""
+        cache = LruCache(max_entries=4)
+        cache.store("k", None)
+        assert cache.lookup("k") is None
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 0
+
+    def test_is_live_expires_and_counts(self):
+        cache = LruCache(max_entries=4)
+        cache.store("k", "stale")
+        assert cache.lookup("k", is_live=lambda v: False) is None
+        assert cache.stats.expirations == 1
+        assert cache.stats.misses == 1
+        assert cache.size == 0
+
+    def test_refresh_does_not_evict(self):
+        cache = LruCache(max_entries=2)
+        cache.store("a", 1)
+        cache.store("b", 2)
+        cache.store("a", 10)  # refresh, not insert: nothing evicted
+        assert cache.stats.evictions == 0
+        assert cache.lookup("b") == 2
+
+    def test_operations_are_constant_time(self):
+        """Micro-benchmark guard: per-op cost must not grow with cache size.
+
+        A steady-state mix of stores (each evicting) and lookups (each
+        touching/relinking) runs against a small and a 128x larger cache; an
+        O(size) eviction or touch would blow the per-op ratio far past the
+        generous bound used here.
+        """
+        import time
+
+        small_size, large_size = 256, 32_768  # 128x apart
+        ops = 10_000
+
+        def build(size: int) -> LruCache:
+            cache = LruCache(max_entries=size)
+            for i in range(size):  # steady state: cache full
+                cache.store(i, i)
+            return cache
+
+        def one_pass(cache: LruCache, size: int, offset: int) -> float:
+            start = time.perf_counter()
+            base = size + offset * ops
+            for i in range(ops):
+                cache.store(base + i, i)      # insert + evict
+                cache.lookup(base + i - 1)    # hit + touch
+                cache.lookup(-1)              # miss
+            return time.perf_counter() - start
+
+        small, large = build(small_size), build(large_size)
+        # Best-of-5 minima approximate the true per-op cost, so a single
+        # noisy scheduler slice cannot fail the guard.
+        small_best = min(one_pass(small, small_size, r) for r in range(5))
+        large_best = min(one_pass(large, large_size, r) for r in range(5))
+
+        # 20x headroom absorbs timer noise while still failing hard for a
+        # linear-time implementation (which would be ~128x slower).
+        assert large_best < 20.0 * small_best

@@ -8,6 +8,7 @@ import pytest
 
 from repro.core.config import FederationConfig
 from repro.geometry.bbox import BoundingBox
+from repro.simulation.network import LatencyModel
 from repro.workload import (
     AisleWalk,
     CommuterHandoff,
@@ -199,3 +200,61 @@ class TestWorkloadEngine:
             WorkloadConfig(steps=0)
         with pytest.raises(ValueError):
             WorkloadConfig(step_seconds=-1.0)
+        with pytest.raises(ValueError):
+            WorkloadConfig(resolver_pools=0)
+
+
+class TestResolverPools:
+    def test_fleet_shards_across_pools_and_reports_hit_rates(self):
+        scenario = _workload_scenario(cached=False)
+        engine = WorkloadEngine(
+            scenario, WorkloadConfig(clients=8, steps=3, seed=5, resolver_pools=3)
+        )
+        report = engine.run()
+        assert len(report.dns_pool_hit_rates) == 3
+        # Every pool served some fraction of the fleet, so each has traffic.
+        pools = scenario.federation.resolver_pool(3)
+        assert all(
+            pool.recursive.cache.stats.hits + pool.recursive.cache.stats.misses > 0
+            for pool in pools
+        )
+        # The aggregate rate is a weighted combination, bounded by the pools.
+        assert min(report.dns_pool_hit_rates) <= report.dns_cache_hit_rate
+        assert report.dns_cache_hit_rate <= max(report.dns_pool_hit_rates)
+        # Per-pool rates land in the deterministic snapshot.
+        snapshot = report.snapshot()
+        assert "dns_pool.0.hit_rate" in snapshot
+        assert "dns_pool.2.hit_rate" in snapshot
+
+    def test_single_pool_matches_default_resolver(self):
+        scenario = _workload_scenario(cached=False)
+        engine = WorkloadEngine(scenario, WorkloadConfig(clients=4, steps=2, seed=5))
+        report = engine.run()
+        assert report.dns_pool_hit_rates == (
+            scenario.federation.resolver.cache.stats.hit_rate,
+        )
+
+    def test_sharded_pools_warm_slower_than_one_shared_pool(self):
+        """More pools = colder caches: aggregate hit rate cannot improve."""
+        def run(pools: int) -> float:
+            scenario = _workload_scenario(cached=False)
+            engine = WorkloadEngine(
+                scenario, WorkloadConfig(clients=8, steps=3, seed=5, resolver_pools=pools)
+            )
+            return engine.run().dns_cache_hit_rate
+
+        assert run(4) <= run(1)
+
+
+class TestJitteredFleet:
+    def test_jittered_run_is_deterministic_and_differs_from_fixed(self):
+        def run(sigma: float) -> dict[str, float]:
+            config = FederationConfig(latency=LatencyModel(jitter_sigma=sigma))
+            scenario = build_scenario(store_count=2, city_rows=4, city_cols=4, config=config, seed=21)
+            engine = WorkloadEngine(scenario, WorkloadConfig(clients=6, steps=3, seed=11))
+            return engine.run().snapshot()
+
+        jittered = run(0.4)
+        assert jittered == run(0.4)  # same seed, same draws
+        fixed = run(0.0)
+        assert jittered["latency_ms.all.p99"] != fixed["latency_ms.all.p99"]
