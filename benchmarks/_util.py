@@ -3,6 +3,79 @@
 from __future__ import annotations
 
 
+def md1_mean_wait_ms(service_ms: float, utilization: float) -> float:
+    """Mean queueing wait of an M/D/1 server (milliseconds).
+
+    Pollaczek–Khinchine with deterministic service: Wq = ρ·S / (2·(1−ρ)).
+    Used as an analytic sanity check on the measured wait-time curves: the
+    simulated arrival process is round-phased rather than Poisson, so the
+    comparison is a sanity band, not an identity.  Utilization at or above
+    1.0 has no steady state — callers must not ask.
+    """
+    if service_ms < 0.0:
+        raise ValueError("service time cannot be negative")
+    if not (0.0 <= utilization < 1.0):
+        raise ValueError("M/D/1 has a steady state only for utilization in [0, 1)")
+    return utilization * service_ms / (2.0 * (1.0 - utilization))
+
+
+def batch_md1_mean_wait_ms(service_ms: float, batch_size: float, utilization: float) -> float:
+    """Mean wait of an M/D/1 queue fed one batch of ``batch_size`` per arrival.
+
+    The fleet engine issues each round's requests from the same simulated
+    instant, so a server's arrivals are closer to periodic *batches* than to
+    a Poisson stream.  If a whole round's K requests truly landed at one
+    instant, the k-th would wait (k−1)·S, giving a batch mean of
+    ``(K−1)/2·S`` on top of the Poisson-congestion term — the upper edge of
+    the analytic band (clients' differing DNS walks spread real arrivals
+    out, so measured waits fall below it).
+    """
+    if batch_size < 1.0:
+        return md1_mean_wait_ms(service_ms, utilization)
+    return (batch_size - 1.0) / 2.0 * service_ms + md1_mean_wait_ms(service_ms, utilization)
+
+
+def check_md1_sanity(
+    server_stats: dict[str, dict[str, float]],
+    steps: int,
+    max_utilization: float = 0.7,
+    rel_tolerance: float = 1.5,
+    abs_slack_ms: float = 0.5,
+) -> list[str]:
+    """Check measured mean waits against the M/D/1 analytic band.
+
+    For every server comfortably below saturation (utilization ≤
+    ``max_utilization``; beyond that the finite buffer dominates), the
+    measured mean wait must lie between the Poisson M/D/1 lower bound (the
+    least bursty arrival process at the observed rate) and the
+    one-batch-per-round upper bound (the most bursty the round structure
+    allows), each with tolerance.  Returns human-readable failure strings
+    (empty = all sane) so callers can aggregate across sweep rows.
+    """
+    failures: list[str] = []
+    for server_id, stats in sorted(server_stats.items()):
+        served = stats.get("served", 0.0)
+        utilization = stats.get("utilization", 0.0)
+        if served < 10 or not (0.0 < utilization <= max_utilization):
+            continue
+        mean_service_ms = stats.get("busy_ms", 0.0) / served
+        measured = stats.get("mean_wait_ms", 0.0)
+        lower = md1_mean_wait_ms(mean_service_ms, min(utilization, 0.999))
+        batch = stats.get("arrivals", served) / max(1, steps)
+        upper = batch_md1_mean_wait_ms(mean_service_ms, batch, min(utilization, 0.999))
+        if measured > rel_tolerance * upper + abs_slack_ms:
+            failures.append(
+                f"{server_id}: measured wait {measured:.3f}ms above batch-M/D/1 "
+                f"upper bound {upper:.3f}ms (util {utilization:.2f}, batch {batch:.1f})"
+            )
+        elif measured < lower / rel_tolerance - abs_slack_ms:
+            failures.append(
+                f"{server_id}: measured wait {measured:.3f}ms below M/D/1 "
+                f"lower bound {lower:.3f}ms (util {utilization:.2f})"
+            )
+    return failures
+
+
 def print_table(title: str, rows: list[dict[str, object]]) -> None:
     """Print an experiment's result rows in a compact aligned table."""
     print(f"\n## {title}")

@@ -39,7 +39,7 @@ from repro.workload import WorkloadConfig, WorkloadEngine
 from repro.worldgen.scenario import build_scenario
 
 sys.path.insert(0, str(Path(__file__).resolve().parent))
-from _util import print_table  # noqa: E402
+from _util import check_md1_sanity, print_table  # noqa: E402
 
 WORLD_SEED = 33
 WORKLOAD_SEED = 7
@@ -310,6 +310,12 @@ def main(argv: list[str] | None = None) -> int:
         largest = [r for r in rows if r["clients"] == fleet_sizes[-1]]
         if max(r["util_max"] for r in largest) <= max(r["util_max"] for r in smallest):
             failures.append("server utilization did not grow with fleet size")
+    # Analytic sanity: below saturation, measured mean waits must sit within
+    # the M/D/1 (Pollaczek–Khinchine) band — Poisson lower bound to
+    # one-batch-per-round upper bound.
+    for row in rows:
+        for failure in check_md1_sanity(row["_server_stats"], steps):
+            failures.append(f"M/D/1 sanity ({row['clients']} clients, cached={row['cached']}): {failure}")
     if args.budget_seconds is not None and elapsed > args.budget_seconds:
         failures.append(
             f"sweep took {elapsed:.1f}s, over the {args.budget_seconds:.1f}s budget "

@@ -1,0 +1,363 @@
+"""E14 — federation churn: availability and failover under membership churn.
+
+The paper's discovery story assumes map servers are long-lived DNS
+registrants; production federations churn.  This experiment sweeps *churn
+rate* (Poisson crash/rejoin arrivals per simulated minute over the store
+servers) against *replica count* (each store deployed as a replica group
+advertising the same coverage cells) and measures what clients experience:
+
+* **failed-request rate** — client requests that got no service at all
+  (every replica chain they tried was exhausted);
+* **stale-attempt rate** — attempts addressed to dead servers because the
+  device acted on TTL-stale cached discovery results;
+* **failover latency** — p50/p95/p99 from first failure detection to
+  success on another replica (dead-server timeouts + retry backoff + the
+  winning attempt);
+* **time-to-rediscovery** — how long after a crashed server re-registers
+  until the fleet's traffic reaches it again.
+
+Runs three ways, like E13:
+
+* under pytest-benchmark;
+* standalone smoke: ``python benchmarks/bench_e14_churn.py --smoke`` —
+  the reduced sweep used by ``scripts/check.sh`` (wall-clock budgeted via
+  ``--budget-seconds``); the smoke sweep *is* the committed artifact, so
+  every check run re-verifies that ``BENCH_e14.json`` reproduces;
+* the full sweep (no flags) runs a larger fleet over more churn rates.
+
+Everything is deterministic under the fixed seeds: the same invocation
+rewrites byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.churn import ChurnSchedule, RetryPolicy
+from repro.core.config import FederationConfig
+from repro.simulation.queueing import ServiceTimeModel
+from repro.workload import WorkloadConfig, WorkloadEngine
+from repro.worldgen.scenario import build_scenario
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _util import print_table  # noqa: E402
+
+WORLD_SEED = 33
+WORKLOAD_SEED = 7
+CHURN_SEED = 5
+STORE_COUNT = 2
+DEVICE_CACHE_TTL_SECONDS = 120.0
+TILE_CACHE_ENTRIES = 256
+STEP_SECONDS = 20.0
+"""Long rounds: the run spans minutes of simulated time, so churn events,
+registration-lease decay and cache TTLs all get room to play out."""
+DOWNTIME_SECONDS = 45.0
+
+SERVICE_TIMES = ServiceTimeModel(
+    default_ms=2.0,
+    per_kind_ms={"search": 1.5, "routing": 4.0, "tiles": 0.5, "localization": 2.5},
+)
+SERVER_QUEUE_CAPACITY = 256
+
+RETRY_POLICY = RetryPolicy.utilization_aware()
+"""Utilization-aware exponential backoff: retries against a saturated
+replica spread out, retries after a one-off blip stay fast."""
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e14.json"
+
+
+def build_churn_scenario(replicas: int):
+    """The standard E14 world: E13's city + stores, with store replication."""
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=DEVICE_CACHE_TTL_SECONDS,
+        client_tile_cache_entries=TILE_CACHE_ENTRIES,
+        service_times=SERVICE_TIMES,
+        server_queue_capacity=SERVER_QUEUE_CAPACITY,
+        retry_policy=RETRY_POLICY,
+    )
+    return build_scenario(
+        store_count=STORE_COUNT,
+        city_rows=5,
+        city_cols=5,
+        config=config,
+        seed=WORLD_SEED,
+        reuse_worlds=True,
+        store_replicas=replicas,
+    )
+
+
+def run_churn(
+    replicas: int,
+    churn_rate_per_minute: float,
+    clients: int,
+    steps: int,
+    seed: int = WORKLOAD_SEED,
+) -> dict[str, object]:
+    """Run one (replica count × churn rate) cell of the sweep."""
+    started = time.perf_counter()
+    scenario = build_churn_scenario(replicas)
+    eligible = [
+        server_id
+        for index in range(STORE_COUNT)
+        for server_id in scenario.store_replica_ids(index)
+    ]
+    schedule = ChurnSchedule.poisson(
+        eligible,
+        rate_per_minute=churn_rate_per_minute,
+        horizon_seconds=steps * STEP_SECONDS,
+        downtime_seconds=DOWNTIME_SECONDS,
+        seed=CHURN_SEED,
+    )
+    engine = WorkloadEngine(
+        scenario,
+        WorkloadConfig(
+            clients=clients,
+            steps=steps,
+            seed=seed,
+            step_seconds=STEP_SECONDS,
+            churn=schedule,
+        ),
+    )
+    report = engine.run()
+    wall_seconds = time.perf_counter() - started
+    availability = report.availability()
+    return {
+        "replicas": replicas,
+        "churn_per_min": churn_rate_per_minute,
+        "requests": report.requests + report.errors,
+        "failed_rate": availability["failed_request_rate"],
+        "chain_fail_rate": availability["failed_chain_rate"],
+        "stale_rate": availability["stale_attempt_rate"],
+        "failovers": int(availability["failovers"]),
+        "fo_p50_ms": availability["failover_p50_ms"],
+        "fo_p95_ms": availability["failover_p95_ms"],
+        "fo_p99_ms": availability["failover_p99_ms"],
+        "events": int(availability["churn_events_applied"]),
+        "rediscover": int(availability["rediscoveries"]),
+        "redisc_mean_s": availability["rediscovery_seconds_mean"],
+        # Carried for the JSON artifact (dropped from the printed table).
+        "_availability": availability,
+        "_scheduled_events": len(schedule),
+        "_wall_seconds": wall_seconds,
+        "_simulated_seconds": report.simulated_seconds,
+        "_snapshot_digest": _digest(report.snapshot()),
+    }
+
+
+def _digest(snapshot: dict[str, float]) -> str:
+    """A short stable fingerprint of a run's full snapshot (determinism)."""
+    import hashlib
+
+    payload = json.dumps(snapshot, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def sweep(
+    replica_counts: list[int], churn_rates: list[float], clients: int, steps: int
+) -> list[dict[str, object]]:
+    rows: list[dict[str, object]] = []
+    for replicas in replica_counts:
+        for rate in churn_rates:
+            rows.append(run_churn(replicas, rate, clients, steps))
+    return rows
+
+
+def table_rows(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]
+
+
+def emit_json(rows: list[dict[str, object]], clients: int, steps: int, path: Path) -> None:
+    """Write the machine-readable availability/failover curves."""
+    payload = {
+        "experiment": "E14",
+        "description": "availability and failover under federation churn "
+        "(churn rate x replica count)",
+        "world_seed": WORLD_SEED,
+        "workload_seed": WORKLOAD_SEED,
+        "churn_seed": CHURN_SEED,
+        "clients": clients,
+        "steps": steps,
+        "step_seconds": STEP_SECONDS,
+        "downtime_seconds": DOWNTIME_SECONDS,
+        "retry_policy": {
+            "kind": RETRY_POLICY.kind,
+            "base_delay_ms": RETRY_POLICY.base_delay_ms,
+            "max_attempts": RETRY_POLICY.max_attempts,
+            "dead_server_timeout_ms": RETRY_POLICY.dead_server_timeout_ms,
+        },
+        "rows": [
+            {
+                "replicas": row["replicas"],
+                "churn_per_min": row["churn_per_min"],
+                "requests": row["requests"],
+                "scheduled_events": row["_scheduled_events"],
+                "availability": row["_availability"],
+                "snapshot_digest": row["_snapshot_digest"],
+                # Deliberately no wall-clock fields: the artifact must be
+                # byte-identical across runs (check.sh enforces it).
+                "simulated_seconds": row["_simulated_seconds"],
+            }
+            for row in rows
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def verify(rows: list[dict[str, object]], churn_rates: list[float]) -> list[str]:
+    """The experiment's claims, checked on a sweep's rows."""
+    failures: list[str] = []
+    top_rate = max(churn_rates)
+    baseline_rate = min(churn_rates)
+
+    def cell(replicas: int, rate: float) -> dict[str, object] | None:
+        for row in rows:
+            if row["replicas"] == replicas and row["churn_per_min"] == rate:
+                return row
+        return None
+
+    # (a) With a single replica, availability degrades as churn grows.
+    single = [cell(1, rate) for rate in sorted(churn_rates)]
+    if all(row is not None for row in single):
+        curve = [row["failed_rate"] for row in single]
+        if curve != sorted(curve):
+            failures.append(f"single-replica failed-rate curve not monotone: {curve}")
+        if curve[-1] <= curve[0] + 0.01:
+            failures.append(
+                f"churn did not degrade single-replica availability "
+                f"({curve[0]:.4f} -> {curve[-1]:.4f})"
+            )
+
+    # (b) At the same top churn rate, an extra replica restores availability.
+    degraded = cell(1, top_rate)
+    restored = [cell(r, top_rate) for r in sorted({row["replicas"] for row in rows}) if r > 1]
+    restored = [row for row in restored if row is not None]
+    if degraded is not None and restored:
+        if not any(row["failed_rate"] < 0.01 for row in restored):
+            failures.append(
+                "no replica count restored failed-request rate below 1% at "
+                f"churn rate {top_rate}/min"
+            )
+        # (c) ...and the failover machinery actually engaged.
+        if not any(row["failovers"] > 0 and row["fo_p95_ms"] > 0.0 for row in restored):
+            failures.append("replicated runs recorded no failovers / failover latency")
+
+    # With no churn, nothing should fail beyond the workload's own baseline.
+    for row in rows:
+        if row["churn_per_min"] == baseline_rate == 0.0 and row["chain_fail_rate"] > 0.0:
+            failures.append(
+                f"replica={row['replicas']}: chains failed with zero churn "
+                f"({row['chain_fail_rate']:.4f})"
+            )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_e14_availability_degrades_and_replicas_restore(benchmark):
+    """Churn kills single-replica availability; one more replica restores it."""
+    rates = [0.0, 3.0]
+    rows = sweep([1, 2], rates, clients=16, steps=8)
+    print_table("E14 churn x replicas", table_rows(rows))
+    assert not verify(rows, rates)
+    benchmark.extra_info["failed_rate_r1"] = rows[1]["failed_rate"]
+    benchmark(lambda: run_churn(1, 3.0, clients=8, steps=4))
+
+
+def test_e14_deterministic(benchmark):
+    """Fixed seeds give byte-identical availability snapshots."""
+    first = run_churn(2, 3.0, clients=12, steps=6)
+    second = run_churn(2, 3.0, clients=12, steps=6)
+    assert first["_snapshot_digest"] == second["_snapshot_digest"]
+    benchmark(lambda: run_churn(2, 3.0, clients=8, steps=4))
+
+
+# ----------------------------------------------------------------------
+# Standalone mode
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced sweep (finishes in seconds) for CI smoke checks",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=DEFAULT_JSON_PATH,
+        help=f"where to write the sweep artifact (default {DEFAULT_JSON_PATH.name}; "
+        "the smoke sweep is the committed artifact, so check runs re-verify "
+        "that it reproduces)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON artifact"
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the sweep takes longer than this wall-clock budget",
+    )
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        replica_counts = [1, 2, 3]
+        churn_rates = [0.0, 1.5, 3.0]
+        clients, steps = 24, 10
+    else:
+        replica_counts = [1, 2, 3]
+        churn_rates = [0.0, 1.0, 3.0, 6.0]
+        clients, steps = 100, 12
+
+    started = time.perf_counter()
+    rows = sweep(replica_counts, churn_rates, clients, steps)
+    elapsed = time.perf_counter() - started
+    print_table("E14 availability under churn (replicas x churn rate)", table_rows(rows))
+
+    failures = verify(rows, churn_rates)
+
+    # Determinism: the cheapest degraded cell must reproduce exactly.
+    repeat = run_churn(1, max(churn_rates), clients, steps)
+    reference = next(
+        row for row in rows
+        if row["replicas"] == 1 and row["churn_per_min"] == max(churn_rates)
+    )
+    if repeat["_snapshot_digest"] != reference["_snapshot_digest"]:
+        failures.append("rerun with fixed seed produced a different snapshot")
+
+    if not args.no_json:
+        emit_json(rows, clients, steps, args.json)
+        print(f"\nwrote {args.json}")
+
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        failures.append(
+            f"sweep took {elapsed:.1f}s, over the {args.budget_seconds:.1f}s budget "
+            "(hot-path regression?)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"\nOK: churn degrades single-replica availability, replication restores "
+        f"it below 1% failed requests, failover latency measured ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

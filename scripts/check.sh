@@ -1,9 +1,12 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the workload benchmark in smoke mode.
+# Repo check: tier-1 test suite plus the workload + churn benchmarks in
+# smoke mode.
 #
-# The smoke run is held to a wall-clock budget (E13_SMOKE_BUDGET_SECONDS,
-# default 20s — the optimized smoke finishes in ~1s, so only an
-# order-of-magnitude hot-path regression trips it).
+# Each smoke run is held to a wall-clock budget (E13_SMOKE_BUDGET_SECONDS /
+# E14_SMOKE_BUDGET_SECONDS, default 20s — the optimized smokes finish in a
+# couple of seconds, so only an order-of-magnitude hot-path regression trips
+# them).  The E14 smoke rewrites BENCH_e14.json, which doubles as a
+# determinism check: the committed artifact must reproduce byte-for-byte.
 # Usage: scripts/check.sh
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -17,6 +20,16 @@ echo
 echo "== benchmark smoke: E13 workload (budgeted) =="
 python benchmarks/bench_e13_workload.py --smoke --no-json \
   --budget-seconds "${E13_SMOKE_BUDGET_SECONDS:-20}"
+
+echo
+echo "== benchmark smoke: E14 churn/failover (budgeted) =="
+python benchmarks/bench_e14_churn.py --smoke \
+  --budget-seconds "${E14_SMOKE_BUDGET_SECONDS:-20}"
+
+if ! git diff --quiet -- BENCH_e14.json 2>/dev/null; then
+  echo "FAIL: E14 smoke did not reproduce the committed BENCH_e14.json"
+  exit 1
+fi
 
 echo
 echo "All checks passed."

@@ -1,0 +1,45 @@
+"""Dynamic federation membership: churn, replication and failover.
+
+The paper treats map servers as long-lived DNS registrants; a production
+federation churns.  Operators deploy new servers, crash, and re-register
+while millions of clients hold TTL-stale caches.  This package makes that
+churn a first-class, measurable part of the simulation:
+
+* :mod:`repro.churn.schedule` — deterministic, seeded join/leave/crash
+  event schedules (Poisson-generated or trace-driven).
+* :mod:`repro.churn.controller` — applies schedule events to a running
+  :class:`repro.core.federation.Federation` mid-run, with real record
+  removal at the authority and lease (registration-TTL) expiry for
+  crashed servers that stop refreshing.
+* :mod:`repro.churn.replicas` — replica groups: several map servers
+  advertising the same coverage under shared spatial names.
+* :mod:`repro.churn.retry` — client retry/backoff policies for failing
+  over between replicas (immediate / exponential / utilization-aware).
+* :mod:`repro.churn.health` — the client-side replica health tracker.
+* :mod:`repro.churn.failover` — request-target planning over discovered
+  server ids plus the per-device failover/availability accounting the
+  workload engine aggregates.
+"""
+
+from repro.churn.controller import AppliedChurnEvent, ChurnController
+from repro.churn.failover import FailoverRecorder, RequestTarget, TargetUnavailableError, plan_targets
+from repro.churn.health import ReplicaHealth
+from repro.churn.replicas import ReplicaGroup, replica_server_id
+from repro.churn.retry import RetryPolicy
+from repro.churn.schedule import ChurnEvent, ChurnEventKind, ChurnSchedule
+
+__all__ = [
+    "AppliedChurnEvent",
+    "ChurnController",
+    "ChurnEvent",
+    "ChurnEventKind",
+    "ChurnSchedule",
+    "FailoverRecorder",
+    "ReplicaGroup",
+    "ReplicaHealth",
+    "RequestTarget",
+    "RetryPolicy",
+    "TargetUnavailableError",
+    "plan_targets",
+    "replica_server_id",
+]

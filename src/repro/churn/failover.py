@@ -1,0 +1,237 @@
+"""Request-target planning and client-side failover across replicas.
+
+Discovery returns a flat list of server ids; under replication several of
+those ids are interchangeable replicas of one coverage group.  This module
+collapses the flat list into *logical request targets* (one per group, one
+per standalone server) and executes a request against a target with
+failover: try the healthiest replica, and on a shed request
+(:class:`~repro.simulation.queueing.ServerOverloadedError`) or a dead-server
+timeout, back off per the :class:`~repro.churn.retry.RetryPolicy` and try
+the next.  Every attempt, failure, stale-cache hit and failover latency is
+recorded in the device's :class:`FailoverRecorder`, which the workload
+engine aggregates into the run's availability metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence, TypeVar
+
+from repro.churn.health import ReplicaHealth
+from repro.churn.retry import RetryPolicy
+from repro.mapserver.policy import AccessDenied
+from repro.simulation.queueing import ServerOverloadedError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mapserver.server import MapServer
+    from repro.simulation.network import SimulatedNetwork
+
+T = TypeVar("T")
+
+
+class TargetUnavailableError(Exception):
+    """Raised when a logical target's whole replica chain fails.
+
+    ``denied`` distinguishes a policy refusal (not an availability event —
+    the server is healthy, the caller is not allowed) from an exhausted
+    chain of overloaded/dead replicas.
+    """
+
+    def __init__(self, target_key: str, reason: str, denied: bool = False) -> None:
+        super().__init__(f"target {target_key!r} unavailable: {reason}")
+        self.target_key = target_key
+        self.denied = denied
+
+
+@dataclass(frozen=True)
+class RequestTarget:
+    """One logical destination: a replica group or a standalone server."""
+
+    key: str
+    candidates: tuple[tuple[str, "MapServer | None"], ...]
+    """``(server_id, server)`` pairs in attempt order; ``server`` is ``None``
+    for a discovered id that is no longer reachable (crashed or departed —
+    the stale-cache case)."""
+
+    @property
+    def candidate_ids(self) -> tuple[str, ...]:
+        return tuple(server_id for server_id, _ in self.candidates)
+
+
+@dataclass
+class FailoverRecorder:
+    """Per-device accounting of attempts, failures and failover latency."""
+
+    chains: int = 0
+    """Logical target chains executed (one per target per request fan-out)."""
+    chains_ok: int = 0
+    chains_failed: int = 0
+    """Chains that exhausted every candidate (the availability failures)."""
+    chains_denied: int = 0
+    """Chains abandoned on a policy denial (not an availability event)."""
+    attempts: int = 0
+    failed_attempts: int = 0
+    stale_attempts: int = 0
+    """Attempts addressed to a server id no longer reachable — the client
+    acted on a stale cached discovery result."""
+    failovers: int = 0
+    """Chains that succeeded only after at least one failed attempt."""
+    backoff_ms_total: float = 0.0
+    failover_ms: list[float] = field(default_factory=list)
+    """Per-failover latency: first failure detection to eventual success."""
+
+    @property
+    def failed_chain_rate(self) -> float:
+        measured = self.chains - self.chains_denied
+        return self.chains_failed / measured if measured else 0.0
+
+    @property
+    def stale_attempt_rate(self) -> float:
+        return self.stale_attempts / self.attempts if self.attempts else 0.0
+
+    def merge_from(self, other: "FailoverRecorder") -> None:
+        self.chains += other.chains
+        self.chains_ok += other.chains_ok
+        self.chains_failed += other.chains_failed
+        self.chains_denied += other.chains_denied
+        self.attempts += other.attempts
+        self.failed_attempts += other.failed_attempts
+        self.stale_attempts += other.stale_attempts
+        self.failovers += other.failovers
+        self.backoff_ms_total += other.backoff_ms_total
+        self.failover_ms.extend(other.failover_ms)
+
+
+def plan_targets(
+    server_ids: Sequence[str],
+    directory: Mapping[str, "MapServer"],
+    group_of: Mapping[str, str],
+    health: ReplicaHealth | None = None,
+    include_dead: bool = False,
+) -> list[RequestTarget]:
+    """Collapse discovered server ids into ordered logical request targets.
+
+    Targets appear in discovery order of their first member.  Within a
+    target, candidates are ordered healthiest-first (per the device's
+    :class:`ReplicaHealth`); dead ids (absent from ``directory``) are kept as
+    ``(id, None)`` candidates only when ``include_dead`` is set — the legacy
+    path drops them silently, exactly as :meth:`FederationContext.servers`
+    always has.
+    """
+    members: dict[str, list[str]] = {}
+    order: list[str] = []
+    for server_id in server_ids:
+        key = group_of.get(server_id, server_id)
+        bucket = members.get(key)
+        if bucket is None:
+            bucket = members[key] = []
+            order.append(key)
+        if server_id not in bucket:
+            bucket.append(server_id)
+
+    targets: list[RequestTarget] = []
+    for key in order:
+        ids = members[key]
+        if health is not None and len(ids) > 1:
+            ids = sorted(ids, key=health.sort_key)
+        candidates: list[tuple[str, "MapServer | None"]] = []
+        for server_id in ids:
+            server = directory.get(server_id)
+            if server is None and not include_dead:
+                continue
+            candidates.append((server_id, server))
+        if candidates:
+            targets.append(RequestTarget(key=key, candidates=tuple(candidates)))
+    return targets
+
+
+def _instantaneous_load(server: "MapServer | None") -> float:
+    """A server's load in [0, 1] for the utilization-aware retry policy."""
+    if server is None:
+        return 1.0
+    queue = server.queue
+    if queue is None:
+        return 0.0
+    slots = queue.capacity * queue.workers
+    return min(1.0, queue.depth / slots) if slots else 0.0
+
+
+def execute_with_failover(
+    target: RequestTarget,
+    operation: Callable[["MapServer"], T],
+    network: "SimulatedNetwork",
+    policy: RetryPolicy | None,
+    health: ReplicaHealth | None,
+    recorder: FailoverRecorder,
+) -> T:
+    """Run ``operation`` against ``target`` with replica failover.
+
+    Charges one client↔map-server exchange per live attempt (and a
+    dead-server timeout per dead attempt), paces retries per ``policy``, and
+    raises :class:`TargetUnavailableError` once the chain is exhausted.
+    With ``policy=None`` the chain is a single attempt — the legacy
+    skip-on-failure behaviour, byte-identical in message counts.
+    """
+    recorder.chains += 1
+    clock = network.clock
+    max_attempts = policy.max_attempts if policy is not None else 1
+    failed = 0
+    failed_load = 0.0
+    """Instantaneous load of the most recently *failed* server — what the
+    utilization-aware policy paces the next retry by (retries against a
+    saturated replica spread out; a dead one reads as fully loaded)."""
+    first_failure_at: float | None = None
+
+    for server_id, server in target.candidates:
+        if failed >= max_attempts:
+            break
+        if failed > 0 and policy is not None:
+            delay_ms = policy.delay_ms(failed, failed_load)
+            if delay_ms > 0.0:
+                recorder.backoff_ms_total += delay_ms
+                network.client_backoff(delay_ms)
+
+        recorder.attempts += 1
+        if server is None:
+            # Stale discovery: the id resolves to nothing reachable.  The
+            # client only learns that by waiting out a timeout.
+            recorder.stale_attempts += 1
+            recorder.failed_attempts += 1
+            timeout_ms = policy.dead_server_timeout_ms if policy is not None else 0.0
+            network.dead_server_timeout(timeout_ms)
+            if health is not None:
+                health.record_failure(server_id)
+            failed += 1
+            failed_load = 1.0
+            if first_failure_at is None:
+                first_failure_at = clock.now()
+            continue
+
+        network.client_map_server_exchange()
+        try:
+            result = operation(server)
+        except AccessDenied:
+            recorder.chains_denied += 1
+            raise TargetUnavailableError(target.key, f"policy denied {server_id!r}", denied=True)
+        except ServerOverloadedError:
+            recorder.failed_attempts += 1
+            if health is not None:
+                health.record_failure(server_id)
+            failed += 1
+            failed_load = _instantaneous_load(server)
+            if first_failure_at is None:
+                first_failure_at = clock.now()
+            continue
+
+        recorder.chains_ok += 1
+        if health is not None:
+            health.record_success(server_id)
+        if failed > 0 and first_failure_at is not None:
+            recorder.failovers += 1
+            recorder.failover_ms.append((clock.now() - first_failure_at) * 1000.0)
+        return result
+
+    recorder.chains_failed += 1
+    raise TargetUnavailableError(
+        target.key, f"all {len(target.candidates)} replica(s) failed after {failed} attempt(s)"
+    )

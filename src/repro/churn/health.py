@@ -1,0 +1,60 @@
+"""Client-side replica health tracking.
+
+Each device remembers which replicas recently failed it and demotes them for
+a cooldown window, so consecutive requests do not keep paying the dead-server
+timeout for a replica the device already knows is sick.  The tracker is
+deliberately per-device state (there is no gossip): a replica another device
+saw fail is still fair game here, exactly as in a real fleet of independent
+clients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.simulation.clock import SimulatedClock
+
+
+@dataclass
+class ReplicaHealth:
+    """Per-device failure memory with a cooldown window."""
+
+    clock: SimulatedClock
+    cooldown_seconds: float = 30.0
+    _demoted_until: dict[str, float] = field(default_factory=dict)
+    _failures: dict[str, int] = field(default_factory=dict)
+
+    def record_failure(self, server_id: str) -> None:
+        """Demote a replica for the cooldown window (failures accumulate)."""
+        self._failures[server_id] = self._failures.get(server_id, 0) + 1
+        if self.cooldown_seconds > 0.0:
+            self._demoted_until[server_id] = self.clock.now() + self.cooldown_seconds
+
+    def record_success(self, server_id: str) -> None:
+        """A successful response immediately rehabilitates the replica."""
+        self._demoted_until.pop(server_id, None)
+        self._failures.pop(server_id, None)
+
+    def is_healthy(self, server_id: str) -> bool:
+        until = self._demoted_until.get(server_id)
+        if until is None:
+            return True
+        if until <= self.clock.now():
+            # The cooldown is the tracker's whole memory horizon: a replica
+            # that served out its demotion starts with a clean slate, so a
+            # crashed-and-rejoined server wins traffic back instead of being
+            # demoted forever by its accumulated history.
+            del self._demoted_until[server_id]
+            self._failures.pop(server_id, None)
+            return True
+        return False
+
+    def failure_count(self, server_id: str) -> int:
+        return self._failures.get(server_id, 0)
+
+    def sort_key(self, server_id: str) -> tuple[int, int, str]:
+        """Ordering key: healthy first, then fewest recorded failures.
+
+        The trailing id keeps the order total and deterministic.
+        """
+        return (0 if self.is_healthy(server_id) else 1, self.failure_count(server_id), server_id)

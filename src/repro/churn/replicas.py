@@ -1,0 +1,48 @@
+"""Replica groups: several map servers advertising one coverage region.
+
+An operator that wants availability under churn runs N replicas of its map
+server.  All N advertise the *same* coverage region under the *same* spatial
+names — each covering cell holds one SRV record per replica — so a single
+discovery query returns every replica and the client can fail over between
+them without another DNS round trip.
+
+Replica server ids are derived from the group id
+(:func:`replica_server_id`), which keeps directory keys and SRV targets
+unique while letting any party recover the group from an id.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def replica_server_id(group_id: str, index: int) -> str:
+    """The directory/SRV identifier of replica ``index`` of ``group_id``."""
+    if index < 0:
+        raise ValueError("replica index cannot be negative")
+    return f"r{index}.{group_id}"
+
+
+@dataclass
+class ReplicaGroup:
+    """One logical coverage region served by interchangeable replicas."""
+
+    group_id: str
+    server_ids: tuple[str, ...] = ()
+    _membership: dict[str, bool] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.server_ids:
+            raise ValueError("a replica group needs at least one replica")
+        for server_id in self.server_ids:
+            self._membership.setdefault(server_id, True)
+
+    def __len__(self) -> int:
+        return len(self.server_ids)
+
+    def __contains__(self, server_id: str) -> bool:
+        return server_id in self._membership
+
+    @property
+    def replica_count(self) -> int:
+        return len(self.server_ids)

@@ -1,0 +1,100 @@
+"""Client retry/backoff policies for replica failover.
+
+When a map-server request fails — the bounded queue shed it, or the server
+is dead and the attempt timed out — the client may retry against the next
+replica of the same coverage group.  How long it waits before that retry is
+the :class:`RetryPolicy`:
+
+* ``immediate`` — retry the next replica with no delay (fastest failover,
+  but a hot group sees synchronized retry storms);
+* ``backoff`` — classic capped exponential backoff per failed attempt;
+* ``utilization`` — exponential backoff scaled by how loaded the *failed*
+  server was (its queue depth relative to capacity), so retries against a
+  saturated group spread out while retries after a one-off blip stay fast.
+
+Delays are deterministic (no jitter draw here — the simulated network
+already models jitter) and are charged against the simulated clock by the
+caller, so backoff shows up in client-observed latency percentiles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+IMMEDIATE = "immediate"
+BACKOFF = "backoff"
+UTILIZATION = "utilization"
+
+_KINDS = (IMMEDIATE, BACKOFF, UTILIZATION)
+
+
+@dataclass(frozen=True, slots=True)
+class RetryPolicy:
+    """How a client paces failover attempts across a replica group."""
+
+    kind: str = BACKOFF
+    base_delay_ms: float = 10.0
+    multiplier: float = 2.0
+    max_delay_ms: float = 2_000.0
+    max_attempts: int = 4
+    """Upper bound on candidate attempts per logical target (first try
+    included), regardless of how many replicas are advertised."""
+    dead_server_timeout_ms: float = 200.0
+    """What an attempt against a dead (unreachable) server costs the client
+    before it gives up and fails over."""
+    health_cooldown_seconds: float = 30.0
+    """How long a replica stays demoted in the client's health tracker after
+    a failed attempt."""
+
+    def __post_init__(self) -> None:
+        if self.kind not in _KINDS:
+            raise ValueError(f"unknown retry policy kind {self.kind!r}; expected one of {_KINDS}")
+        if self.base_delay_ms < 0.0 or self.max_delay_ms < 0.0:
+            raise ValueError("retry delays cannot be negative")
+        if self.multiplier < 1.0:
+            raise ValueError("backoff multiplier must be >= 1")
+        if self.max_attempts < 1:
+            raise ValueError("at least one attempt per target is required")
+        if self.dead_server_timeout_ms < 0.0:
+            raise ValueError("dead-server timeout cannot be negative")
+        if self.health_cooldown_seconds < 0.0:
+            raise ValueError("health cooldown cannot be negative")
+
+    # ------------------------------------------------------------------
+    # Constructors for the three canonical policies
+    # ------------------------------------------------------------------
+    @classmethod
+    def immediate(cls, **overrides) -> "RetryPolicy":
+        return cls(kind=IMMEDIATE, **overrides)
+
+    @classmethod
+    def exponential(cls, **overrides) -> "RetryPolicy":
+        return cls(kind=BACKOFF, **overrides)
+
+    @classmethod
+    def utilization_aware(cls, **overrides) -> "RetryPolicy":
+        return cls(kind=UTILIZATION, **overrides)
+
+    # ------------------------------------------------------------------
+    # Delay computation
+    # ------------------------------------------------------------------
+    def delay_ms(self, failed_attempts: int, utilization: float = 0.0) -> float:
+        """Milliseconds to wait before the next attempt.
+
+        ``failed_attempts`` counts the attempts that have already failed for
+        this logical request (>= 1 when a retry is being considered);
+        ``utilization`` is the failed server's instantaneous load in [0, 1]
+        (queue depth over capacity; 1.0 for a dead server), consulted only by
+        the utilization-aware policy.
+        """
+        if failed_attempts < 1:
+            return 0.0
+        if self.kind == IMMEDIATE:
+            return 0.0
+        delay = self.base_delay_ms * self.multiplier ** (failed_attempts - 1)
+        if self.kind == UTILIZATION:
+            # A server shedding load at rho -> 1 needs the group's retries
+            # spread out; a barely-loaded blip barely changes the pacing.
+            load = min(max(utilization, 0.0), 0.95)
+            delay = delay / (1.0 - load)
+        return min(delay, self.max_delay_ms)

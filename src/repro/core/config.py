@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.retry import RetryPolicy
 from repro.discovery.naming import DEFAULT_DISCOVERY_SUFFIX
 from repro.simulation.network import LatencyModel
 from repro.simulation.queueing import ServiceTimeModel
@@ -47,5 +48,16 @@ class FederationConfig:
     ``None`` (the default) keeps every map server infinitely fast, preserving
     the exact latency accounting of the single-request experiments."""
     server_queue_capacity: int = 64
-    """Bounded queue depth per map server once ``service_times`` is set;
-    requests arriving at a full queue are dropped (load shedding)."""
+    """Bounded queue depth *per worker* once ``service_times`` is set;
+    requests arriving when every worker's queue is full are dropped (load
+    shedding)."""
+    server_workers: int = 1
+    """Logical workers per map server's queue: a server with 4 workers
+    saturates at 4× the single-worker knee.  Only meaningful with
+    ``service_times`` set."""
+    retry_policy: RetryPolicy | None = None
+    """Client-side replica failover policy.  ``None`` (the default) keeps
+    the historical behaviour — failed servers are skipped silently, with no
+    retries, no dead-server timeouts and identical message counts;
+    federations that deploy replica groups set a policy so clients fail
+    over between replicas."""

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import FailoverRecorder
+from repro.churn.health import ReplicaHealth
+from repro.churn.replicas import ReplicaGroup, replica_server_id
 from repro.core.config import FederationConfig
 from repro.core.errors import FederationConfigError
 from repro.discovery.discoverer import Discoverer
@@ -44,6 +47,12 @@ class Federation:
     stub_resolver: StubResolver = field(init=False)
     servers: dict[str, MapServer] = field(default_factory=dict)
     world_provider_id: str | None = None
+    replica_groups: dict[str, ReplicaGroup] = field(default_factory=dict)
+    _group_of: dict[str, str] = field(default_factory=dict)
+    _offline: dict[str, MapServer] = field(default_factory=dict)
+    """Servers currently crashed or gracefully departed, kept for revival.
+    They are absent from ``servers`` (the reachable directory every client
+    context shares), so requests addressed to them fail like real timeouts."""
 
     def __post_init__(self) -> None:
         clock = SimulatedClock()
@@ -94,6 +103,7 @@ class Federation:
                 network=self.network,
                 service_times=self.config.service_times,
                 capacity=self.config.server_queue_capacity,
+                workers=self.config.server_workers,
             )
         server = MapServer(
             server_id=server_id,
@@ -109,16 +119,130 @@ class Federation:
         return server
 
     def remove_map_server(self, server_id: str) -> None:
-        """Tear down a map server and withdraw its discovery records."""
+        """Tear down a map server permanently and withdraw its records."""
         if server_id not in self.servers:
             raise FederationConfigError(f"map server {server_id!r} is not deployed")
         del self.servers[server_id]
         self.registry.deregister(server_id)
         if self.world_provider_id == server_id:
             self.world_provider_id = None
+        group_id = self._group_of.pop(server_id, None)
+        if group_id is not None:
+            group = self.replica_groups.get(group_id)
+            if group is not None and all(
+                sid == server_id or sid not in self._group_of for sid in group.server_ids
+            ):
+                del self.replica_groups[group_id]
 
     def registration_for(self, server_id: str) -> Registration | None:
         return self.registry.registrations.get(server_id)
+
+    # ------------------------------------------------------------------
+    # Replica groups
+    # ------------------------------------------------------------------
+    def add_replica_group(
+        self,
+        group_id: str,
+        map_data: MapData,
+        replica_count: int,
+        policy: AccessPolicy | None = None,
+        coverage: Polygon | None = None,
+        routing_algorithm: str | None = None,
+    ) -> ReplicaGroup:
+        """Deploy ``replica_count`` interchangeable replicas of one map.
+
+        Every replica advertises the same coverage region, so each covering
+        cell's spatial name carries one SRV record per replica and a single
+        discovery query hands clients the whole failover chain.  The
+        replicas share the map data (and the access policy) but each runs
+        its own queue — load and failures are per replica.
+        """
+        if replica_count < 1:
+            raise FederationConfigError("a replica group needs at least one replica")
+        if group_id in self.replica_groups:
+            raise FederationConfigError(f"replica group {group_id!r} already exists")
+        if coverage is not None:
+            map_data.set_coverage(coverage)
+        shared_policy = policy or AccessPolicy()
+        server_ids: list[str] = []
+        for index in range(replica_count):
+            server_id = replica_server_id(group_id, index)
+            self.add_map_server(
+                server_id,
+                map_data,
+                policy=shared_policy,
+                routing_algorithm=routing_algorithm,
+            )
+            server_ids.append(server_id)
+        group = ReplicaGroup(group_id=group_id, server_ids=tuple(server_ids))
+        self.replica_groups[group_id] = group
+        for server_id in server_ids:
+            self._group_of[server_id] = group_id
+        return group
+
+    def group_for(self, server_id: str) -> ReplicaGroup | None:
+        group_id = self._group_of.get(server_id)
+        return self.replica_groups.get(group_id) if group_id is not None else None
+
+    # ------------------------------------------------------------------
+    # Churn lifecycle (crash / graceful leave / revive / lease expiry)
+    # ------------------------------------------------------------------
+    def crash_map_server(self, server_id: str) -> None:
+        """The server dies unannounced: unreachable, but records linger.
+
+        Its discovery records stay at the authority until its registration
+        lease expires (:meth:`expire_registration`, driven by the churn
+        controller) — exactly the window in which *fresh* DNS resolution
+        still hands out a dead server.
+        """
+        server = self.servers.pop(server_id, None)
+        if server is None:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        self._offline[server_id] = server
+
+    def leave_map_server(self, server_id: str) -> None:
+        """Graceful departure: deregister immediately, keep the object around.
+
+        The authority stops answering for the server at once; only caches
+        (resolver and device) stay stale until their TTLs lapse.
+        """
+        server = self.servers.pop(server_id, None)
+        if server is None:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        self._offline[server_id] = server
+        self.registry.deregister(server_id)
+
+    def revive_map_server(self, server_id: str) -> MapServer:
+        """Bring an offline server back: reachable again and re-registered."""
+        server = self._offline.pop(server_id, None)
+        if server is None:
+            raise FederationConfigError(f"map server {server_id!r} is not offline")
+        self.servers[server_id] = server
+        if server_id not in self.registry.registrations:
+            self.registry.register_region(server_id, server.coverage)
+        return server
+
+    def expire_registration(self, server_id: str) -> int:
+        """Withdraw a server's records at the authority (lease expiry)."""
+        return self.registry.deregister(server_id)
+
+    def is_offline(self, server_id: str) -> bool:
+        return server_id in self._offline
+
+    @property
+    def offline_server_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._offline))
+
+    @property
+    def all_servers(self) -> dict[str, MapServer]:
+        """Every deployed server, reachable or currently offline.
+
+        Reporting uses this so a server that crashed mid-run keeps its
+        accumulated load statistics in the run's books.
+        """
+        combined = dict(self.servers)
+        combined.update(self._offline)
+        return combined
 
     @property
     def world_provider(self) -> MapServer | None:
@@ -166,10 +290,21 @@ class Federation:
             device_cache_ttl_seconds=self.config.device_discovery_cache_ttl_seconds,
             cache_max_entries=self.config.discovery_cache_max_entries,
         )
+        retry_policy = self.config.retry_policy
+        health: ReplicaHealth | None = None
+        if retry_policy is not None:
+            health = ReplicaHealth(
+                clock=self.network.clock,
+                cooldown_seconds=retry_policy.health_cooldown_seconds,
+            )
         context = FederationContext(
             discoverer=discoverer,
             directory=self.servers,
             network=self.network,
+            retry_policy=retry_policy,
+            group_of=self._group_of,
+            health=health,
+            failover=FailoverRecorder(),
         )
         if credential is not None:
             context.credential = credential

@@ -97,7 +97,13 @@ class DiscoveryRegistry:
         return self.register_region(server_id, region)
 
     def deregister(self, server_id: str) -> int:
-        """Remove a map server's records; returns the number of records removed."""
+        """Remove a map server's records; returns the number of records removed.
+
+        Removal is surgical (:meth:`repro.dns.zone.Zone.remove_record`):
+        other servers' records at shared spatial names — replicas of the
+        same coverage region — keep resolving untouched, and the authority
+        stops answering for the departed server immediately.
+        """
         registration = self.registrations.pop(server_id, None)
         if registration is None:
             return 0
@@ -105,12 +111,9 @@ class DiscoveryRegistry:
         data = SrvData(target=server_id).encode()
         for cell in registration.cells:
             name = self.naming.cell_to_name(cell)
-            existing = self.zone.records_at(name, MAP_SERVER_RECORD_TYPE)
-            keep = [r for r in existing if r.data != data]
-            self.zone.remove_records(name, MAP_SERVER_RECORD_TYPE)
-            for record in keep:
-                self.zone.add_record(record)
-            removed += len(existing) - len(keep)
+            for record in self.zone.records_at(name, MAP_SERVER_RECORD_TYPE):
+                if record.data == data and self.zone.remove_record(record):
+                    removed += 1
         return removed
 
     # ------------------------------------------------------------------

@@ -36,8 +36,12 @@ class Zone:
     default_ttl: float = 300.0
     _records: dict[tuple[str, RecordType], list[ResourceRecord]] = field(default_factory=dict)
     _delegations: set[str] = field(default_factory=set)
-    _name_index: dict[str, int] = field(default_factory=dict)
-    """How many record buckets exist per name — O(1) existence checks."""
+    _name_index: dict[str, set[RecordType]] = field(default_factory=dict)
+    """Record types present per name — O(1) existence checks and O(1)
+    removal without scanning the whole record table.  Removal MUST keep this
+    index (and the ``_delegations`` set the ``covering_delegation`` suffix
+    walk probes) exact: a deregistered server stops resolving at the
+    authority the moment its records go; only caches may stay stale."""
 
     def __post_init__(self) -> None:
         self.origin = normalize_name(self.origin)
@@ -55,7 +59,7 @@ class Zone:
         bucket = self._records.get(key)
         if bucket is None:
             bucket = self._records[key] = []
-            self._name_index[record.name] = self._name_index.get(record.name, 0) + 1
+            self._name_index.setdefault(record.name, set()).add(record.record_type)
         if record in bucket:
             return
         bucket.append(record)
@@ -68,24 +72,50 @@ class Zone:
         self.add_record(record)
         return record
 
+    def _drop_bucket(self, name: str, record_type: RecordType) -> None:
+        """Remove an emptied bucket's entries from the lookup indexes."""
+        types = self._name_index.get(name)
+        if types is not None:
+            types.discard(record_type)
+            if not types:
+                del self._name_index[name]
+        if record_type == RecordType.NS:
+            self._delegations.discard(name)
+
+    def remove_record(self, record: ResourceRecord) -> bool:
+        """Remove exactly one record; returns whether it was present.
+
+        Surgical removal is what deregistration needs: withdrawing one map
+        server's SRV record from a spatial name shared with other servers
+        (replicas of one coverage region) must leave the others resolving,
+        while the last record at a name must also clear the name's existence
+        (``contains_name``) and any delegation the ``covering_delegation``
+        suffix walk would still find.
+        """
+        key = (record.name, record.record_type)
+        bucket = self._records.get(key)
+        if bucket is None or record not in bucket:
+            return False
+        bucket.remove(record)
+        if not bucket:
+            del self._records[key]
+            self._drop_bucket(record.name, record.record_type)
+        return True
+
     def remove_records(self, name: str, record_type: RecordType | None = None) -> int:
         """Remove records at ``name`` (optionally only of one type); returns count."""
         name_n = normalize_name(name)
+        types = self._name_index.get(name_n)
+        if not types:
+            return 0
+        doomed = [record_type] if record_type is not None else list(types)
         removed = 0
-        for key in list(self._records):
-            key_name, key_type = key
-            if key_name != name_n:
+        for key_type in doomed:
+            bucket = self._records.pop((name_n, key_type), None)
+            if bucket is None:
                 continue
-            if record_type is not None and key_type != record_type:
-                continue
-            removed += len(self._records.pop(key))
-            remaining = self._name_index.get(key_name, 1) - 1
-            if remaining <= 0:
-                self._name_index.pop(key_name, None)
-            else:
-                self._name_index[key_name] = remaining
-            if key_type == RecordType.NS:
-                self._delegations.discard(key_name)
+            removed += len(bucket)
+            self._drop_bucket(name_n, key_type)
         return removed
 
     # ------------------------------------------------------------------

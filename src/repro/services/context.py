@@ -5,17 +5,39 @@ Every federated service (Section 5.2) needs the same three things: a way to
 its identifier, and a *network* against which to charge the requests it
 makes.  :class:`FederationContext` bundles them; it is constructed by
 :class:`repro.core.federation.Federation` and handed to each service.
+
+With the churn subsystem the context also carries the client's failover
+machinery: the federation's replica-group membership map, the configured
+:class:`~repro.churn.retry.RetryPolicy`, a per-device
+:class:`~repro.churn.health.ReplicaHealth` tracker and a per-device
+:class:`~repro.churn.failover.FailoverRecorder`.  Services address *logical
+targets* (:meth:`targets`) and execute requests through :meth:`request`,
+which fails over between replicas; with no retry policy configured both
+collapse to the historical skip-on-failure behaviour with identical message
+counts.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence, TypeVar
 
+from repro.churn.failover import (
+    FailoverRecorder,
+    RequestTarget,
+    TargetUnavailableError,
+    execute_with_failover,
+    plan_targets,
+)
+from repro.churn.health import ReplicaHealth
+from repro.churn.retry import RetryPolicy
 from repro.discovery.discoverer import Discoverer, DiscoveryResult
 from repro.geometry.point import LatLng
 from repro.mapserver.auth import ANONYMOUS, Credential
 from repro.mapserver.server import MapServer
 from repro.simulation.network import SimulatedNetwork
+
+T = TypeVar("T")
 
 
 class UnknownServerError(KeyError):
@@ -30,6 +52,10 @@ class FederationContext:
     directory: dict[str, MapServer] = field(default_factory=dict)
     network: SimulatedNetwork = field(default_factory=SimulatedNetwork)
     credential: Credential = ANONYMOUS
+    retry_policy: RetryPolicy | None = None
+    group_of: Mapping[str, str] = field(default_factory=dict)
+    health: ReplicaHealth | None = None
+    failover: FailoverRecorder = field(default_factory=FailoverRecorder)
 
     # ------------------------------------------------------------------
     # Directory
@@ -51,6 +77,53 @@ class FederationContext:
         return found
 
     # ------------------------------------------------------------------
+    # Logical targets and failover execution
+    # ------------------------------------------------------------------
+    @property
+    def failover_enabled(self) -> bool:
+        return self.retry_policy is not None
+
+    def targets(self, server_ids: Sequence[str]) -> list[RequestTarget]:
+        """Collapse discovered ids into logical request targets.
+
+        Replicas of one group become a single target with an ordered
+        failover chain; with failover enabled, dead ids (stale cache
+        entries) stay in the chain so the client pays — and the run
+        measures — their timeout cost.
+        """
+        return plan_targets(
+            server_ids,
+            directory=self.directory,
+            group_of=self.group_of,
+            health=self.health,
+            include_dead=self.failover_enabled,
+        )
+
+    def request(
+        self,
+        target: RequestTarget,
+        operation: Callable[[MapServer], T],
+        charge_exchange: bool = True,
+    ) -> T:
+        """Execute ``operation`` against ``target`` with replica failover.
+
+        Raises :class:`~repro.churn.failover.TargetUnavailableError` when
+        the whole chain fails (callers usually skip the target, exactly as
+        they always skipped one failed server).  ``charge_exchange=False``
+        leaves the per-message accounting to the operation itself (the tile
+        service charges per tile, not per server).
+        """
+        network = self.network if charge_exchange else _NoExchangeNetwork(self.network)
+        return execute_with_failover(
+            target,
+            operation,
+            network=network,
+            policy=self.retry_policy,
+            health=self.health,
+            recorder=self.failover,
+        )
+
+    # ------------------------------------------------------------------
     # Discovery helpers (charged against the network)
     # ------------------------------------------------------------------
     def discover_at(self, location: LatLng, uncertainty_meters: float = 0.0) -> DiscoveryResult:
@@ -62,3 +135,38 @@ class FederationContext:
     def charge_map_server_request(self) -> None:
         """Charge one client↔map-server exchange against the network."""
         self.network.client_map_server_exchange()
+
+
+class _NoExchangeNetwork:
+    """Network view whose per-attempt exchange charge is a no-op.
+
+    Timeouts, backoff and the clock still hit the real network; only the
+    one-exchange-per-attempt charge is suppressed, for operations that
+    account their own messages.
+    """
+
+    __slots__ = ("_network",)
+
+    def __init__(self, network: SimulatedNetwork) -> None:
+        self._network = network
+
+    @property
+    def clock(self):
+        return self._network.clock
+
+    def client_map_server_exchange(self) -> float:
+        return 0.0
+
+    def client_backoff(self, delay_ms: float) -> float:
+        return self._network.client_backoff(delay_ms)
+
+    def dead_server_timeout(self, timeout_ms: float) -> float:
+        return self._network.dead_server_timeout(timeout_ms)
+
+
+__all__ = [
+    "FederationContext",
+    "RequestTarget",
+    "TargetUnavailableError",
+    "UnknownServerError",
+]

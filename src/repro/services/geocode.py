@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import TargetUnavailableError
 from repro.geometry.point import LatLng
 from repro.mapserver.geocode import Address, GeocodeResult, ReverseGeocodeResult
 from repro.mapserver.policy import AccessDenied
@@ -66,12 +67,16 @@ class FederatedGeocoder:
         if coarse is not None:
             discovery = self.context.discover_at(coarse, self.discovery_radius_meters)
             dns_lookups = discovery.dns_lookups
-            for server in self.context.servers(discovery.server_ids):
-                self.context.charge_map_server_request()
+            for target in self.context.targets(discovery.server_ids):
                 servers_consulted += 1
                 try:
-                    candidates.extend(server.geocode(address, self.context.credential, limit))
-                except (AccessDenied, ServerOverloadedError):
+                    candidates.extend(
+                        self.context.request(
+                            target,
+                            lambda server: server.geocode(address, self.context.credential, limit),
+                        )
+                    )
+                except TargetUnavailableError:
                     continue
 
         # Fall back to (or augment with) the world provider's own answers.
@@ -107,12 +112,16 @@ class FederatedGeocoder:
         discovery = self.context.discover_at(location, max_distance_meters)
         candidates: list[ReverseGeocodeResult] = []
         servers_consulted = 0
-        for server in self.context.servers(discovery.server_ids):
-            self.context.charge_map_server_request()
+        for target in self.context.targets(discovery.server_ids):
             servers_consulted += 1
             try:
-                result = server.reverse_geocode(location, self.context.credential, max_distance_meters)
-            except (AccessDenied, ServerOverloadedError):
+                result = self.context.request(
+                    target,
+                    lambda server: server.reverse_geocode(
+                        location, self.context.credential, max_distance_meters
+                    ),
+                )
+            except TargetUnavailableError:
                 continue
             if result is not None:
                 candidates.append(result)

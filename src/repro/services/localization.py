@@ -10,12 +10,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import TargetUnavailableError
 from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle, LocalizationResult
 from repro.localization.fusion import LocalizationSelector, ScoredResult
 from repro.localization.imu import DeadReckoningTracker
-from repro.mapserver.policy import AccessDenied
-from repro.simulation.queueing import ServerOverloadedError
 from repro.services.context import FederationContext
 
 
@@ -61,23 +60,26 @@ class FederatedLocalizer:
         """
         self.queries += 1
         discovery = self.context.discover_at(coarse_location, self.discovery_uncertainty_meters)
-        servers = self.context.servers(discovery.server_ids)
 
         available = cues.available_types()
         candidates: list[LocalizationResult] = []
         servers_consulted = 0
         servers_answering = 0
 
-        for server in servers:
-            advertised = server.advertised_localization_technologies()
-            if not advertised & available:
-                # The server cannot consume any cue we have; skip the request.
+        for target in self.context.targets(discovery.server_ids):
+            # Replicas serve the same map, so any live one tells us whether
+            # the group can consume our cues; skip the request if not.  A
+            # target with no live replica cannot be pre-filtered — the
+            # device only finds out by paying the timeout.
+            live = next((server for _, server in target.candidates if server is not None), None)
+            if live is not None and not (live.advertised_localization_technologies() & available):
                 continue
-            self.context.charge_map_server_request()
             servers_consulted += 1
             try:
-                results = server.localize(cues, self.context.credential)
-            except (AccessDenied, ServerOverloadedError):
+                results = self.context.request(
+                    target, lambda server: server.localize(cues, self.context.credential)
+                )
+            except TargetUnavailableError:
                 continue
             if results:
                 servers_answering += 1

@@ -13,9 +13,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import RequestTarget, TargetUnavailableError
 from repro.geometry.point import LatLng
-from repro.mapserver.policy import AccessDenied
-from repro.simulation.queueing import ServerOverloadedError
 from repro.mapserver.server import MapServer
 from repro.routing.stitching import RouteLeg, RouteStitcher, StitchedRoute, StitchError
 from repro.services.context import FederationContext
@@ -68,11 +67,11 @@ class FederatedRouter:
         self.queries += 1
         probe_points = [origin, destination] + list(waypoints or [])
         discovery = self.context.discover_along(probe_points, self.corridor_meters)
-        servers = self.context.servers(discovery.server_ids)
-        if not servers:
+        targets = self.context.targets(discovery.server_ids)
+        if not targets:
             raise FederatedRoutingError("discovery found no map servers along the route")
 
-        legs, servers_consulted = self._collect_legs(servers, origin, destination, metric)
+        legs, servers_consulted = self._collect_legs(targets, origin, destination, metric)
         if not legs:
             raise FederatedRoutingError("no discovered map server could compute a route leg")
 
@@ -89,31 +88,37 @@ class FederatedRouter:
     # ------------------------------------------------------------------
     def _collect_legs(
         self,
-        servers: list[MapServer],
+        targets: list[RequestTarget],
         origin: LatLng,
         destination: LatLng,
         metric: str,
     ) -> tuple[list[RouteLeg], int]:
-        """Ask every relevant server for the part of the route it can serve.
+        """Ask every relevant target for the part of the route it can serve.
 
         Each server routes between the origin/destination clamped to its own
-        coverage; servers covering neither endpoint nor anything in between
-        return nothing useful and are dropped.
+        coverage (clamping happens per replica, inside the failover chain);
+        servers covering neither endpoint nor anything in between return
+        nothing useful and are dropped.
         """
-        legs: list[RouteLeg] = []
-        consulted = 0
-        for server in servers:
-            self.context.charge_map_server_request()
-            consulted += 1
+
+        def route_leg(server: MapServer):
             leg_origin = self._clamp_to_coverage(server, origin)
             leg_destination = self._clamp_to_coverage(server, destination)
-            try:
-                response = server.route(leg_origin, leg_destination, self.context.credential, metric)
-            except (AccessDenied, ServerOverloadedError):
-                continue
+            response = server.route(leg_origin, leg_destination, self.context.credential, metric)
             if response is None or len(response.points) < 2:
+                return None
+            return response.as_leg(server.server_id)
+
+        legs: list[RouteLeg] = []
+        consulted = 0
+        for target in targets:
+            consulted += 1
+            try:
+                leg = self.context.request(target, route_leg)
+            except TargetUnavailableError:
                 continue
-            legs.append(response.as_leg(server.server_id))
+            if leg is not None:
+                legs.append(leg)
         return legs, consulted
 
     @staticmethod

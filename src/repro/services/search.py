@@ -12,9 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import TargetUnavailableError
 from repro.geometry.point import LatLng
-from repro.mapserver.policy import AccessDenied
-from repro.simulation.queueing import ServerOverloadedError
 from repro.mapserver.search import SearchResult
 from repro.services.context import FederationContext
 
@@ -58,18 +57,20 @@ class FederatedSearch:
         all_results: list[SearchResult] = []
         servers_consulted = 0
         servers_with_results = 0
-        for server in self.context.servers(discovery.server_ids):
-            self.context.charge_map_server_request()
+        for target in self.context.targets(discovery.server_ids):
             servers_consulted += 1
             try:
-                results = server.search(
-                    query,
-                    near=near,
-                    radius_meters=radius,
-                    credential=self.context.credential,
-                    limit=limit,
+                results = self.context.request(
+                    target,
+                    lambda server: server.search(
+                        query,
+                        near=near,
+                        radius_meters=radius,
+                        credential=self.context.credential,
+                        limit=limit,
+                    ),
                 )
-            except (AccessDenied, ServerOverloadedError):
+            except TargetUnavailableError:
                 continue
             if results:
                 servers_with_results += 1

@@ -9,9 +9,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import TargetUnavailableError
 from repro.geometry.bbox import BoundingBox
-from repro.mapserver.policy import AccessDenied, ServiceName
-from repro.simulation.queueing import ServerOverloadedError
+from repro.mapserver.policy import ServiceName
 from repro.services.context import FederationContext
 from repro.tiles.cache import TileCache
 from repro.tiles.renderer import Tile
@@ -36,6 +36,14 @@ class FederatedViewport:
         return sum(tile.coverage_fraction for tile in self.composites.values()) / len(self.composites)
 
 
+def _target_coverage_area(target) -> float:
+    """Coverage area of a target's first live replica (0.0 if none)."""
+    for _, server in target.candidates:
+        if server is not None:
+            return server.coverage.area_square_meters()
+    return 0.0
+
+
 @dataclass
 class FederatedTileClient:
     """Downloads tiles for a viewport from every relevant map server and stitches them."""
@@ -54,8 +62,11 @@ class FederatedTileClient:
         """
         self.queries += 1
         discovery = self.context.discoverer.discover_region(viewport)
-        servers = self.context.servers(discovery.server_ids)
-        servers.sort(key=lambda s: s.coverage.area_square_meters(), reverse=True)
+        targets = self.context.targets(discovery.server_ids)
+        # Outdoor-first compositing: order targets by the coverage of any
+        # live replica, largest first; targets with no live replica sort
+        # last (the client cannot size a map it cannot reach).
+        targets.sort(key=_target_coverage_area, reverse=True)
 
         coordinates = tiles_for_box(viewport, zoom)
         tiles_by_coordinate: dict[TileCoordinate, list[Tile]] = {c: [] for c in coordinates}
@@ -63,34 +74,55 @@ class FederatedTileClient:
         tiles_downloaded = 0
         tiles_from_cache = 0
 
-        for server in servers:
-            server_box = server.map_data.bounding_box().expanded(20.0)
-            relevant = [c for c in coordinates if tile_bounds(c).intersects(server_box)]
-            if not relevant:
-                continue
+        for target in targets:
+            live = next((server for _, server in target.candidates if server is not None), None)
+            if live is not None:
+                server_box = live.map_data.bounding_box().expanded(20.0)
+                if not any(tile_bounds(c).intersects(server_box) for c in coordinates):
+                    continue
             servers_consulted += 1
-            # Cached tiles must not outlive the server's access policy: a
-            # credential that has since been denied re-fetches (and fails)
-            # rather than being served from its own cache.
-            use_cache = self.cache is not None and server.policy.allows(
-                ServiceName.TILES, self.context.credential
-            )
-            for coordinate in relevant:
-                if use_cache:
-                    cached = self.cache.get(server.server_id, coordinate)
-                    if cached is not None:
-                        tiles_by_coordinate[coordinate].append(cached)
-                        tiles_from_cache += 1
+            # A failover retry must not re-download what an earlier replica
+            # already served before it keeled over.
+            done: set[TileCoordinate] = set()
+
+            def fetch_viewport(server) -> int:
+                server_box = server.map_data.bounding_box().expanded(20.0)
+                relevant = [c for c in coordinates if tile_bounds(c).intersects(server_box)]
+                # Cached tiles must not outlive the server's access policy: a
+                # credential that has since been denied re-fetches (and fails)
+                # rather than being served from its own cache.
+                use_cache = self.cache is not None and server.policy.allows(
+                    ServiceName.TILES, self.context.credential
+                )
+                fetched = 0
+                nonlocal tiles_downloaded, tiles_from_cache
+                for coordinate in relevant:
+                    if coordinate in done:
                         continue
-                self.context.charge_map_server_request()
-                try:
+                    if use_cache:
+                        cached = self.cache.get(server.server_id, coordinate)
+                        if cached is not None:
+                            tiles_by_coordinate[coordinate].append(cached)
+                            tiles_from_cache += 1
+                            done.add(coordinate)
+                            continue
+                    self.context.charge_map_server_request()
                     tile = server.get_tile(coordinate, self.context.credential)
-                except (AccessDenied, ServerOverloadedError):
-                    break
-                if self.cache is not None:
-                    self.cache.put(server.server_id, coordinate, tile)
-                tiles_by_coordinate[coordinate].append(tile)
-                tiles_downloaded += 1
+                    if self.cache is not None:
+                        self.cache.put(server.server_id, coordinate, tile)
+                    tiles_by_coordinate[coordinate].append(tile)
+                    tiles_downloaded += 1
+                    done.add(coordinate)
+                    fetched += 1
+                return fetched
+
+            try:
+                self.context.request(target, fetch_viewport, charge_exchange=False)
+            except TargetUnavailableError:
+                # Tiles fetched before the chain died are kept (the old
+                # behaviour on an overloaded server was the same partial
+                # viewport); the stitcher composites what arrived.
+                continue
 
         composites = {
             coordinate: self.stitcher.stitch(tiles)

@@ -71,6 +71,7 @@ class NetworkStats:
     messages_by_kind: dict[str, int] = field(default_factory=dict)
     retransmissions: int = 0
     server_processing_ms: float = 0.0
+    backoff_ms: float = 0.0
 
     def record(self, kind: str, latency_ms: float) -> None:
         self.messages_sent += 1
@@ -83,6 +84,7 @@ class NetworkStats:
         self.messages_by_kind.clear()
         self.retransmissions = 0
         self.server_processing_ms = 0.0
+        self.backoff_ms = 0.0
 
 
 @dataclass
@@ -157,6 +159,32 @@ class SimulatedNetwork:
         """Charge a small local computation (no message is counted)."""
         self.clock.advance_ms(self.latency.local_compute_ms)
         return self.latency.local_compute_ms
+
+    def client_backoff(self, delay_ms: float) -> float:
+        """Charge a client-side retry backoff wait (no message is counted).
+
+        The wait lands in ``total_latency_ms`` so client-observed request
+        latency includes the pacing the retry policy imposed.
+        """
+        if delay_ms <= 0.0:
+            return 0.0
+        self.clock.advance_ms(delay_ms)
+        self.stats.total_latency_ms += delay_ms
+        self.stats.backoff_ms += delay_ms
+        return delay_ms
+
+    def dead_server_timeout(self, timeout_ms: float) -> float:
+        """Charge one unanswered request to a dead map server.
+
+        The attempt is a real message (counted under ``mapserver.timeout``)
+        whose cost to the client is the full timeout, not a round trip —
+        dead servers are *more* expensive to talk to than live ones.
+        """
+        if timeout_ms <= 0.0:
+            return 0.0
+        self.clock.advance_ms(timeout_ms)
+        self.stats.record("mapserver.timeout", timeout_ms)
+        return timeout_ms
 
     def server_processing(self, latency_ms: float) -> float:
         """Charge server-side queueing + service time (no message is counted).

@@ -89,17 +89,19 @@ class QueueStats:
         admitted = self.arrivals - self.dropped
         return self.depth_total / admitted if admitted else 0.0
 
-    def utilization(self, window_seconds: float) -> float:
-        """Fraction of ``window_seconds`` the server spent serving requests.
+    def utilization(self, window_seconds: float, workers: int = 1) -> float:
+        """Fraction of ``window_seconds`` each worker spent serving requests.
 
-        Not clamped: a value near (or briefly above) 1.0 means the offered
-        load saturated the server — the knee the fleet sweeps look for.
+        With ``workers`` > 1 the busy time is normalized per worker, so 1.0
+        always means "every worker saturated".  Not clamped: a value near
+        (or briefly above) 1.0 means the offered load saturated the server —
+        the knee the fleet sweeps look for.
         """
         if window_seconds <= 0.0:
             return 0.0
-        return self.busy_ms / (window_seconds * 1000.0)
+        return self.busy_ms / (window_seconds * 1000.0 * max(1, workers))
 
-    def snapshot(self, window_seconds: float | None = None) -> dict[str, float]:
+    def snapshot(self, window_seconds: float | None = None, workers: int = 1) -> dict[str, float]:
         data = {
             "arrivals": float(self.arrivals),
             "served": float(self.served),
@@ -111,42 +113,98 @@ class QueueStats:
             "max_depth": float(self.max_depth),
         }
         if window_seconds is not None:
-            data["utilization"] = self.utilization(window_seconds)
+            data["utilization"] = self.utilization(window_seconds, workers)
         return data
+
+
+class _WorkerFull(Exception):
+    """Internal: one worker's bounded buffer rejected a placement probe."""
+
+
+@dataclass
+class _WorkerSchedule:
+    """One worker's committed busy intervals (non-overlapping, sorted)."""
+
+    starts: list[float] = field(default_factory=list)
+    ends: list[float] = field(default_factory=list)
+
+    def prune(self, cutoff: float) -> None:
+        cut = bisect_right(self.ends, cutoff)
+        if cut:
+            del self.starts[:cut]
+            del self.ends[:cut]
+
+    def live_count(self, now: float) -> int:
+        return len(self.ends) - bisect_right(self.ends, now)
+
+    def place(self, now: float, service_s: float, capacity: int) -> tuple[float, int]:
+        """Earliest feasible ``(start, queued_behind)`` at or after ``now``.
+
+        Walks the live suffix (intervals ending after ``now``), jumping over
+        each busy interval until a gap fits the service time.  The intervals
+        jumped are the requests this one actually sits behind — the queue it
+        joins — and their count is what the bounded buffer limits: raises
+        :class:`_WorkerFull` once it reaches ``capacity``.  The walk is
+        bounded by the capacity, so admission cost never grows with the
+        length of the run.
+        """
+        first_live = bisect_right(self.ends, now)
+        cursor = now
+        queued_behind = 0
+        for index in range(first_live, len(self.starts)):
+            if self.starts[index] - cursor >= service_s:
+                break
+            interval_end = self.ends[index]
+            if interval_end > cursor:
+                cursor = interval_end
+                queued_behind += 1
+                if queued_behind >= capacity:
+                    raise _WorkerFull()
+        return cursor, queued_behind
+
+    def commit(self, start: float, service_s: float) -> None:
+        insort(self.starts, start)
+        insort(self.ends, start + service_s)
 
 
 @dataclass
 class ServerQueue:
-    """A single-worker bounded queue in front of one map server.
+    """A bounded queue in front of one map server's worker pool.
 
-    The server's committed work is a set of non-overlapping busy intervals
-    (kept as parallel sorted ``_starts``/``_ends`` lists).  Because the
-    intervals never overlap, both lists are individually sorted and the
-    requests still outstanding at any instant form a suffix of ``_ends`` —
-    which makes admission O(log n + outstanding), with ``outstanding``
-    bounded by the queue capacity.
+    Each of the ``workers`` logical workers serves one request at a time
+    from its own FIFO; an arriving request is placed on the worker offering
+    the earliest feasible start (ties break toward the lowest worker index,
+    keeping admission deterministic).  ``capacity`` bounds the *per-worker*
+    backlog, so total buffered work scales with the worker count — a replica
+    with 4 workers saturates at 4× the single-worker knee.  With the default
+    ``workers=1`` the model reduces exactly to the original single-worker
+    queue.
     """
 
     network: "SimulatedNetwork"
     service_times: ServiceTimeModel = field(default_factory=ServiceTimeModel)
     capacity: int = 64
+    workers: int = 1
     stats: QueueStats = field(default_factory=QueueStats)
-    _starts: list[float] = field(default_factory=list, repr=False)
-    _ends: list[float] = field(default_factory=list, repr=False)
+    _schedules: list[_WorkerSchedule] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity < 1:
             raise ValueError("queue capacity must be >= 1")
+        if self.workers < 1:
+            raise ValueError("worker count must be >= 1")
+        self._schedules = [_WorkerSchedule() for _ in range(self.workers)]
 
     @property
     def busy_until(self) -> float:
         """Simulated instant at which the last scheduled request completes."""
-        return self._ends[-1] if self._ends else 0.0
+        return max((s.ends[-1] for s in self._schedules if s.ends), default=0.0)
 
     @property
     def depth(self) -> int:
         """Requests outstanding (queued or in service) at the current instant."""
-        return len(self._ends) - bisect_right(self._ends, self.network.clock.now())
+        now = self.network.clock.now()
+        return sum(schedule.live_count(now) for schedule in self._schedules)
 
     _PRUNE_LAG_SECONDS = 120.0
     """How far behind the newest arrival completed intervals are retained.
@@ -157,10 +215,15 @@ class ServerQueue:
     schedule lists — and their insertion cost — small."""
 
     def _prune(self, now: float) -> None:
-        cut = bisect_right(self._ends, now - self._PRUNE_LAG_SECONDS)
-        if cut:
-            del self._starts[:cut]
-            del self._ends[:cut]
+        cutoff = now - self._PRUNE_LAG_SECONDS
+        for schedule in self._schedules:
+            schedule.prune(cutoff)
+
+    def snapshot(self, window_seconds: float | None = None) -> dict[str, float]:
+        """The queue's stats snapshot, normalized for (and reporting) workers."""
+        data = self.stats.snapshot(window_seconds=window_seconds, workers=self.workers)
+        data["workers"] = float(self.workers)
+        return data
 
     def process(self, kind: str) -> float:
         """Admit one request, wait out the backlog, and serve it.
@@ -168,46 +231,40 @@ class ServerQueue:
         Advances the simulated clock by queueing delay plus service time and
         charges both to the network's latency accounting (so client latency
         percentiles include server load).  Returns the total milliseconds
-        spent server-side; raises :class:`ServerOverloadedError` when the
-        bounded queue is full.
+        spent server-side; raises :class:`ServerOverloadedError` when every
+        worker's bounded buffer is full.
         """
         now = self.network.clock.now()
         self.stats.arrivals += 1
-        if len(self._ends) > 1024:
+        if sum(len(schedule.ends) for schedule in self._schedules) > 1024:
             self._prune(now)
         service_ms = self.service_times.service_ms(kind)
         service_s = service_ms / 1000.0
-        # Earliest idle slot at or after the arrival: walk the live suffix
-        # (intervals ending after ``now``), jumping over each busy interval
-        # until a gap fits the service time.  The intervals jumped are the
-        # requests this one actually sits behind — the queue it joins — and
-        # their count is what the bounded buffer limits.  The walk is
-        # bounded by the capacity, so admission cost never grows with the
-        # length of the run.
-        first_live = bisect_right(self._ends, now)
-        cursor = now
-        queued_behind = 0
-        for index in range(first_live, len(self._starts)):
-            if self._starts[index] - cursor >= service_s:
-                break
-            interval_end = self._ends[index]
-            if interval_end > cursor:
-                cursor = interval_end
-                queued_behind += 1
-                if queued_behind >= self.capacity:
-                    self.stats.dropped += 1
-                    raise ServerOverloadedError(
-                        f"queue full ({queued_behind}/{self.capacity} queued) "
-                        f"for {kind!r} request"
-                    )
+
+        best: tuple[float, int, _WorkerSchedule] | None = None
+        for schedule in self._schedules:
+            try:
+                start, queued_behind = schedule.place(now, service_s, self.capacity)
+            except _WorkerFull:
+                continue
+            if best is None or start < best[0]:
+                best = (start, queued_behind, schedule)
+                if start <= now:
+                    break  # an idle worker cannot be beaten
+        if best is None:
+            self.stats.dropped += 1
+            raise ServerOverloadedError(
+                f"all {self.workers} worker queue(s) full "
+                f"({self.capacity} per worker) for {kind!r} request"
+            )
+        start, queued_behind, schedule = best
+
         self.stats.depth_total += queued_behind
         if queued_behind > self.stats.max_depth:
             self.stats.max_depth = queued_behind
 
-        start = cursor
         wait_ms = (start - now) * 1000.0
-        insort(self._starts, start)
-        insort(self._ends, start + service_s)
+        schedule.commit(start, service_s)
 
         self.stats.served += 1
         self.stats.busy_ms += service_ms

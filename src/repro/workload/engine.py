@@ -17,6 +17,9 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.churn.controller import ChurnController
+from repro.churn.failover import FailoverRecorder
+from repro.churn.schedule import ChurnSchedule
 from repro.core.client import OpenFlameClient
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
@@ -59,6 +62,14 @@ class WorkloadConfig:
     """Recursive resolvers to shard the fleet across (round-robin).  One pool
     is the historical single-shared-resolver deployment; more pools model
     regional resolver deployments, each with its own DNS cache."""
+    churn: ChurnSchedule | None = None
+    """Membership churn applied while the fleet runs: the engine plays the
+    schedule through a :class:`~repro.churn.controller.ChurnController` at
+    round boundaries, so crashes/leaves/rejoins land between concurrent
+    rounds exactly as TTL expiry does."""
+    churn_lease_seconds: float | None = None
+    """Registration-lease override for crashed servers (``None`` uses the
+    federation's ``registration_ttl_seconds``)."""
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -106,10 +117,21 @@ class WorkloadReport:
     dns_cache_hit_rate: float
     simulated_seconds: float
     server_stats: dict[str, dict[str, float]] = field(default_factory=dict)
-    """Per-map-server load-model snapshot (utilization, queue depth, drops);
-    empty when the federation runs without a server-side queue model."""
+    """Per-map-server load-model snapshot (utilization, queue depth, drops,
+    workers); empty when the federation runs without a server-side queue
+    model."""
     dns_pool_hit_rates: tuple[float, ...] = ()
     """Hit rate of each shared regional resolver pool, in pool order."""
+    failover: FailoverRecorder = field(default_factory=FailoverRecorder)
+    """Fleet-aggregated failover accounting (attempts, failed chains, stale
+    attempts, failover latencies)."""
+    failed_requests: int = 0
+    """Client requests that got no service at all: every map-server chain
+    they tried exhausted its replicas (or routing found nothing to stitch)."""
+    churn_events_applied: int = 0
+    rediscoveries: int = 0
+    rejoins_unseen: int = 0
+    """Rejoined servers that saw no traffic again before the run ended."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -134,6 +156,39 @@ class WorkloadReport:
         """Requests shed by overloaded map servers across the whole run."""
         return int(sum(stats.get("dropped", 0.0) for stats in self.server_stats.values()))
 
+    @property
+    def failed_request_rate(self) -> float:
+        """Fraction of client requests that got no service at all."""
+        total = self.requests + self.errors
+        return self.failed_requests / total if total else 0.0
+
+    def availability(self) -> dict[str, float]:
+        """The run's availability metrics in one flat dict."""
+        recorder = self.failover
+        failover_tail = self.latency_percentiles("failover")
+        rediscovery = self.metrics.summaries.get("availability.rediscovery_seconds")
+        return {
+            "failed_requests": float(self.failed_requests),
+            "failed_request_rate": self.failed_request_rate,
+            "request_chains": float(recorder.chains),
+            "failed_chains": float(recorder.chains_failed),
+            "failed_chain_rate": recorder.failed_chain_rate,
+            "stale_attempts": float(recorder.stale_attempts),
+            "stale_attempt_rate": recorder.stale_attempt_rate,
+            "failovers": float(recorder.failovers),
+            "backoff_ms_total": recorder.backoff_ms_total,
+            "failover_p50_ms": failover_tail["p50"],
+            "failover_p95_ms": failover_tail["p95"],
+            "failover_p99_ms": failover_tail["p99"],
+            "churn_events_applied": float(self.churn_events_applied),
+            "rediscoveries": float(self.rediscoveries),
+            "rejoins_unseen": float(self.rejoins_unseen),
+            "rediscovery_seconds_mean": rediscovery.mean if rediscovery is not None else 0.0,
+            "rediscovery_seconds_max": (
+                rediscovery.maximum if rediscovery is not None and rediscovery.count else 0.0
+            ),
+        }
+
     def snapshot(self) -> dict[str, float]:
         """One flat, deterministic dict describing the whole run."""
         data = dict(sorted(self.metrics.snapshot().items()))
@@ -148,6 +203,8 @@ class WorkloadReport:
                 data[f"server.{server_id}.{stat}"] = value
         for pool_index, hit_rate in enumerate(self.dns_pool_hit_rates):
             data[f"dns_pool.{pool_index}.hit_rate"] = hit_rate
+        for key, value in sorted(self.availability().items()):
+            data[f"availability.{key}"] = value
         return data
 
 
@@ -168,6 +225,16 @@ class WorkloadEngine:
             self.pois, self.config.zipf_exponent
         )
         self.fleet = self._build_fleet()
+        self.churn_controller: ChurnController | None = None
+        if self.config.churn is not None:
+            self.churn_controller = ChurnController(
+                federation=scenario.federation,
+                schedule=self.config.churn,
+                lease_seconds=self.config.churn_lease_seconds,
+            )
+        # Rejoined servers whose return traffic has not been seen yet:
+        # server_id -> (rejoin instant, served-requests baseline).
+        self._pending_rediscovery: dict[str, tuple[float, int]] = {}
 
     # ------------------------------------------------------------------
     # Construction
@@ -248,6 +315,7 @@ class WorkloadEngine:
         started_at = clock.now()
         try:
             for _ in range(self.config.steps):
+                self._apply_churn(clock.now())
                 round_start = clock.now()
                 slowest = 0.0
                 for device in self.fleet:
@@ -257,17 +325,65 @@ class WorkloadEngine:
                     slowest = max(slowest, clock.now() - round_start)
                     clock.rewind_to(round_start)
                 clock.advance(slowest + self.config.step_seconds)
+                self._observe_rediscoveries(clock.now())
         finally:
             # Leave the shared network on its default jitter stream: direct
             # (non-fleet) use after a run must not inherit the last device's.
             network.set_jitter_stream(None)
         return self._report(clock.now() - started_at)
 
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def _apply_churn(self, now: float) -> None:
+        """Apply due membership events at a round boundary.
+
+        Events land *between* concurrent rounds — the same granularity at
+        which the round clock advances — so a server is either up or down
+        for a whole round, never half of one.
+        """
+        if self.churn_controller is None:
+            return
+        federation = self.scenario.federation
+        for event in self.churn_controller.apply_until(now):
+            if not event.applied:
+                continue
+            self.metrics.counter(f"churn.{event.kind}").increment()
+            if event.kind == "join":
+                server = federation.servers.get(event.server_id)
+                baseline = server.stats.total_requests if server is not None else 0
+                self._pending_rediscovery[event.server_id] = (event.at_seconds, baseline)
+
+    def _observe_rediscoveries(self, now: float) -> None:
+        """Check whether rejoined servers have been found by clients again.
+
+        Time-to-rediscovery is measured at round granularity: the first
+        round after which a rejoined server's served-request counter moved.
+        """
+        if not self._pending_rediscovery:
+            return
+        federation = self.scenario.federation
+        found: list[str] = []
+        for server_id, (rejoined_at, baseline) in self._pending_rediscovery.items():
+            server = federation.servers.get(server_id)
+            if server is None:  # crashed again before being rediscovered
+                continue
+            if server.stats.total_requests > baseline:
+                self.metrics.summary("availability.rediscovery_seconds").observe(
+                    now - rejoined_at
+                )
+                found.append(server_id)
+        for server_id in found:
+            del self._pending_rediscovery[server_id]
+
     def _issue(self, device: FleetClient, kind: RequestKind) -> None:
         network = self.scenario.federation.network
         if device.net_rng is not None:
             network.set_jitter_stream(device.net_rng)
         latency_before = network.stats.total_latency_ms
+        recorder = device.client.context.failover
+        chains_ok_before = recorder.chains_ok
+        chains_failed_before = recorder.chains_failed
         issued = True
         try:
             if kind == RequestKind.SEARCH:
@@ -282,7 +398,12 @@ class WorkloadEngine:
             # Failed requests are counted separately; their (often short)
             # abort latency must not dilute the success-path percentiles.
             self.metrics.counter(f"errors.{kind.value}").increment()
+            self.metrics.counter("availability.failed_requests").increment()
             return
+        if recorder.chains_failed > chains_failed_before and recorder.chains_ok == chains_ok_before:
+            # Every map server this request tried was unreachable or
+            # overloaded past its whole replica chain: the user got nothing.
+            self.metrics.counter("availability.failed_requests").increment()
         if not issued:
             # No traffic was generated; recording a request with 0 ms latency
             # would dilute the tail percentiles the benchmarks compare.  The
@@ -369,18 +490,28 @@ class WorkloadEngine:
         )
         discovery_hits = discovery_misses = 0
         tile_hits = tile_misses = 0
+        fleet_failover = FailoverRecorder()
         for device in self.fleet:
             stats = device.client.cache_stats()
             discovery_hits += int(stats["discovery.hits"])
             discovery_misses += int(stats["discovery.misses"])
             tile_hits += int(stats["tiles.hits"])
             tile_misses += int(stats["tiles.misses"])
+            fleet_failover.merge_from(device.client.context.failover)
+        if fleet_failover.failover_ms:
+            # Failover latencies land in the shared registry so the snapshot
+            # and latency_percentiles("failover") see them.
+            self.metrics.histogram("latency_ms.failover").observe_many(
+                fleet_failover.failover_ms
+            )
 
         federation = self.scenario.federation
         server_stats: dict[str, dict[str, float]] = {}
-        for server_id, server in federation.servers.items():
+        # Include servers currently offline: a server that crashed mid-run
+        # keeps its accumulated load statistics in the books.
+        for server_id, server in federation.all_servers.items():
             if server.queue is not None:
-                server_stats[server_id] = server.queue.stats.snapshot(
+                server_stats[server_id] = server.queue.snapshot(
                     window_seconds=simulated_seconds
                 )
 
@@ -393,6 +524,11 @@ class WorkloadEngine:
             stats = pool.recursive.cache.stats
             answered += stats.hits + stats.negative_hits
             total += stats.hits + stats.negative_hits + stats.misses
+        failed_counter = self.metrics.counters.get("availability.failed_requests")
+        churn_applied = 0
+        if self.churn_controller is not None:
+            churn_applied = sum(1 for event in self.churn_controller.applied if event.applied)
+        rediscovery = self.metrics.summaries.get("availability.rediscovery_seconds")
         return WorkloadReport(
             metrics=self.metrics,
             requests=requests,
@@ -405,4 +541,9 @@ class WorkloadEngine:
             simulated_seconds=simulated_seconds,
             server_stats=server_stats,
             dns_pool_hit_rates=pool_hit_rates,
+            failover=fleet_failover,
+            failed_requests=failed_counter.value if failed_counter is not None else 0,
+            churn_events_applied=churn_applied,
+            rediscoveries=rediscovery.count if rediscovery is not None else 0,
+            rejoins_unseen=len(self._pending_rediscovery),
         )

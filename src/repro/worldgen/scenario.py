@@ -46,7 +46,27 @@ class FederatedScenario:
         return self.federation.world_provider
 
     def store_server(self, index: int = 0) -> MapServer:
-        return self.federation.servers[self.stores[index].name]
+        """The (first replica of the) map server for store ``index``."""
+        name = self.stores[index].name
+        server = self.federation.servers.get(name)
+        if server is not None:
+            return server
+        group = self.federation.replica_groups.get(name)
+        if group is None:
+            return self.federation.servers[name]  # raise the original KeyError
+        for server_id in group.server_ids:
+            replica = self.federation.servers.get(server_id)
+            if replica is not None:
+                return replica
+        raise KeyError(f"every replica of {name!r} is offline")
+
+    def store_replica_ids(self, index: int = 0) -> tuple[str, ...]:
+        """All server ids serving store ``index`` (one id without replication)."""
+        name = self.stores[index].name
+        group = self.federation.replica_groups.get(name)
+        if group is not None:
+            return group.server_ids
+        return (name,)
 
     @property
     def campus_server(self) -> MapServer | None:
@@ -113,6 +133,7 @@ def build_scenario(
     config: FederationConfig | None = None,
     seed: int = 0,
     reuse_worlds: bool = False,
+    store_replicas: int = 1,
 ) -> FederatedScenario:
     """Build the standard scenario used throughout the experiments.
 
@@ -124,6 +145,11 @@ def build_scenario(
     between scenarios with identical generation parameters — sweeps that
     rebuild the same deterministic world many times opt in to skip the
     regeneration cost.
+
+    ``store_replicas`` > 1 deploys each store as a replica group (the store
+    name becomes the group id, server ids ``r<i>.<name>``): every replica
+    advertises the same coverage, so clients can fail over between them
+    under churn.  The city world provider is never replicated.
     """
     if reuse_worlds:
         memo_key = (store_count, include_campus, city_rows, city_cols, products_per_store, seed)
@@ -151,9 +177,18 @@ def build_scenario(
     centralized.ingest(city.map_data)
 
     # Grocery stores scattered next to street intersections.
+    if store_replicas < 1:
+        raise ValueError("store_replicas must be >= 1")
     for store in stores:
-        server = federation.add_map_server(store.name, store.map_data)
-        store.equip_map_server(server)
+        if store_replicas == 1:
+            server = federation.add_map_server(store.name, store.map_data)
+            store.equip_map_server(server)
+        else:
+            group = federation.add_replica_group(
+                store.name, store.map_data, replica_count=store_replicas
+            )
+            for server_id in group.server_ids:
+                store.equip_map_server(federation.servers[server_id])
         if centralized_ingests_indoor:
             centralized.ingest(store.map_data)
 

@@ -109,6 +109,23 @@ class TestRegistry:
         registration = registry.register_region("store.example", region)
         assert "store.example" in registry.servers_at_cell(registration.cells[0])
 
+    def test_deregister_one_replica_at_shared_cells(self, registry: DiscoveryRegistry):
+        """Replicas share every covering cell; removal must be surgical."""
+        region = Polygon.regular(CENTER, 150.0)
+        first = registry.register_region("r0.shop.example", region)
+        second = registry.register_region("r1.shop.example", region)
+        assert first.cells == second.cells  # identical coverings
+        removed = registry.deregister("r0.shop.example")
+        assert removed == first.record_count
+        for cell in second.cells:
+            servers = registry.servers_at_cell(cell)
+            assert "r1.shop.example" in servers
+            assert "r0.shop.example" not in servers
+        # The shared names still exist at the authority (no NXDOMAIN window
+        # for the surviving replica).
+        name = registry.naming.cell_to_name(second.cells[0])
+        assert registry.zone.contains_name(name)
+
 
 def _wire_discovery(registry: DiscoveryRegistry, network: SimulatedNetwork) -> Discoverer:
     """Root delegates the discovery suffix to the registry's authority."""

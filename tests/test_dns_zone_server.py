@@ -59,6 +59,56 @@ class TestZone:
         assert "city.maps.example" in zone.names()
 
 
+class TestZoneSurgicalRemoval:
+    """Record removal must keep the name index and delegation state exact,
+    so a deregistered server stops resolving at the authority immediately
+    (only caches may stay stale)."""
+
+    def test_remove_one_record_keeps_siblings(self):
+        zone = Zone(origin="maps.example")
+        first = zone.add("cell.maps.example", RecordType.SRV, "0 0 443 r0.shop")
+        zone.add("cell.maps.example", RecordType.SRV, "0 0 443 r1.shop")
+        assert zone.remove_record(first)
+        remaining = zone.records_at("cell.maps.example", RecordType.SRV)
+        assert [r.data for r in remaining] == ["0 0 443 r1.shop"]
+        assert zone.contains_name("cell.maps.example")
+
+    def test_removing_last_record_clears_name_immediately(self):
+        zone = Zone(origin="maps.example")
+        record = zone.add("cell.maps.example", RecordType.SRV, "0 0 443 r0.shop")
+        assert zone.remove_record(record)
+        assert not zone.contains_name("cell.maps.example")
+        assert "cell.maps.example" not in zone.names()
+        # The authority answers NXDOMAIN at once — no ghost records.
+        server = NameServer(server_id="ns", zones={"maps.example": zone})
+        response = server.handle(Question("cell.maps.example", RecordType.SRV))
+        assert response.code == ResponseCode.NXDOMAIN
+
+    def test_removing_last_ns_clears_delegation_walk(self):
+        zone = Zone(origin="maps.example")
+        ns1 = zone.add("child.maps.example", RecordType.NS, "ns1.example")
+        ns2 = zone.add("child.maps.example", RecordType.NS, "ns2.example")
+        assert zone.covering_delegation("deep.child.maps.example") == "child.maps.example"
+        zone.remove_record(ns1)
+        # One NS left: the delegation must survive.
+        assert zone.covering_delegation("deep.child.maps.example") == "child.maps.example"
+        zone.remove_record(ns2)
+        assert zone.covering_delegation("deep.child.maps.example") is None
+
+    def test_remove_missing_record_is_false(self):
+        zone = Zone(origin="maps.example")
+        ghost = ResourceRecord("cell.maps.example", RecordType.SRV, "0 0 443 nobody")
+        assert not zone.remove_record(ghost)
+
+    def test_remove_records_by_name_only(self):
+        zone = Zone(origin="maps.example")
+        zone.add("cell.maps.example", RecordType.SRV, "0 0 443 r0.shop")
+        zone.add("cell.maps.example", RecordType.TXT, "note")
+        assert zone.remove_records("cell.maps.example") == 2
+        assert not zone.contains_name("cell.maps.example")
+        assert zone.record_count == 0
+
+
 class TestNameServer:
     @pytest.fixture()
     def server(self, zone: Zone) -> NameServer:
