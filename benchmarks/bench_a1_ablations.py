@@ -11,10 +11,6 @@ This is the central tuning knob of the §5.1 naming scheme.
 
 from __future__ import annotations
 
-import random
-
-import pytest
-
 from repro.core.config import FederationConfig
 from repro.core.federation import Federation
 from repro.geometry.point import LatLng
@@ -69,7 +65,6 @@ def test_a1_device_cache_ablation(benchmark):
 
 def test_a2_discovery_level_ablation(benchmark):
     """Sweep the discovery/registration cell level (the §5.1 naming granularity)."""
-    rng = random.Random(9)
     rows = []
     for level in (14, 16, 18):
         config = FederationConfig(

@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LocalPoint
 from repro.tiles.correspondence import CorrespondenceSet

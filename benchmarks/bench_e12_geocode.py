@@ -8,11 +8,6 @@ reverse-geocode precision indoors versus the centralized baseline.
 
 from __future__ import annotations
 
-import random
-
-import pytest
-
-from repro.mapserver.geocode import Address
 from repro.simulation.metrics import Summary
 
 from _util import print_table
@@ -80,7 +75,6 @@ def test_e12_reverse_geocode_precision(benchmark, bench_scenario, bench_client):
     """Reverse geocoding an indoor point: federated snaps to the shelf, the
     centralized baseline can only snap to an outdoor feature far away."""
     store = bench_scenario.stores[0]
-    rng = random.Random(4)
     federated_distance = Summary("federated")
     centralized_distance = Summary("centralized")
     samples = list(store.product_locations.values())[:10]

@@ -14,10 +14,12 @@ Runs three ways:
 * standalone: ``python benchmarks/bench_e13_workload.py [--smoke]`` —
   ``--smoke`` runs a reduced sweep that finishes in seconds (used by
   ``scripts/check.sh``, which also holds it to a wall-clock budget via
-  ``--budget-seconds``);
-* the full sweep (default) runs 10 → 10,000 clients and emits a
-  machine-readable ``BENCH_e13.json`` next to the repo root so future
-  changes can track the perf trajectory.
+  ``--budget-seconds``); like E14, the smoke sweep *is* the committed
+  ``BENCH_e13.json`` artifact, so every check run re-verifies that it
+  reproduces byte-for-byte;
+* the full sweep (no flags) runs 10 → 10,000 clients (~40 s); write it
+  elsewhere (``--json``) when tracking the long perf trajectory so it
+  does not clobber the gated smoke artifact.
 """
 
 from __future__ import annotations
@@ -70,6 +72,10 @@ the service rate itself saturates.  256 keeps drops a signal of genuine
 saturation (thousands of clients) rather than phase alignment."""
 
 DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e13.json"
+"""The committed, check.sh-gated artifact — written by the *smoke* sweep."""
+FULL_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e13_full.json"
+"""Default output of the full sweep, so exploratory 10→10k runs never
+clobber the byte-for-byte-gated smoke artifact."""
 
 
 def build_workload_scenario(cached: bool, seed: int = WORLD_SEED, loaded: bool = True):
@@ -175,8 +181,9 @@ def emit_json(rows: list[dict[str, object]], steps: int, path: Path) -> None:
                     "dns": row["dns_hit_rate"],
                 },
                 "servers": row["_server_stats"],
+                # Deliberately no wall-clock fields: the artifact must be
+                # byte-identical across runs (check.sh enforces it).
                 "simulated_seconds": row["_simulated_seconds"],
-                "wall_seconds": row["_wall_seconds"],
             }
             for row in rows
         ],
@@ -262,11 +269,9 @@ def main(argv: list[str] | None = None) -> int:
         "--json",
         type=Path,
         default=None,
-        help=(
-            f"where to write the sweep artifact (full sweeps default to "
-            f"{DEFAULT_JSON_PATH.name}; smoke runs write nothing unless a "
-            "path is given, so they never clobber the full-sweep artifact)"
-        ),
+        help=f"where to write the sweep artifact (smoke default {DEFAULT_JSON_PATH.name} "
+        f"— the committed, byte-for-byte-gated artifact; full-sweep default "
+        f"{FULL_JSON_PATH.name} so exploration never clobbers the gated file)",
     )
     parser.add_argument(
         "--no-json", action="store_true", help="skip writing the JSON artifact"
@@ -293,8 +298,8 @@ def main(argv: list[str] | None = None) -> int:
     elapsed = time.perf_counter() - started
     print_table("E13 workload sweep (cached vs uncached discovery)", table_rows(rows))
 
-    json_path = args.json if args.json is not None else (None if args.smoke else DEFAULT_JSON_PATH)
-    if not args.no_json and json_path is not None:
+    json_path = args.json if args.json is not None else (DEFAULT_JSON_PATH if args.smoke else FULL_JSON_PATH)
+    if not args.no_json:
         emit_json(rows, steps, json_path)
         print(f"\nwrote {json_path}")
 

@@ -1,4 +1,4 @@
-"""E14 — federation churn: availability and failover under membership churn.
+"""E14 — federation churn: availability, failover and replica load balancing.
 
 The paper's discovery story assumes map servers are long-lived DNS
 registrants; production federations churn.  This experiment sweeps *churn
@@ -15,6 +15,19 @@ advertising the same coverage cells) and measures what clients experience:
   winning attempt);
 * **time-to-rediscovery** — how long after a crashed server re-registers
   until the fleet's traffic reaches it again.
+
+Two further sweep dimensions compare the client-side policies themselves
+on a 4-replica group:
+
+* **balance** — RFC 2782 ``weighted`` selection vs the legacy
+  ``first-healthy`` ordering, scored by ``replica_load_cv`` (coefficient
+  of variation of per-replica utilization: ~0 is a perfect 4-way spread,
+  ~1.73 is everything funneled onto one replica);
+* **detection** — per-device health only vs pool-shared health
+  (``FederationConfig.shared_health``), scored by the mean client-time
+  cost of learning a replica is dead (``detect_mean_ms``): every device
+  paying its own ``dead_server_timeout`` vs one device paying and the
+  rest of its resolver pool learning for free.
 
 Runs three ways, like E13:
 
@@ -42,7 +55,7 @@ try:
 except ImportError:  # standalone invocation without PYTHONPATH=src
     sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
 
-from repro.churn import ChurnSchedule, RetryPolicy
+from repro.churn import FIRST_HEALTHY, WEIGHTED, ChurnSchedule, RetryPolicy
 from repro.core.config import FederationConfig
 from repro.simulation.queueing import ServiceTimeModel
 from repro.workload import WorkloadConfig, WorkloadEngine
@@ -73,9 +86,19 @@ RETRY_POLICY = RetryPolicy.utilization_aware()
 replica spread out, retries after a one-off blip stay fast."""
 
 DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e14.json"
+"""The committed, check.sh-gated artifact — written by the *smoke* sweep."""
+FULL_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e14_full.json"
+"""Default output of the full sweep, so exploratory runs never clobber the
+byte-for-byte-gated smoke artifact."""
 
 
-def build_churn_scenario(replicas: int):
+BALANCE_REPLICAS = 4
+"""Replica count of the balance/detection comparison cells: a 4-replica
+group is where first-healthy's funnel (CV ≈ 1.73) versus RFC 2782's 4-way
+spread (CV < 0.15) is unmistakable."""
+
+
+def build_churn_scenario(replicas: int, mode: str = WEIGHTED, shared_health: bool = False):
     """The standard E14 world: E13's city + stores, with store replication."""
     config = FederationConfig(
         device_discovery_cache_ttl_seconds=DEVICE_CACHE_TTL_SECONDS,
@@ -83,6 +106,8 @@ def build_churn_scenario(replicas: int):
         service_times=SERVICE_TIMES,
         server_queue_capacity=SERVER_QUEUE_CAPACITY,
         retry_policy=RETRY_POLICY,
+        replica_selection=mode,
+        shared_health=shared_health,
     )
     return build_scenario(
         store_count=STORE_COUNT,
@@ -101,10 +126,13 @@ def run_churn(
     clients: int,
     steps: int,
     seed: int = WORKLOAD_SEED,
+    mode: str = WEIGHTED,
+    shared_health: bool = False,
+    phase: str = "churn",
 ) -> dict[str, object]:
-    """Run one (replica count × churn rate) cell of the sweep."""
+    """Run one (replica count × churn rate × policy) cell of the sweep."""
     started = time.perf_counter()
-    scenario = build_churn_scenario(replicas)
+    scenario = build_churn_scenario(replicas, mode=mode, shared_health=shared_health)
     eligible = [
         server_id
         for index in range(STORE_COUNT)
@@ -131,6 +159,7 @@ def run_churn(
     wall_seconds = time.perf_counter() - started
     availability = report.availability()
     return {
+        "mode": mode + ("+shared" if shared_health else ""),
         "replicas": replicas,
         "churn_per_min": churn_rate_per_minute,
         "requests": report.requests + report.errors,
@@ -141,10 +170,15 @@ def run_churn(
         "fo_p50_ms": availability["failover_p50_ms"],
         "fo_p95_ms": availability["failover_p95_ms"],
         "fo_p99_ms": availability["failover_p99_ms"],
+        "load_cv": report.replica_load_cv,
+        "detect_ms": availability["detect_mean_ms"],
         "events": int(availability["churn_events_applied"]),
         "rediscover": int(availability["rediscoveries"]),
         "redisc_mean_s": availability["rediscovery_seconds_mean"],
         # Carried for the JSON artifact (dropped from the printed table).
+        "_phase": phase,
+        "_shared_health": shared_health,
+        "_selection": mode,
         "_availability": availability,
         "_scheduled_events": len(schedule),
         "_wall_seconds": wall_seconds,
@@ -164,10 +198,40 @@ def _digest(snapshot: dict[str, float]) -> str:
 def sweep(
     replica_counts: list[int], churn_rates: list[float], clients: int, steps: int
 ) -> list[dict[str, object]]:
+    """The availability grid plus the policy-comparison cells.
+
+    The grid (``phase="churn"``) runs every (replica count × churn rate)
+    cell under the default weighted selection.  On top of it, four cells on
+    a :data:`BALANCE_REPLICAS`-replica deployment isolate the policies:
+    first-healthy vs weighted with zero churn (pure balance), and weighted
+    with per-device vs pool-shared health at the top churn rate (pure
+    detection).
+    """
     rows: list[dict[str, object]] = []
     for replicas in replica_counts:
         for rate in churn_rates:
             rows.append(run_churn(replicas, rate, clients, steps))
+    top_rate = max(churn_rates)
+    rows.append(
+        run_churn(BALANCE_REPLICAS, 0.0, clients, steps, mode=FIRST_HEALTHY, phase="balance")
+    )
+    rows.append(
+        run_churn(BALANCE_REPLICAS, 0.0, clients, steps, mode=WEIGHTED, phase="balance")
+    )
+    rows.append(
+        run_churn(BALANCE_REPLICAS, top_rate, clients, steps, mode=WEIGHTED, phase="detection")
+    )
+    rows.append(
+        run_churn(
+            BALANCE_REPLICAS,
+            top_rate,
+            clients,
+            steps,
+            mode=WEIGHTED,
+            shared_health=True,
+            phase="detection",
+        )
+    )
     return rows
 
 
@@ -199,10 +263,14 @@ def emit_json(rows: list[dict[str, object]], clients: int, steps: int, path: Pat
         },
         "rows": [
             {
+                "phase": row["_phase"],
+                "selection": row["_selection"],
+                "shared_health": row["_shared_health"],
                 "replicas": row["replicas"],
                 "churn_per_min": row["churn_per_min"],
                 "requests": row["requests"],
                 "scheduled_events": row["_scheduled_events"],
+                "replica_load_cv": row["load_cv"],
                 "availability": row["_availability"],
                 "snapshot_digest": row["_snapshot_digest"],
                 # Deliberately no wall-clock fields: the artifact must be
@@ -220,9 +288,10 @@ def verify(rows: list[dict[str, object]], churn_rates: list[float]) -> list[str]
     failures: list[str] = []
     top_rate = max(churn_rates)
     baseline_rate = min(churn_rates)
+    grid = [row for row in rows if row["_phase"] == "churn"]
 
     def cell(replicas: int, rate: float) -> dict[str, object] | None:
-        for row in rows:
+        for row in grid:
             if row["replicas"] == replicas and row["churn_per_min"] == rate:
                 return row
         return None
@@ -241,7 +310,7 @@ def verify(rows: list[dict[str, object]], churn_rates: list[float]) -> list[str]
 
     # (b) At the same top churn rate, an extra replica restores availability.
     degraded = cell(1, top_rate)
-    restored = [cell(r, top_rate) for r in sorted({row["replicas"] for row in rows}) if r > 1]
+    restored = [cell(r, top_rate) for r in sorted({row["replicas"] for row in grid}) if r > 1]
     restored = [row for row in restored if row is not None]
     if degraded is not None and restored:
         if not any(row["failed_rate"] < 0.01 for row in restored):
@@ -254,11 +323,48 @@ def verify(rows: list[dict[str, object]], churn_rates: list[float]) -> list[str]
             failures.append("replicated runs recorded no failovers / failover latency")
 
     # With no churn, nothing should fail beyond the workload's own baseline.
-    for row in rows:
+    for row in grid:
         if row["churn_per_min"] == baseline_rate == 0.0 and row["chain_fail_rate"] > 0.0:
             failures.append(
                 f"replica={row['replicas']}: chains failed with zero churn "
                 f"({row['chain_fail_rate']:.4f})"
+            )
+
+    # (d) Balance: RFC 2782 weighted selection spreads a 4-replica group's
+    # load near-uniformly; the legacy first-healthy ordering funnels it.
+    balance = {row["_selection"]: row for row in rows if row["_phase"] == "balance"}
+    weighted = balance.get("weighted")
+    funneled = balance.get("first-healthy")
+    if weighted is not None and weighted["load_cv"] >= 0.15:
+        failures.append(
+            f"weighted selection left replica load unbalanced "
+            f"(cv={weighted['load_cv']:.3f}, expected < 0.15)"
+        )
+    if funneled is not None and funneled["load_cv"] <= 0.8:
+        failures.append(
+            f"first-healthy unexpectedly balanced replica load "
+            f"(cv={funneled['load_cv']:.3f}, expected > 0.8)"
+        )
+
+    # (e) Detection: pool-shared health cuts the mean cost of learning a
+    # replica is dead below one dead-server timeout (and below per-device).
+    detection = {row["_shared_health"]: row for row in rows if row["_phase"] == "detection"}
+    solo = detection.get(False)
+    pooled = detection.get(True)
+    if pooled is not None:
+        timeout_ms = RETRY_POLICY.dead_server_timeout_ms
+        if pooled["detect_ms"] >= timeout_ms:
+            failures.append(
+                f"shared health did not cut mean time-to-detect below one "
+                f"dead-server timeout ({pooled['detect_ms']:.1f}ms >= {timeout_ms:.0f}ms)"
+            )
+        shared_detections = pooled["_availability"]["dead_detections_shared"]
+        if shared_detections <= 0:
+            failures.append("shared-health run recorded no pool-learned detections")
+        if solo is not None and pooled["detect_ms"] >= solo["detect_ms"]:
+            failures.append(
+                f"shared health did not beat per-device detection "
+                f"({pooled['detect_ms']:.1f}ms >= {solo['detect_ms']:.1f}ms)"
             )
     return failures
 
@@ -269,7 +375,9 @@ def verify(rows: list[dict[str, object]], churn_rates: list[float]) -> list[str]
 def test_e14_availability_degrades_and_replicas_restore(benchmark):
     """Churn kills single-replica availability; one more replica restores it."""
     rates = [0.0, 3.0]
-    rows = sweep([1, 2], rates, clients=16, steps=8)
+    # The smoke fleet size: verify()'s balance thresholds (CV < 0.15 for
+    # weighted selection) are calibrated against this workload.
+    rows = sweep([1, 2], rates, clients=24, steps=10)
     print_table("E14 churn x replicas", table_rows(rows))
     assert not verify(rows, rates)
     benchmark.extra_info["failed_rate_r1"] = rows[1]["failed_rate"]
@@ -297,10 +405,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--json",
         type=Path,
-        default=DEFAULT_JSON_PATH,
-        help=f"where to write the sweep artifact (default {DEFAULT_JSON_PATH.name}; "
-        "the smoke sweep is the committed artifact, so check runs re-verify "
-        "that it reproduces)",
+        default=None,
+        help=f"where to write the sweep artifact (smoke default {DEFAULT_JSON_PATH.name} "
+        f"— the committed, byte-for-byte-gated artifact; full-sweep default "
+        f"{FULL_JSON_PATH.name} so exploration never clobbers the gated file)",
     )
     parser.add_argument(
         "--no-json", action="store_true", help="skip writing the JSON artifact"
@@ -338,9 +446,10 @@ def main(argv: list[str] | None = None) -> int:
     if repeat["_snapshot_digest"] != reference["_snapshot_digest"]:
         failures.append("rerun with fixed seed produced a different snapshot")
 
+    json_path = args.json if args.json is not None else (DEFAULT_JSON_PATH if args.smoke else FULL_JSON_PATH)
     if not args.no_json:
-        emit_json(rows, clients, steps, args.json)
-        print(f"\nwrote {args.json}")
+        emit_json(rows, clients, steps, json_path)
+        print(f"\nwrote {json_path}")
 
     if args.budget_seconds is not None and elapsed > args.budget_seconds:
         failures.append(

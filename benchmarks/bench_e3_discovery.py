@@ -49,7 +49,6 @@ def discovery_world():
 def test_e3_cold_vs_warm_discovery(benchmark, discovery_world):
     federation, city, locations = discovery_world
     client = federation.client()
-    rng = random.Random(7)
     probe = locations[0]
 
     # Cold: flush the resolver cache first.

@@ -7,8 +7,6 @@ covering level limit and the region size.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.geometry.point import LatLng
 from repro.geometry.polygon import Polygon
 from repro.spatialindex.covering import (

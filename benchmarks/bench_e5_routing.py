@@ -10,8 +10,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.simulation.metrics import Summary
 
 from _util import print_table

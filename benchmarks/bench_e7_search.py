@@ -11,8 +11,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
-
 from repro.worldgen.scenario import build_scenario
 
 from _util import print_table

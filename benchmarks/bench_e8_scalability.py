@@ -14,8 +14,6 @@ from __future__ import annotations
 import random
 import time
 
-import pytest
-
 from repro.centralized.system import CentralizedMapSystem
 from repro.core.federation import Federation
 from repro.geometry.point import LatLng

@@ -8,8 +8,6 @@ to serve it at all, and (c) the request-path overhead of policy checks.
 
 from __future__ import annotations
 
-import pytest
-
 from repro.localization.cues import CueBundle, GnssCue
 from repro.mapserver.auth import Credential
 from repro.mapserver.policy import AccessDenied, ServiceName

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 
 from repro.simulation.metrics import Summary
-from repro.worldgen.scenario import build_scenario, outdoor_point_near
+from repro.worldgen.scenario import build_scenario
 
 
 def main() -> None:

@@ -1,34 +1,80 @@
 #!/usr/bin/env bash
-# Repo check: tier-1 test suite plus the workload + churn benchmarks in
-# smoke mode.
+# Repo check, split into the three stages the CI pipeline parallelizes:
 #
-# Each smoke run is held to a wall-clock budget (E13_SMOKE_BUDGET_SECONDS /
-# E14_SMOKE_BUDGET_SECONDS, default 20s — the optimized smokes finish in a
-# couple of seconds, so only an order-of-magnitude hot-path regression trips
-# them).  The E14 smoke rewrites BENCH_e14.json, which doubles as a
-# determinism check: the committed artifact must reproduce byte-for-byte.
-# Usage: scripts/check.sh
+#   --tier1   the tier-1 pytest suite
+#   --smoke   the E13 + E14 benchmark smokes (wall-clock budgeted) plus the
+#             byte-for-byte reproducibility gate on BOTH committed artifacts
+#             (BENCH_e13.json and BENCH_e14.json are written by the smoke
+#             sweeps themselves, so a drifting simulation fails the gate)
+#   --lint    ruff check + ruff format --check (skipped with a notice when
+#             ruff is not installed, so offline containers stay one-command;
+#             CI installs ruff and enforces it)
+#
+# With no stage flag every stage runs in order — the local one-command check.
+# Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS (default 20s
+# each; the optimized smokes finish in a couple of seconds, so only an
+# order-of-magnitude hot-path regression trips them).
+# Usage: scripts/check.sh [--tier1|--smoke|--lint]...
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1: pytest =="
-python -m pytest -x -q
+run_tier1=false
+run_smoke=false
+run_lint=false
+if [ "$#" -eq 0 ]; then
+  run_tier1=true
+  run_smoke=true
+  run_lint=true
+fi
+for arg in "$@"; do
+  case "$arg" in
+    --tier1) run_tier1=true ;;
+    --smoke) run_smoke=true ;;
+    --lint) run_lint=true ;;
+    *)
+      echo "unknown stage '$arg' (expected --tier1, --smoke and/or --lint)" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo
-echo "== benchmark smoke: E13 workload (budgeted) =="
-python benchmarks/bench_e13_workload.py --smoke --no-json \
-  --budget-seconds "${E13_SMOKE_BUDGET_SECONDS:-20}"
+if $run_tier1; then
+  echo "== tier-1: pytest =="
+  python -m pytest -x -q
+fi
 
-echo
-echo "== benchmark smoke: E14 churn/failover (budgeted) =="
-python benchmarks/bench_e14_churn.py --smoke \
-  --budget-seconds "${E14_SMOKE_BUDGET_SECONDS:-20}"
+if $run_smoke; then
+  echo
+  echo "== benchmark smoke: E13 workload (budgeted) =="
+  python benchmarks/bench_e13_workload.py --smoke \
+    --budget-seconds "${E13_SMOKE_BUDGET_SECONDS:-20}"
 
-if ! git diff --quiet -- BENCH_e14.json 2>/dev/null; then
-  echo "FAIL: E14 smoke did not reproduce the committed BENCH_e14.json"
-  exit 1
+  echo
+  echo "== benchmark smoke: E14 churn/failover/balancing (budgeted) =="
+  python benchmarks/bench_e14_churn.py --smoke \
+    --budget-seconds "${E14_SMOKE_BUDGET_SECONDS:-20}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json; do
+    if ! git diff --quiet -- "$artifact" 2>/dev/null; then
+      echo "FAIL: smoke did not reproduce the committed $artifact"
+      exit 1
+    fi
+  done
+fi
+
+if $run_lint; then
+  echo
+  echo "== lint: ruff check + format =="
+  if command -v ruff >/dev/null 2>&1; then
+    ruff check .
+    ruff format --check .
+  else
+    echo "ruff not installed; running the fallback audit instead"
+    echo "(CI installs ruff and enforces the full rule set)"
+    python scripts/lint_fallback.py
+  fi
 fi
 
 echo

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Render the BENCH artifacts' headline numbers as a markdown summary.
+
+CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
+every run shows the availability / balancing / saturation headlines next to
+the uploaded ``BENCH_e13.json`` / ``BENCH_e14.json`` artifacts without
+anyone downloading them.  Standalone use: ``python scripts/ci_summary.py``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e14_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E14 — availability, failover and replica balancing",
+        "",
+        "| phase | selection | shared health | replicas | churn/min | failed rate | failover p95 (ms) | replica_load_cv | detect mean (ms) |",
+        "|---|---|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    for row in payload.get("rows", []):
+        availability = row.get("availability", {})
+        lines.append(
+            "| {phase} | {selection} | {shared} | {replicas} | {churn:g} "
+            "| {failed:.4f} | {p95:.1f} | {cv:.3f} | {detect:.1f} |".format(
+                phase=row.get("phase", "churn"),
+                selection=row.get("selection", "weighted"),
+                shared="yes" if row.get("shared_health") else "no",
+                replicas=row.get("replicas", 0),
+                churn=row.get("churn_per_min", 0.0),
+                failed=availability.get("failed_request_rate", 0.0),
+                p95=availability.get("failover_p95_ms", 0.0),
+                cv=row.get("replica_load_cv", 0.0),
+                detect=availability.get("detect_mean_ms", 0.0),
+            )
+        )
+    return lines
+
+
+def e13_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E13 — fleet sweep and server saturation",
+        "",
+        "| clients | cached | p50 (ms) | p99 (ms) | dropped | max utilization |",
+        "|---:|---|---:|---:|---:|---:|",
+    ]
+    for row in payload.get("rows", []):
+        latency = row.get("latency_ms", {})
+        servers = row.get("servers", {})
+        util_max = max(
+            (stats.get("utilization", 0.0) for stats in servers.values()), default=0.0
+        )
+        lines.append(
+            "| {clients} | {cached} | {p50:.1f} | {p99:.1f} | {dropped} | {util:.3f} |".format(
+                clients=row.get("clients", 0),
+                cached="yes" if row.get("cached") else "no",
+                p50=latency.get("p50", 0.0),
+                p99=latency.get("p99", 0.0),
+                dropped=row.get("dropped", 0),
+                util=util_max,
+            )
+        )
+    return lines
+
+
+def main() -> int:
+    lines: list[str] = ["# Benchmark smoke headlines", ""]
+    for name, render in (("BENCH_e14.json", e14_summary), ("BENCH_e13.json", e13_summary)):
+        path = REPO_ROOT / name
+        if not path.is_file():
+            lines += [f"## {name}", "", "_missing — smoke stage did not produce it_", ""]
+            continue
+        lines += render(json.loads(path.read_text()))
+        lines.append("")
+    print("\n".join(lines))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

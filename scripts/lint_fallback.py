@@ -1,0 +1,89 @@
+#!/usr/bin/env python
+"""Offline lint fallback for environments without ruff.
+
+``scripts/check.sh --lint`` prefers ruff (CI installs it and enforces the
+rule set in ``pyproject.toml``).  Containers without ruff — or network
+access to install it — still get the two highest-signal checks:
+
+* every Python file under ``src``/``tests``/``benchmarks``/``examples``/
+  ``scripts`` must compile (ruff's E9 class);
+* no obviously unused imports (ruff's F401): an imported binding must be
+  mentioned somewhere outside its own import statement.  Mentions are
+  matched textually (word boundary), which deliberately also accepts names
+  referenced only in ``__all__`` lists or quoted ``TYPE_CHECKING``
+  annotations.
+
+Exit status 1 with a findings list on failure, 0 otherwise.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+
+ROOTS = ("src", "tests", "benchmarks", "examples", "scripts")
+
+
+def iter_python_files(repo_root: Path):
+    for root in ROOTS:
+        base = repo_root / root
+        if base.is_dir():
+            yield from sorted(base.rglob("*.py"))
+
+
+def imported_bindings(tree: ast.AST):
+    """Yield ``(binding_name, first_line, last_line)`` for every import."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                name = alias.asname or alias.name.split(".")[0]
+                yield name, node.lineno, node.end_lineno or node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "__future__":
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                yield (alias.asname or alias.name), node.lineno, node.end_lineno or node.lineno
+
+
+def unused_imports(path: Path, source: str, tree: ast.AST) -> list[str]:
+    findings = []
+    lines = source.splitlines()
+    for name, first, last in imported_bindings(tree):
+        if name.startswith("_"):
+            continue
+        pattern = re.compile(rf"\b{re.escape(name)}\b")
+        used = any(
+            pattern.search(line)
+            for index, line in enumerate(lines, start=1)
+            if index < first or index > last
+        )
+        if not used:
+            findings.append(f"{path}:{first}: unused import {name!r}")
+    return findings
+
+
+def main() -> int:
+    repo_root = Path(__file__).resolve().parents[1]
+    findings: list[str] = []
+    for path in iter_python_files(repo_root):
+        source = path.read_text()
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as error:
+            findings.append(f"{path}:{error.lineno}: syntax error: {error.msg}")
+            continue
+        findings.extend(unused_imports(path.relative_to(repo_root), source, tree))
+    if findings:
+        for finding in findings:
+            print(finding)
+        print(f"\n{len(findings)} finding(s)")
+        return 1
+    print("fallback lint clean (compile + unused-import audit)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -12,18 +12,30 @@ churn a first-class, measurable part of the simulation:
   removal at the authority and lease (registration-TTL) expiry for
   crashed servers that stop refreshing.
 * :mod:`repro.churn.replicas` — replica groups: several map servers
-  advertising the same coverage under shared spatial names.
+  advertising the same coverage under shared spatial names, each with an
+  RFC 2782 priority/weight for load sharing.
 * :mod:`repro.churn.retry` — client retry/backoff policies for failing
   over between replicas (immediate / exponential / utilization-aware).
-* :mod:`repro.churn.health` — the client-side replica health tracker.
+* :mod:`repro.churn.health` — the client-side replica health tracker and
+  the per-resolver-pool :class:`SharedHealthBoard` gossip view.
 * :mod:`repro.churn.failover` — request-target planning over discovered
-  server ids plus the per-device failover/availability accounting the
-  workload engine aggregates.
+  server ids (RFC 2782 weighted selection or legacy first-healthy) plus
+  the per-device failover/availability accounting the workload engine
+  aggregates.
 """
 
 from repro.churn.controller import AppliedChurnEvent, ChurnController
-from repro.churn.failover import FailoverRecorder, RequestTarget, TargetUnavailableError, plan_targets
-from repro.churn.health import ReplicaHealth
+from repro.churn.failover import (
+    FIRST_HEALTHY,
+    SELECTION_MODES,
+    WEIGHTED,
+    FailoverRecorder,
+    RequestTarget,
+    TargetUnavailableError,
+    plan_targets,
+    rfc2782_order,
+)
+from repro.churn.health import ReplicaHealth, SharedHealthBoard
 from repro.churn.replicas import ReplicaGroup, replica_server_id
 from repro.churn.retry import RetryPolicy
 from repro.churn.schedule import ChurnEvent, ChurnEventKind, ChurnSchedule
@@ -34,12 +46,17 @@ __all__ = [
     "ChurnEvent",
     "ChurnEventKind",
     "ChurnSchedule",
+    "FIRST_HEALTHY",
     "FailoverRecorder",
     "ReplicaGroup",
     "ReplicaHealth",
     "RequestTarget",
     "RetryPolicy",
+    "SELECTION_MODES",
+    "SharedHealthBoard",
     "TargetUnavailableError",
+    "WEIGHTED",
     "plan_targets",
     "replica_server_id",
+    "rfc2782_order",
 ]

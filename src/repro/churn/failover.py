@@ -4,20 +4,34 @@ Discovery returns a flat list of server ids; under replication several of
 those ids are interchangeable replicas of one coverage group.  This module
 collapses the flat list into *logical request targets* (one per group, one
 per standalone server) and executes a request against a target with
-failover: try the healthiest replica, and on a shed request
+failover: on a shed request
 (:class:`~repro.simulation.queueing.ServerOverloadedError`) or a dead-server
 timeout, back off per the :class:`~repro.churn.retry.RetryPolicy` and try
-the next.  Every attempt, failure, stale-cache hit and failover latency is
-recorded in the device's :class:`FailoverRecorder`, which the workload
-engine aggregates into the run's availability metrics.
+the next candidate.  Every attempt, failure, stale-cache hit and failover
+latency is recorded in the device's :class:`FailoverRecorder`, which the
+workload engine aggregates into the run's availability metrics.
+
+Candidate order within a replica group is the load-balancing policy:
+
+* :data:`WEIGHTED` (the default) — RFC 2782 SRV semantics: strict priority
+  tiers (every candidate of a lower ``priority`` value is tried before any
+  of a higher one), weighted-random selection within a tier from the
+  device's seeded RNG stream, zero-weight candidates only after every
+  weighted one.  Replicas a device holds unhealthy are pushed behind all
+  healthy candidates regardless of tier, so load balancing never overrules
+  known-dead avoidance.
+* :data:`FIRST_HEALTHY` — the legacy ordering: healthiest first per the
+  device's :class:`ReplicaHealth`, discovery order otherwise.  Kept as an
+  explicit mode so experiments can measure what RFC 2782 buys.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Mapping, Sequence, TypeVar
 
-from repro.churn.health import ReplicaHealth
+from repro.churn.health import SHARED_NEWS, ReplicaHealth
 from repro.churn.retry import RetryPolicy
 from repro.mapserver.policy import AccessDenied
 from repro.simulation.queueing import ServerOverloadedError
@@ -27,6 +41,13 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.simulation.network import SimulatedNetwork
 
 T = TypeVar("T")
+
+WEIGHTED = "weighted"
+FIRST_HEALTHY = "first-healthy"
+SELECTION_MODES = (WEIGHTED, FIRST_HEALTHY)
+
+SrvInfo = Mapping[str, tuple[int, int]]
+"""Per-server ``(priority, weight)`` decoded from the SRV registrations."""
 
 
 class TargetUnavailableError(Exception):
@@ -79,6 +100,16 @@ class FailoverRecorder:
     backoff_ms_total: float = 0.0
     failover_ms: list[float] = field(default_factory=list)
     """Per-failover latency: first failure detection to eventual success."""
+    dead_detections_own: int = 0
+    """Times this device learned a replica was dead the hard way: by paying
+    its own dead-server timeout with no prior knowledge."""
+    dead_detections_shared: int = 0
+    """Times this device learned a replica was dead from its resolver pool's
+    shared health board instead — for free."""
+    detect_ms: list[float] = field(default_factory=list)
+    """Client-time cost of each first detection: the full dead-server timeout
+    for an own detection, 0 for one learned from the pool.  The mean is the
+    run's 'time to detect a crashed replica' headline."""
 
     @property
     def failed_chain_rate(self) -> float:
@@ -88,6 +119,11 @@ class FailoverRecorder:
     @property
     def stale_attempt_rate(self) -> float:
         return self.stale_attempts / self.attempts if self.attempts else 0.0
+
+    @property
+    def detect_mean_ms(self) -> float:
+        """Mean client-time cost of learning a replica was dead."""
+        return sum(self.detect_ms) / len(self.detect_ms) if self.detect_ms else 0.0
 
     def merge_from(self, other: "FailoverRecorder") -> None:
         self.chains += other.chains
@@ -100,6 +136,53 @@ class FailoverRecorder:
         self.failovers += other.failovers
         self.backoff_ms_total += other.backoff_ms_total
         self.failover_ms.extend(other.failover_ms)
+        self.dead_detections_own += other.dead_detections_own
+        self.dead_detections_shared += other.dead_detections_shared
+        self.detect_ms.extend(other.detect_ms)
+
+
+def rfc2782_order(
+    server_ids: Sequence[str],
+    srv_of: SrvInfo,
+    rng: random.Random,
+) -> list[str]:
+    """Order candidate ids by RFC 2782 SRV semantics.
+
+    Strict priority tiers (ascending ``priority``); within a tier, repeated
+    weighted-random selection without replacement from ``rng`` — a candidate
+    of weight 3 is three times as likely as one of weight 1 to be picked at
+    each step — with zero-weight candidates appended only after every
+    weighted one (RFC 2782's "no weight: last resort" reading, made
+    deterministic).  Ids missing from ``srv_of`` count as priority 0,
+    weight 0.  Ties inside a tier start from sorted id order so the shuffle
+    depends only on the RNG stream, never on discovery order.
+    """
+    tiers: dict[int, list[str]] = {}
+    for server_id in server_ids:
+        priority, _ = srv_of.get(server_id, (0, 0))
+        tiers.setdefault(priority, []).append(server_id)
+
+    ordered: list[str] = []
+    for priority in sorted(tiers):
+        tier = sorted(tiers[priority])
+        weighted = [sid for sid in tier if srv_of.get(sid, (0, 0))[1] > 0]
+        zero = [sid for sid in tier if srv_of.get(sid, (0, 0))[1] == 0]
+        while weighted:
+            if len(weighted) == 1:
+                ordered.append(weighted.pop())
+                break
+            total = sum(srv_of[sid][1] for sid in weighted)
+            threshold = rng.random() * total
+            cumulative = 0.0
+            chosen = len(weighted) - 1
+            for index, sid in enumerate(weighted):
+                cumulative += srv_of[sid][1]
+                if threshold < cumulative:
+                    chosen = index
+                    break
+            ordered.append(weighted.pop(chosen))
+        ordered.extend(zero)
+    return ordered
 
 
 def plan_targets(
@@ -108,15 +191,25 @@ def plan_targets(
     group_of: Mapping[str, str],
     health: ReplicaHealth | None = None,
     include_dead: bool = False,
+    selection: str = FIRST_HEALTHY,
+    srv_of: SrvInfo | None = None,
+    rng: random.Random | None = None,
+    recorder: FailoverRecorder | None = None,
 ) -> list[RequestTarget]:
     """Collapse discovered server ids into ordered logical request targets.
 
     Targets appear in discovery order of their first member.  Within a
-    target, candidates are ordered healthiest-first (per the device's
-    :class:`ReplicaHealth`); dead ids (absent from ``directory``) are kept as
-    ``(id, None)`` candidates only when ``include_dead`` is set — the legacy
-    path drops them silently, exactly as :meth:`FederationContext.servers`
-    always has.
+    target, candidate order is the ``selection`` policy: :data:`WEIGHTED`
+    draws an RFC 2782 order from the device's ``rng`` stream (healthy
+    candidates first, then known-unhealthy ones healthiest-first);
+    :data:`FIRST_HEALTHY` keeps the legacy health sort.  Dead ids (absent
+    from ``directory``) are kept as ``(id, None)`` candidates only when
+    ``include_dead`` is set — the legacy path drops them silently, exactly
+    as :meth:`FederationContext.servers` always has.
+
+    Planning is also where pool gossip pays off: with a ``recorder`` given,
+    every candidate the device's health view first flags off the shared
+    board is counted as a zero-cost dead-replica detection.
     """
     members: dict[str, list[str]] = {}
     order: list[str] = []
@@ -132,8 +225,26 @@ def plan_targets(
     targets: list[RequestTarget] = []
     for key in order:
         ids = members[key]
-        if health is not None and len(ids) > 1:
-            ids = sorted(ids, key=health.sort_key)
+        if health is not None and health.board is not None and recorder is not None:
+            # Gossip accounting only exists with a pool board attached; the
+            # common per-device configuration skips the consult walk on the
+            # request hot path entirely.
+            for server_id in ids:
+                if health.consult(server_id) == SHARED_NEWS:
+                    recorder.dead_detections_shared += 1
+                    recorder.detect_ms.append(0.0)
+        if len(ids) > 1:
+            if selection == WEIGHTED and srv_of is not None and rng is not None:
+                if health is None:
+                    ids = rfc2782_order(ids, srv_of, rng)
+                else:
+                    healthy = [sid for sid in ids if health.is_healthy(sid)]
+                    suspect = [sid for sid in ids if not health.is_healthy(sid)]
+                    ids = rfc2782_order(healthy, srv_of, rng) + sorted(
+                        suspect, key=health.sort_key
+                    )
+            elif health is not None:
+                ids = sorted(ids, key=health.sort_key)
         candidates: list[tuple[str, "MapServer | None"]] = []
         for server_id in ids:
             server = directory.get(server_id)
@@ -198,9 +309,14 @@ def execute_with_failover(
             recorder.stale_attempts += 1
             recorder.failed_attempts += 1
             timeout_ms = policy.dead_server_timeout_ms if policy is not None else 0.0
+            if health is None or not health.knew_dead(server_id):
+                # A first detection, paid for the hard way: nothing — not
+                # the device's own memory, not its pool's board — warned it.
+                recorder.dead_detections_own += 1
+                recorder.detect_ms.append(timeout_ms)
             network.dead_server_timeout(timeout_ms)
             if health is not None:
-                health.record_failure(server_id)
+                health.record_failure(server_id, dead=True)
             failed += 1
             failed_load = 1.0
             if first_failure_at is None:

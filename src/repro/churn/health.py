@@ -1,11 +1,19 @@
-"""Client-side replica health tracking.
+"""Client-side replica health tracking, optionally shared per resolver pool.
 
 Each device remembers which replicas recently failed it and demotes them for
 a cooldown window, so consecutive requests do not keep paying the dead-server
-timeout for a replica the device already knows is sick.  The tracker is
-deliberately per-device state (there is no gossip): a replica another device
-saw fail is still fair game here, exactly as in a real fleet of independent
-clients.
+timeout for a replica the device already knows is sick.
+
+By default the tracker is per-device state, exactly as in a real fleet of
+independent clients: a replica another device saw fail is still fair game
+here.  With ``FederationConfig.shared_health`` the devices behind one shared
+resolver pool additionally gossip through a :class:`SharedHealthBoard` —
+the pool-level "this replica is dead" view.  The first device to pay a
+dead-server timeout posts the replica to its pool's board; every other
+device in the pool learns the replica is suspect the next time it plans a
+request, *without* paying its own timeout.  Board entries carry a TTL so a
+revived server is re-tried (and rediscovered) once the entry lapses, no
+matter how many devices reported it dead.
 """
 
 from __future__ import annotations
@@ -14,31 +22,111 @@ from dataclasses import dataclass, field
 
 from repro.simulation.clock import SimulatedClock
 
+HEALTHY = "healthy"
+"""Consult verdict: nothing known against the replica."""
+KNOWN_DEAD = "known-dead"
+"""Consult verdict: this device already knew (own demotion or old news)."""
+SHARED_NEWS = "shared-news"
+"""Consult verdict: the pool board just told this device the replica is
+suspect — the detection the device did NOT have to pay a timeout for."""
+
+
+@dataclass
+class SharedHealthBoard:
+    """One resolver pool's shared view of dead replicas, with entry TTLs.
+
+    ``epoch`` increments every time a replica goes from clean to suspect, so
+    devices can tell fresh news from an outage they already incorporated
+    (a device acknowledges each (replica, epoch) pair at most once).
+    """
+
+    clock: SimulatedClock
+    ttl_seconds: float = 30.0
+    _suspect_until: dict[str, float] = field(default_factory=dict)
+    _epochs: dict[str, int] = field(default_factory=dict)
+    reports: int = 0
+    recoveries: int = 0
+
+    def __post_init__(self) -> None:
+        if self.ttl_seconds <= 0.0:
+            raise ValueError("shared-health entry TTL must be positive")
+
+    def report_failure(self, server_id: str) -> None:
+        """A device failed against ``server_id``: (re)post it to the board."""
+        now = self.clock.now()
+        self.reports += 1
+        if self._suspect_until.get(server_id, 0.0) <= now:
+            # Clean (or lapsed) -> suspect: a new outage epoch begins.
+            self._epochs[server_id] = self._epochs.get(server_id, 0) + 1
+        self._suspect_until[server_id] = now + self.ttl_seconds
+
+    def report_recovery(self, server_id: str) -> None:
+        """A device got a real answer from ``server_id``: clear the entry."""
+        if self._suspect_until.pop(server_id, None) is not None:
+            self.recoveries += 1
+
+    def is_suspect(self, server_id: str) -> bool:
+        until = self._suspect_until.get(server_id)
+        if until is None:
+            return False
+        if until <= self.clock.now():
+            # TTL lapsed: the entry expires so a revived server wins traffic
+            # back even if nobody explicitly reported the recovery.
+            del self._suspect_until[server_id]
+            return False
+        return True
+
+    def epoch(self, server_id: str) -> int:
+        return self._epochs.get(server_id, 0)
+
+    @property
+    def suspect_count(self) -> int:
+        now = self.clock.now()
+        return sum(1 for until in self._suspect_until.values() if until > now)
+
 
 @dataclass
 class ReplicaHealth:
-    """Per-device failure memory with a cooldown window."""
+    """Per-device failure memory with a cooldown window (and optional gossip)."""
 
     clock: SimulatedClock
     cooldown_seconds: float = 30.0
+    board: SharedHealthBoard | None = None
+    """The device's resolver pool's shared board; ``None`` keeps the tracker
+    purely per-device (the legacy behaviour, byte-identical)."""
     _demoted_until: dict[str, float] = field(default_factory=dict)
     _failures: dict[str, int] = field(default_factory=dict)
+    _acknowledged_epoch: dict[str, int] = field(default_factory=dict)
+    """Board epoch this device has already incorporated per replica."""
 
-    def record_failure(self, server_id: str) -> None:
-        """Demote a replica for the cooldown window (failures accumulate)."""
+    def record_failure(self, server_id: str, dead: bool = False) -> None:
+        """Demote a replica for the cooldown window (failures accumulate).
+
+        ``dead`` marks a dead-server timeout (the replica is unreachable,
+        not merely busy).  Only those are gossiped to the pool board: a
+        shed request on an overloaded-but-alive replica is this device's
+        backpressure signal, not pool-wide "that replica is dead" news —
+        publishing it would demote a healthy replica for the whole pool and
+        pollute the time-to-detect accounting.
+        """
         self._failures[server_id] = self._failures.get(server_id, 0) + 1
         if self.cooldown_seconds > 0.0:
             self._demoted_until[server_id] = self.clock.now() + self.cooldown_seconds
+        if dead and self.board is not None:
+            self.board.report_failure(server_id)
+            self._acknowledged_epoch[server_id] = self.board.epoch(server_id)
 
     def record_success(self, server_id: str) -> None:
         """A successful response immediately rehabilitates the replica."""
         self._demoted_until.pop(server_id, None)
         self._failures.pop(server_id, None)
+        if self.board is not None:
+            self.board.report_recovery(server_id)
 
-    def is_healthy(self, server_id: str) -> bool:
+    def _own_demotion_active(self, server_id: str) -> bool:
         until = self._demoted_until.get(server_id)
         if until is None:
-            return True
+            return False
         if until <= self.clock.now():
             # The cooldown is the tracker's whole memory horizon: a replica
             # that served out its demotion starts with a clean slate, so a
@@ -46,8 +134,38 @@ class ReplicaHealth:
             # demoted forever by its accumulated history.
             del self._demoted_until[server_id]
             self._failures.pop(server_id, None)
-            return True
-        return False
+            return False
+        return True
+
+    def is_healthy(self, server_id: str) -> bool:
+        if self._own_demotion_active(server_id):
+            return False
+        if self.board is not None and self.board.is_suspect(server_id):
+            return False
+        return True
+
+    def consult(self, server_id: str) -> str:
+        """Classify what this device knows about a replica right now.
+
+        Returns :data:`SHARED_NEWS` exactly once per (replica, board epoch):
+        the moment the pool's board — not the device's own experience — is
+        what marks the replica suspect.  That moment is the gossip win the
+        availability metrics count: a detection whose cost was zero instead
+        of a dead-server timeout.
+        """
+        own = self._own_demotion_active(server_id)
+        if self.board is not None and self.board.is_suspect(server_id):
+            epoch = self.board.epoch(server_id)
+            if self._acknowledged_epoch.get(server_id) != epoch:
+                self._acknowledged_epoch[server_id] = epoch
+                if not own:
+                    return SHARED_NEWS
+            return KNOWN_DEAD
+        return KNOWN_DEAD if own else HEALTHY
+
+    def knew_dead(self, server_id: str) -> bool:
+        """True if the device already holds the replica suspect (any source)."""
+        return not self.is_healthy(server_id)
 
     def failure_count(self, server_id: str) -> int:
         return self._failures.get(server_id, 0)

@@ -6,6 +6,12 @@ names — each covering cell holds one SRV record per replica — so a single
 discovery query returns every replica and the client can fail over between
 them without another DNS round trip.
 
+With RFC 2782 load sharing the records are no longer interchangeable blobs:
+each replica carries a ``priority`` (strict tiers — lower serves first) and a
+``weight`` (share of traffic within its tier), so a group of heterogeneous
+machines can advertise e.g. weights ``(3, 1)`` and have clients spread load
+3:1 instead of hammering whichever replica sorts first.
+
 Replica server ids are derived from the group id
 (:func:`replica_server_id`), which keeps directory keys and SRV targets
 unique while letting any party recover the group from an id.
@@ -14,6 +20,10 @@ unique while letting any party recover the group from an id.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+
+DEFAULT_REPLICA_WEIGHT = 1
+"""Weight every replica gets when the operator does not configure any:
+equal positive weights make RFC 2782 selection spread load uniformly."""
 
 
 def replica_server_id(group_id: str, index: int) -> str:
@@ -29,11 +39,36 @@ class ReplicaGroup:
 
     group_id: str
     server_ids: tuple[str, ...] = ()
+    weights: tuple[int, ...] = ()
+    """Per-replica RFC 2782 weight, aligned with ``server_ids``.  Empty means
+    "equal": every replica gets :data:`DEFAULT_REPLICA_WEIGHT`."""
+    priorities: tuple[int, ...] = ()
+    """Per-replica RFC 2782 priority tier, aligned with ``server_ids``.
+    Empty means every replica shares tier 0."""
     _membership: dict[str, bool] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if not self.server_ids:
             raise ValueError("a replica group needs at least one replica")
+        if len(set(self.server_ids)) != len(self.server_ids):
+            raise ValueError("replica server ids must be unique within a group")
+        if not self.weights:
+            self.weights = tuple(DEFAULT_REPLICA_WEIGHT for _ in self.server_ids)
+        if not self.priorities:
+            self.priorities = tuple(0 for _ in self.server_ids)
+        if len(self.weights) != len(self.server_ids):
+            raise ValueError("weights must align with server_ids")
+        if len(self.priorities) != len(self.server_ids):
+            raise ValueError("priorities must align with server_ids")
+        if any(weight < 0 for weight in self.weights):
+            raise ValueError("replica weights cannot be negative")
+        if any(priority < 0 for priority in self.priorities):
+            raise ValueError("replica priorities cannot be negative")
+        if all(weight == 0 for weight in self.weights) and len(self.server_ids) > 1:
+            raise ValueError(
+                "a replica group needs at least one positive weight "
+                "(all-zero weights would leave RFC 2782 selection nothing to pick)"
+            )
         for server_id in self.server_ids:
             self._membership.setdefault(server_id, True)
 
@@ -46,3 +81,9 @@ class ReplicaGroup:
     @property
     def replica_count(self) -> int:
         return len(self.server_ids)
+
+    def weight_of(self, server_id: str) -> int:
+        return self.weights[self.server_ids.index(server_id)]
+
+    def priority_of(self, server_id: str) -> int:
+        return self.priorities[self.server_ids.index(server_id)]

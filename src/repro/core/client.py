@@ -42,6 +42,9 @@ class OpenFlameClient:
     stub_resolver: StubResolver | None = None
     """Resolver this device points at; ``None`` uses the federation default.
     Workloads use this to shard a fleet across shared regional resolvers."""
+    selection_seed: int | None = None
+    """Seed of this device's RFC 2782 weighted-selection RNG stream; the
+    workload engine derives one per device for reproducible fleets."""
     context: FederationContext = field(init=False)
     geocoder: FederatedGeocoder = field(init=False)
     searcher: FederatedSearch = field(init=False)
@@ -51,7 +54,9 @@ class OpenFlameClient:
 
     def __post_init__(self) -> None:
         self.context = self.federation.build_context(
-            self.credential or ANONYMOUS, stub_resolver=self.stub_resolver
+            self.credential or ANONYMOUS,
+            stub_resolver=self.stub_resolver,
+            selection_seed=self.selection_seed,
         )
         self.geocoder = FederatedGeocoder(
             context=self.context, world_provider=self.federation.world_provider
@@ -155,4 +160,7 @@ class OpenFlameClient:
             "stale_attempt_rate": recorder.stale_attempt_rate,
             "failovers": float(recorder.failovers),
             "backoff_ms_total": recorder.backoff_ms_total,
+            "dead_detections_own": float(recorder.dead_detections_own),
+            "dead_detections_shared": float(recorder.dead_detections_shared),
+            "detect_mean_ms": recorder.detect_mean_ms,
         }

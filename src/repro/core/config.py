@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.churn.failover import SELECTION_MODES, WEIGHTED
 from repro.churn.retry import RetryPolicy
 from repro.discovery.naming import DEFAULT_DISCOVERY_SUFFIX
 from repro.simulation.network import LatencyModel
@@ -61,3 +62,30 @@ class FederationConfig:
     retries, no dead-server timeouts and identical message counts;
     federations that deploy replica groups set a policy so clients fail
     over between replicas."""
+    replica_selection: str = WEIGHTED
+    """How a client orders the replicas of one coverage group:
+    ``"weighted"`` (the default) applies RFC 2782 SRV semantics — strict
+    priority tiers, weighted-random within a tier from a per-device seeded
+    RNG stream — so an N-replica group actually spreads load N ways;
+    ``"first-healthy"`` keeps the legacy ordering (healthiest first, then
+    id order), which funnels a healthy group's whole load onto one
+    replica."""
+    shared_health: bool = False
+    """Gossip dead-replica knowledge through each shared resolver pool: the
+    first device to pay a dead-server timeout posts the replica to its
+    pool's :class:`repro.churn.health.SharedHealthBoard`, and pool mates
+    demote it without paying their own timeout.  Off (the default) keeps
+    health strictly per-device — the byte-identical legacy behaviour."""
+    shared_health_ttl_seconds: float = 30.0
+    """Lifetime of a shared-health board entry.  Entries must expire so a
+    revived replica is re-tried (and wins traffic back) even if the whole
+    pool once saw it dead."""
+
+    def __post_init__(self) -> None:
+        if self.replica_selection not in SELECTION_MODES:
+            raise ValueError(
+                f"unknown replica_selection {self.replica_selection!r}; "
+                f"expected one of {SELECTION_MODES}"
+            )
+        if self.shared_health_ttl_seconds <= 0.0:
+            raise ValueError("shared_health_ttl_seconds must be positive")

@@ -9,10 +9,11 @@ directory of reachable map servers.  Applications then obtain an
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 
 from repro.churn.failover import FailoverRecorder
-from repro.churn.health import ReplicaHealth
+from repro.churn.health import ReplicaHealth, SharedHealthBoard
 from repro.churn.replicas import ReplicaGroup, replica_server_id
 from repro.core.config import FederationConfig
 from repro.core.errors import FederationConfigError
@@ -49,6 +50,10 @@ class Federation:
     world_provider_id: str | None = None
     replica_groups: dict[str, ReplicaGroup] = field(default_factory=dict)
     _group_of: dict[str, str] = field(default_factory=dict)
+    _srv_of: dict[str, tuple[int, int]] = field(default_factory=dict)
+    """Per-server ``(priority, weight)`` as advertised in its SRV records.
+    Kept here (not only in the registry) because clients must keep ordering
+    a group's chain while a crashed replica's registration is expired."""
     _offline: dict[str, MapServer] = field(default_factory=dict)
     """Servers currently crashed or gracefully departed, kept for revival.
     They are absent from ``servers`` (the reachable directory every client
@@ -79,6 +84,16 @@ class Federation:
         )
         self.stub_resolver = StubResolver(recursive=self.resolver, network=self.network)
         self._resolver_pool: list[StubResolver] = [self.stub_resolver]
+        self._context_counter = 0
+        """Contexts built so far — the default weighted-selection seed, so
+        devices created without an explicit seed draw *different* (but
+        construction-order-deterministic) RNG streams instead of all
+        replaying Random(0) in lockstep."""
+        self._health_boards: dict[int, tuple[StubResolver, SharedHealthBoard]] = {}
+        """Shared-health board per resolver pool, keyed by the stub
+        resolver's identity.  The resolver itself is kept in the value so
+        the keyed object can never be collected and its id() reused by an
+        unrelated resolver — a board stays bound to exactly one pool."""
 
     # ------------------------------------------------------------------
     # Map server lifecycle
@@ -91,8 +106,16 @@ class Federation:
         coverage: Polygon | None = None,
         routing_algorithm: str | None = None,
         is_world_provider: bool = False,
+        srv_priority: int = 0,
+        srv_weight: int = 0,
     ) -> MapServer:
-        """Deploy a map server and register it in the discovery DNS."""
+        """Deploy a map server and register it in the discovery DNS.
+
+        ``srv_priority``/``srv_weight`` land in every SRV record the
+        registration emits (RFC 2782 semantics); standalone servers keep the
+        0/0 default because a single-candidate target has nothing to
+        balance.
+        """
         if server_id in self.servers:
             raise FederationConfigError(f"map server {server_id!r} is already deployed")
         if coverage is not None:
@@ -113,7 +136,10 @@ class Federation:
             queue=queue,
         )
         self.servers[server_id] = server
-        self.registry.register_region(server_id, server.coverage)
+        self.registry.register_region(
+            server_id, server.coverage, priority=srv_priority, weight=srv_weight
+        )
+        self._srv_of[server_id] = (srv_priority, srv_weight)
         if is_world_provider:
             self.world_provider_id = server_id
         return server
@@ -124,6 +150,7 @@ class Federation:
             raise FederationConfigError(f"map server {server_id!r} is not deployed")
         del self.servers[server_id]
         self.registry.deregister(server_id)
+        self._srv_of.pop(server_id, None)
         if self.world_provider_id == server_id:
             self.world_provider_id = None
         group_id = self._group_of.pop(server_id, None)
@@ -148,6 +175,8 @@ class Federation:
         policy: AccessPolicy | None = None,
         coverage: Polygon | None = None,
         routing_algorithm: str | None = None,
+        weights: tuple[int, ...] | list[int] | None = None,
+        priorities: tuple[int, ...] | list[int] | None = None,
     ) -> ReplicaGroup:
         """Deploy ``replica_count`` interchangeable replicas of one map.
 
@@ -156,27 +185,49 @@ class Federation:
         discovery query hands clients the whole failover chain.  The
         replicas share the map data (and the access policy) but each runs
         its own queue — load and failures are per replica.
+
+        ``weights`` configures per-replica RFC 2782 weights (heterogeneous
+        capacity: ``(3, 1)`` sends replica 0 three quarters of the tier's
+        traffic); the default gives every replica an equal positive weight
+        so clients spread load uniformly.  ``priorities`` configures strict
+        tiers (lower serves first; e.g. a warm standby at priority 1).
+        Replica server ids are derived from the group id, so no two
+        replicas can ever advertise the same host:port — the registry
+        additionally rejects any endpoint collision at a shared spatial
+        name rather than letting records shadow each other.
         """
         if replica_count < 1:
             raise FederationConfigError("a replica group needs at least one replica")
         if group_id in self.replica_groups:
             raise FederationConfigError(f"replica group {group_id!r} already exists")
+        if weights is not None and len(weights) != replica_count:
+            raise FederationConfigError(
+                f"got {len(weights)} weights for {replica_count} replicas"
+            )
+        if priorities is not None and len(priorities) != replica_count:
+            raise FederationConfigError(
+                f"got {len(priorities)} priorities for {replica_count} replicas"
+            )
         if coverage is not None:
             map_data.set_coverage(coverage)
         shared_policy = policy or AccessPolicy()
-        server_ids: list[str] = []
-        for index in range(replica_count):
-            server_id = replica_server_id(group_id, index)
+        group = ReplicaGroup(
+            group_id=group_id,
+            server_ids=tuple(replica_server_id(group_id, i) for i in range(replica_count)),
+            weights=tuple(weights) if weights is not None else (),
+            priorities=tuple(priorities) if priorities is not None else (),
+        )
+        for index, server_id in enumerate(group.server_ids):
             self.add_map_server(
                 server_id,
                 map_data,
                 policy=shared_policy,
                 routing_algorithm=routing_algorithm,
+                srv_priority=group.priorities[index],
+                srv_weight=group.weights[index],
             )
-            server_ids.append(server_id)
-        group = ReplicaGroup(group_id=group_id, server_ids=tuple(server_ids))
         self.replica_groups[group_id] = group
-        for server_id in server_ids:
+        for server_id in group.server_ids:
             self._group_of[server_id] = group_id
         return group
 
@@ -219,7 +270,10 @@ class Federation:
             raise FederationConfigError(f"map server {server_id!r} is not offline")
         self.servers[server_id] = server
         if server_id not in self.registry.registrations:
-            self.registry.register_region(server_id, server.coverage)
+            priority, weight = self._srv_of.get(server_id, (0, 0))
+            self.registry.register_region(
+                server_id, server.coverage, priority=priority, weight=weight
+            )
         return server
 
     def expire_registration(self, server_id: str) -> int:
@@ -276,12 +330,41 @@ class Federation:
     # ------------------------------------------------------------------
     # Client-side context
     # ------------------------------------------------------------------
+    def shared_health_board(self, stub_resolver: StubResolver | None = None) -> SharedHealthBoard:
+        """The :class:`SharedHealthBoard` of a stub resolver's pool.
+
+        Devices that share a resolver pool share one board — that is the
+        gossip domain ``FederationConfig.shared_health`` turns on.
+        """
+        resolver = stub_resolver or self.stub_resolver
+        entry = self._health_boards.get(id(resolver))
+        if entry is None or entry[0] is not resolver:
+            entry = (
+                resolver,
+                SharedHealthBoard(
+                    clock=self.network.clock,
+                    ttl_seconds=self.config.shared_health_ttl_seconds,
+                ),
+            )
+            self._health_boards[id(resolver)] = entry
+        return entry[1]
+
     def build_context(
         self,
         credential: Credential | None = None,
         stub_resolver: StubResolver | None = None,
+        selection_seed: int | None = None,
     ) -> FederationContext:
-        """Build the client-side context (discoverer + directory + network)."""
+        """Build the client-side context (discoverer + directory + network).
+
+        ``selection_seed`` seeds the device's RFC 2782 weighted-selection
+        RNG stream; the workload engine derives one per device so fleet
+        runs stay deterministic while devices draw independently.  Without
+        an explicit seed each context gets the next value of a federation
+        counter — deterministic in construction order, but distinct per
+        device, so ad-hoc fleets still spread load instead of every client
+        replaying the same draw sequence.
+        """
         discoverer = Discoverer(
             resolver=stub_resolver or self.stub_resolver,
             naming=self.naming,
@@ -296,6 +379,9 @@ class Federation:
             health = ReplicaHealth(
                 clock=self.network.clock,
                 cooldown_seconds=retry_policy.health_cooldown_seconds,
+                board=self.shared_health_board(stub_resolver)
+                if self.config.shared_health
+                else None,
             )
         context = FederationContext(
             discoverer=discoverer,
@@ -305,7 +391,13 @@ class Federation:
             group_of=self._group_of,
             health=health,
             failover=FailoverRecorder(),
+            replica_selection=self.config.replica_selection,
+            srv_of=self._srv_of,
+            selection_rng=random.Random(
+                selection_seed if selection_seed is not None else self._context_counter
+            ),
         )
+        self._context_counter += 1
         if credential is not None:
             context.credential = credential
         return context
@@ -314,11 +406,17 @@ class Federation:
         self,
         credential: Credential | None = None,
         stub_resolver: StubResolver | None = None,
+        selection_seed: int | None = None,
     ):
         """Create an :class:`repro.core.client.OpenFlameClient` for this federation."""
         from repro.core.client import OpenFlameClient
 
-        return OpenFlameClient(federation=self, credential=credential, stub_resolver=stub_resolver)
+        return OpenFlameClient(
+            federation=self,
+            credential=credential,
+            stub_resolver=stub_resolver,
+            selection_seed=selection_seed,
+        )
 
     # ------------------------------------------------------------------
     # Introspection

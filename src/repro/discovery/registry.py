@@ -34,6 +34,16 @@ class Registration:
     server_id: str
     cells: tuple[CellId, ...]
     record_count: int
+    priority: int = 0
+    weight: int = 0
+    port: int = 443
+    target: str = ""
+    """SRV target host; defaults to the server id (the common case where the
+    directory key *is* the advertised host)."""
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            object.__setattr__(self, "target", self.server_id)
 
 
 @dataclass
@@ -61,27 +71,72 @@ class DiscoveryRegistry:
     # ------------------------------------------------------------------
     # Registration
     # ------------------------------------------------------------------
-    def register_covering(self, server_id: str, cells: list[CellId]) -> Registration:
-        """Register ``server_id`` under an explicit list of cells."""
+    def register_covering(
+        self,
+        server_id: str,
+        cells: list[CellId],
+        priority: int = 0,
+        weight: int = 0,
+        port: int = 443,
+        target: str | None = None,
+    ) -> Registration:
+        """Register ``server_id`` under an explicit list of cells.
+
+        ``priority``/``weight`` carry RFC 2782 load-sharing semantics into
+        every emitted SRV record; clients decode them back out of discovery
+        answers to order replica chains.  ``target`` is the advertised SRV
+        host (defaulting to the server id).  Registering an endpoint
+        (``target:port``) that another registration already advertises at a
+        shared spatial name is rejected outright: two SRV records for one
+        host:port would silently shadow each other (only one backend
+        exists), which is a deployment error, not a bigger replica group.
+        """
         if not cells:
             raise ValueError("cannot register a map server with an empty covering")
         if server_id in self.registrations:
             raise ValueError(f"map server {server_id!r} is already registered")
-        record_count = 0
+        srv = SrvData(target=target or server_id, port=port, priority=priority, weight=weight)
         for cell in cells:
             name = self.naming.cell_to_name(cell)
-            data = SrvData(target=server_id).encode()
+            for record in self.zone.records_at(name, MAP_SERVER_RECORD_TYPE):
+                if SrvData.decode(record.data).endpoint == srv.endpoint:
+                    raise ValueError(
+                        f"endpoint {srv.target}:{srv.port} is already advertised at "
+                        f"{name!r} (by an existing registration); refusing to shadow it"
+                    )
+        record_count = 0
+        data = srv.encode()
+        for cell in cells:
+            name = self.naming.cell_to_name(cell)
             self.zone.add(name, MAP_SERVER_RECORD_TYPE, data, self.ttl_seconds)
             record_count += 1
-        registration = Registration(server_id, tuple(cells), record_count)
+        registration = Registration(
+            server_id,
+            tuple(cells),
+            record_count,
+            priority=priority,
+            weight=weight,
+            port=port,
+            target=srv.target,
+        )
         self.registrations[server_id] = registration
         return registration
 
-    def register_region(self, server_id: str, region: Polygon) -> Registration:
+    def register_region(
+        self,
+        server_id: str,
+        region: Polygon,
+        priority: int = 0,
+        weight: int = 0,
+        port: int = 443,
+        target: str | None = None,
+    ) -> Registration:
         """Register a map server for a polygonal coverage region."""
         coverer = RegionCoverer(self.covering_options)
         cells = coverer.cover_polygon(region)
-        return self.register_covering(server_id, cells)
+        return self.register_covering(
+            server_id, cells, priority=priority, weight=weight, port=port, target=target
+        )
 
     def update_region(self, server_id: str, region: Polygon) -> Registration:
         """Re-register a map server for a new coverage region.
@@ -91,10 +146,18 @@ class DiscoveryRegistry:
         clients keep working throughout because stale cached records only
         over-approximate coverage until their TTL lapses.
         """
-        if server_id not in self.registrations:
+        registration = self.registrations.get(server_id)
+        if registration is None:
             raise ValueError(f"map server {server_id!r} is not registered")
         self.deregister(server_id)
-        return self.register_region(server_id, region)
+        return self.register_region(
+            server_id,
+            region,
+            priority=registration.priority,
+            weight=registration.weight,
+            port=registration.port,
+            target=registration.target,
+        )
 
     def deregister(self, server_id: str) -> int:
         """Remove a map server's records; returns the number of records removed.
@@ -108,11 +171,11 @@ class DiscoveryRegistry:
         if registration is None:
             return 0
         removed = 0
-        data = SrvData(target=server_id).encode()
+        expected = (registration.target, registration.port)
         for cell in registration.cells:
             name = self.naming.cell_to_name(cell)
             for record in self.zone.records_at(name, MAP_SERVER_RECORD_TYPE):
-                if record.data == data and self.zone.remove_record(record):
+                if SrvData.decode(record.data).endpoint == expected and self.zone.remove_record(record):
                     removed += 1
         return removed
 

@@ -102,13 +102,31 @@ class SrvData:
     """Parsed contents of an SRV-style record: a service endpoint.
 
     Map servers are advertised as SRV-like records whose data encodes the
-    server identifier (and, optionally, priority/weight for load sharing).
+    server identifier plus RFC 2782 priority/weight for load sharing:
+    clients must try lower ``priority`` values first, and within one
+    priority tier spread load proportionally to ``weight`` (a weight of 0
+    means "only when nothing weighted is available").
     """
 
     target: str
     port: int = 443
     priority: int = 0
     weight: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.target:
+            raise ValueError("SRV target cannot be empty")
+        if self.port < 0:
+            raise ValueError("SRV port cannot be negative")
+        if self.priority < 0:
+            raise ValueError("SRV priority cannot be negative")
+        if self.weight < 0:
+            raise ValueError("SRV weight cannot be negative")
+
+    @property
+    def endpoint(self) -> tuple[str, int]:
+        """The host:port pair this record points at (shadow-dedup key)."""
+        return (self.target, self.port)
 
     def encode(self) -> str:
         return f"{self.priority} {self.weight} {self.port} {self.target}"

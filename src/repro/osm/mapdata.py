@@ -9,7 +9,7 @@ it is surveyed in.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, Iterator
 
 from repro.geometry.bbox import BoundingBox

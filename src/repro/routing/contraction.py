@@ -17,7 +17,7 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 
-from repro.routing.graph import Edge, GraphError, RoutingGraph
+from repro.routing.graph import GraphError, RoutingGraph
 from repro.routing.shortest_path import NoRouteError, Route
 
 

@@ -14,7 +14,7 @@ over to the grocery store map).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.geometry.point import LatLng
 

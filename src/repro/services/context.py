@@ -19,10 +19,12 @@ counts.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Callable, Mapping, Sequence, TypeVar
 
 from repro.churn.failover import (
+    FIRST_HEALTHY,
     FailoverRecorder,
     RequestTarget,
     TargetUnavailableError,
@@ -56,6 +58,14 @@ class FederationContext:
     group_of: Mapping[str, str] = field(default_factory=dict)
     health: ReplicaHealth | None = None
     failover: FailoverRecorder = field(default_factory=FailoverRecorder)
+    replica_selection: str = FIRST_HEALTHY
+    """How replica chains are ordered (see :mod:`repro.churn.failover`);
+    the federation injects its configured mode — the bare-context default
+    keeps the legacy first-healthy ordering."""
+    srv_of: Mapping[str, tuple[int, int]] = field(default_factory=dict)
+    """Per-server (priority, weight) for RFC 2782 weighted selection."""
+    selection_rng: random.Random | None = None
+    """This device's seeded weighted-selection RNG stream."""
 
     # ------------------------------------------------------------------
     # Directory
@@ -97,6 +107,10 @@ class FederationContext:
             group_of=self.group_of,
             health=self.health,
             include_dead=self.failover_enabled,
+            selection=self.replica_selection,
+            srv_of=self.srv_of,
+            rng=self.selection_rng,
+            recorder=self.failover,
         )
 
     def request(

@@ -29,9 +29,10 @@ because one was simulated after the other.
 
 from __future__ import annotations
 
+import math
 from bisect import bisect_right, insort
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Mapping
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports nothing here)
     from repro.simulation.network import SimulatedNetwork
@@ -39,6 +40,23 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (network imports noth
 
 class ServerOverloadedError(Exception):
     """Raised when a map server's bounded queue rejects a request."""
+
+
+def load_cv(values: Sequence[float]) -> float:
+    """Coefficient of variation (population std / mean) of a load vector.
+
+    The balance metric for a replica group: per-replica utilizations of
+    ``[u, u, u, u]`` give 0.0 (perfectly spread); ``[u, 0, 0, 0]`` — the
+    first-healthy funnel — gives ``sqrt(3) ≈ 1.73``.  Zero (or empty) load
+    is reported as perfectly balanced rather than dividing by zero.
+    """
+    if len(values) < 2:
+        return 0.0
+    mean = sum(values) / len(values)
+    if mean <= 0.0:
+        return 0.0
+    variance = sum((value - mean) ** 2 for value in values) / len(values)
+    return math.sqrt(variance) / mean
 
 
 @dataclass(frozen=True)

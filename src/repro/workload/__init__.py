@@ -18,6 +18,7 @@ from repro.workload.engine import (
 from repro.workload.mobility import (
     AisleWalk,
     CommuterHandoff,
+    CommuterTrace,
     MobilityModel,
     RandomWaypoint,
 )
@@ -26,6 +27,7 @@ from repro.workload.traffic import RequestKind, RequestMix, ZipfSampler, zipf_we
 __all__ = [
     "AisleWalk",
     "CommuterHandoff",
+    "CommuterTrace",
     "FleetClient",
     "MobilityModel",
     "RandomWaypoint",

@@ -26,7 +26,14 @@ from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle, GnssCue
 from repro.services.routing import FederatedRoutingError
 from repro.simulation.metrics import MetricsRegistry
-from repro.workload.mobility import AisleWalk, CommuterHandoff, MobilityModel, RandomWaypoint
+from repro.simulation.queueing import load_cv
+from repro.workload.mobility import (
+    AisleWalk,
+    CommuterHandoff,
+    CommuterTrace,
+    MobilityModel,
+    RandomWaypoint,
+)
 from repro.workload.traffic import RequestKind, RequestMix, ZipfSampler
 from repro.worldgen.scenario import FederatedScenario
 
@@ -62,6 +69,15 @@ class WorkloadConfig:
     """Recursive resolvers to shard the fleet across (round-robin).  One pool
     is the historical single-shared-resolver deployment; more pools model
     regional resolver deployments, each with its own DNS cache."""
+    long_traces: bool = False
+    """Give the fleet's commuter cohort scripted multi-stop journeys
+    (:class:`~repro.workload.mobility.CommuterTrace`) instead of the fast
+    ping-pong handoff.  With dwell times, a circuit spans multiple
+    registration/discovery TTLs of simulated time, so commuters re-enter
+    zones with every cache layer gone stale."""
+    trace_dwell_steps: int = 3
+    """Steps a long-trace commuter dwells at each stop (``long_traces``
+    only).  Bigger dwells stretch the journey across more TTL windows."""
     churn: ChurnSchedule | None = None
     """Membership churn applied while the fleet runs: the engine plays the
     schedule through a :class:`~repro.churn.controller.ChurnController` at
@@ -80,6 +96,8 @@ class WorkloadConfig:
             raise ValueError("step pacing cannot be negative")
         if self.resolver_pools < 1:
             raise ValueError("a workload needs at least one resolver pool")
+        if self.trace_dwell_steps < 0:
+            raise ValueError("trace dwell steps cannot be negative")
 
 
 @dataclass
@@ -132,6 +150,9 @@ class WorkloadReport:
     rediscoveries: int = 0
     rejoins_unseen: int = 0
     """Rejoined servers that saw no traffic again before the run ended."""
+    replica_groups: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    """Replica-group membership at the end of the run (group id → server
+    ids), used to fold ``server_stats`` into per-group balance metrics."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -156,6 +177,30 @@ class WorkloadReport:
         """Requests shed by overloaded map servers across the whole run."""
         return int(sum(stats.get("dropped", 0.0) for stats in self.server_stats.values()))
 
+    def group_load_cvs(self) -> dict[str, float]:
+        """Per-replica-group coefficient of variation of replica utilization.
+
+        0.0 is a perfectly balanced group; the first-healthy funnel over an
+        all-healthy 4-replica group reads ≈1.73 (one replica serves, three
+        idle).  Groups without queue-model stats are skipped.
+        """
+        cvs: dict[str, float] = {}
+        for group_id, server_ids in sorted(self.replica_groups.items()):
+            loads = [
+                self.server_stats[server_id].get("utilization", 0.0)
+                for server_id in server_ids
+                if server_id in self.server_stats
+            ]
+            if len(loads) >= 2:
+                cvs[group_id] = load_cv(loads)
+        return cvs
+
+    @property
+    def replica_load_cv(self) -> float:
+        """The run's balance headline: mean utilization CV over replica groups."""
+        cvs = self.group_load_cvs()
+        return sum(cvs.values()) / len(cvs) if cvs else 0.0
+
     @property
     def failed_request_rate(self) -> float:
         """Fraction of client requests that got no service at all."""
@@ -177,6 +222,9 @@ class WorkloadReport:
             "stale_attempt_rate": recorder.stale_attempt_rate,
             "failovers": float(recorder.failovers),
             "backoff_ms_total": recorder.backoff_ms_total,
+            "dead_detections_own": float(recorder.dead_detections_own),
+            "dead_detections_shared": float(recorder.dead_detections_shared),
+            "detect_mean_ms": recorder.detect_mean_ms,
             "failover_p50_ms": failover_tail["p50"],
             "failover_p95_ms": failover_tail["p95"],
             "failover_p99_ms": failover_tail["p99"],
@@ -205,6 +253,9 @@ class WorkloadReport:
             data[f"dns_pool.{pool_index}.hit_rate"] = hit_rate
         for key, value in sorted(self.availability().items()):
             data[f"availability.{key}"] = value
+        for group_id, cv in self.group_load_cvs().items():
+            data[f"balance.{group_id}.util_cv"] = cv
+        data["balance.replica_load_cv"] = self.replica_load_cv
         return data
 
 
@@ -269,6 +320,13 @@ class WorkloadEngine:
                 city_bounds.south_west,
                 stores[0].entrance if stores else city_bounds.north_east,
             ]
+        # Long traces tour the whole city: every store plus the far corners,
+        # so a circuit crosses each coverage boundary and — with dwell —
+        # outlives the registration TTLs.
+        trace_stops = [store.entrance for store in stores] + [
+            city_bounds.south_west,
+            city_bounds.north_east,
+        ]
 
         federation = self.scenario.federation
         pools = federation.resolver_pool(self.config.resolver_pools)
@@ -280,14 +338,24 @@ class WorkloadEngine:
             if stores and index % 3 == 1:
                 mobility = AisleWalk(stores[(index // 3) % len(stores)])
             elif index % 3 == 2:
-                mobility = CommuterHandoff(list(commute_stops))
+                if self.config.long_traces:
+                    mobility = CommuterTrace(
+                        list(trace_stops), dwell_steps=self.config.trace_dwell_steps
+                    )
+                else:
+                    mobility = CommuterHandoff(list(commute_stops))
             else:
                 mobility = RandomWaypoint(city_bounds)
             client_seed = self.config.seed + _CLIENT_SEED_STRIDE * (index + 1)
             fleet.append(
                 FleetClient(
                     index=index,
-                    client=federation.client(stub_resolver=pools[index % len(pools)]),
+                    client=federation.client(
+                        stub_resolver=pools[index % len(pools)],
+                        # A distinct weighted-selection stream per device:
+                        # replica draws must not depend on fleet interleaving.
+                        selection_seed=client_seed ^ 0xD15C,
+                    ),
                     mobility=mobility,
                     rng=random.Random(client_seed),
                     # A distinct stream per device: network draws must not
@@ -546,4 +614,8 @@ class WorkloadEngine:
             churn_events_applied=churn_applied,
             rediscoveries=rediscovery.count if rediscovery is not None else 0,
             rejoins_unseen=len(self._pending_rediscovery),
+            replica_groups={
+                group_id: group.server_ids
+                for group_id, group in sorted(federation.replica_groups.items())
+            },
         )

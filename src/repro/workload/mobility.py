@@ -108,6 +108,54 @@ class AisleWalk:
 
 
 @dataclass
+class CommuterTrace:
+    """A scripted multi-stop commute with dwell time: journeys that outlive TTLs.
+
+    :class:`CommuterHandoff` ping-pongs fast enough that a device usually
+    crosses a coverage boundary with its caches still warm.  Real commutes
+    are slower: walk to the station, dwell, ride across town, dwell again —
+    by the time the commuter re-enters a zone its discovery records, device
+    cache entries and even the servers' registrations may have expired.
+    ``dwell_steps`` holds the device at each stop for that many steps, so
+    with the workload engine's ``step_seconds`` pacing a full circuit spans
+    ``(travel + dwell) * stops`` simulated seconds — configure it longer
+    than the registration TTL and every lap exercises the gone-stale path:
+    re-resolution, renewed discovery traffic, and (under churn) stale
+    records for servers that died while the commuter was across town.
+    """
+
+    stops: list[LatLng]
+    dwell_steps: int = 4
+    step_meters: float = 60.0
+    position: LatLng = field(init=False)
+    _next_stop: int = field(init=False, default=1)
+    _dwell_remaining: int = field(init=False, default=0)
+
+    def __post_init__(self) -> None:
+        if len(self.stops) < 2:
+            raise ValueError("a commute trace needs at least two stops")
+        if self.dwell_steps < 0:
+            raise ValueError("dwell steps cannot be negative")
+
+    def reset(self, rng: random.Random) -> LatLng:
+        self.position = self.stops[0]
+        self._next_stop = 1
+        self._dwell_remaining = self.dwell_steps
+        return self.position
+
+    def step(self, rng: random.Random) -> LatLng:
+        if self._dwell_remaining > 0:
+            self._dwell_remaining -= 1
+            return self.position
+        target = self.stops[self._next_stop]
+        self.position = _toward(self.position, target, self.step_meters)
+        if self.position.distance_to(target) < 1.0:
+            self._next_stop = (self._next_stop + 1) % len(self.stops)
+            self._dwell_remaining = self.dwell_steps
+        return self.position
+
+
+@dataclass
 class CommuterHandoff:
     """Back-and-forth commute between fixed stops (e.g. two store entrances).
 

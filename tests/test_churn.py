@@ -43,9 +43,11 @@ class TestChurnSchedule:
     SERVERS = ["alpha.example", "beta.example", "gamma.example"]
 
     def test_poisson_deterministic(self):
-        make = lambda seed: ChurnSchedule.poisson(
-            self.SERVERS, rate_per_minute=4.0, horizon_seconds=600.0, seed=seed
-        )
+        def make(seed):
+            return ChurnSchedule.poisson(
+                self.SERVERS, rate_per_minute=4.0, horizon_seconds=600.0, seed=seed
+            )
+
         assert make(1).events == make(1).events
         assert make(1).events != make(2).events
 
@@ -463,11 +465,25 @@ def replicated_federation(replicas: int = 2, **config_kwargs) -> tuple[Federatio
     return federation, store
 
 
+def first_pick(federation: Federation, seed: int, ids: tuple[str, ...]) -> str:
+    """The replica a device with selection seed ``seed`` will try first.
+
+    A probe client with the same seed replays the same weighted-selection
+    RNG stream, so its first planning draw predicts the real client's.
+    """
+    probe = federation.client(selection_seed=seed)
+    return probe.context.targets(list(ids))[0].candidate_ids[0]
+
+
 class TestClientFailover:
+    REPLICA_IDS = ("r0.shop.example", "r1.shop.example")
+
     def test_dead_replica_fails_over_to_live_one(self):
         federation, store = replicated_federation(replicas=2)
-        federation.crash_map_server("r0.shop.example")
-        client = federation.client()
+        # Crash the replica the client's weighted selection will try first,
+        # so the run actually exercises a stale attempt + failover.
+        federation.crash_map_server(first_pick(federation, 1, self.REPLICA_IDS))
+        client = federation.client(selection_seed=1)
         result = client.search("milk", near=store.entrance, radius_meters=150.0)
         assert len(result) > 0
         recorder = client.context.failover
@@ -511,14 +527,15 @@ class TestClientFailover:
             service_times=ServiceTimeModel(default_ms=60_000.0),
             server_queue_capacity=1,
         )
-        # Saturate replica 0's only queue slot far into the future, then
-        # rewind close enough that an arriving request cannot fit in the
-        # idle gap before the busy interval starts.
+        # Saturate the first-picked replica's only queue slot far into the
+        # future, then rewind close enough that an arriving request cannot
+        # fit in the idle gap before the busy interval starts.
         clock = federation.network.clock
+        victim = first_pick(federation, 1, self.REPLICA_IDS)
         clock.advance(100.0)
-        federation.servers["r0.shop.example"].queue.process("search")
+        federation.servers[victim].queue.process("search")
         clock.rewind_to(50.0)
-        client = federation.client()
+        client = federation.client(selection_seed=1)
         result = client.search("milk", near=store.entrance, radius_meters=150.0)
         assert len(result) > 0
         recorder = client.context.failover
@@ -533,7 +550,6 @@ class TestClientFailover:
             RequestTarget,
             execute_with_failover,
         )
-        from repro.simulation.queueing import ServerOverloadedError as Overloaded
 
         class Saturated:
             server_id = "hot"
@@ -681,7 +697,8 @@ class TestCacheExpiryUnderRewindingClock:
         federation, store = self.build()
         clock = federation.network.clock
         client = federation.client()
-        probe = lambda: client.discover(store.entrance, uncertainty_meters=50.0).server_ids
+        def probe():
+            return client.discover(store.entrance, uncertainty_meters=50.0).server_ids
 
         assert "churnstore.example" in probe()
 

@@ -11,9 +11,8 @@ from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle, GnssCue
 from repro.localization.imu import DeadReckoningTracker
 from repro.mapserver.auth import Credential
-from repro.mapserver.geocode import Address
 from repro.services.routing import FederatedRoutingError
-from repro.worldgen.scenario import build_scenario, outdoor_point_near
+from repro.worldgen.scenario import outdoor_point_near
 
 
 class TestDiscoveryThroughClient:

@@ -7,7 +7,7 @@ import random
 import pytest
 
 from repro.geometry.point import LatLng
-from repro.localization.cues import CueBundle, CueType, GnssCue
+from repro.localization.cues import CueType
 from repro.mapserver.geocode import Address, GeocodeService
 from repro.mapserver.routing_service import RoutingService
 from repro.mapserver.search import SearchService

@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
-
 from repro.geometry.point import LatLng, LocalPoint
 from repro.geometry.projection import LocalProjection
 from repro.osm.builder import MapBuilder

@@ -11,7 +11,6 @@ from __future__ import annotations
 import pytest
 
 from repro.core.config import FederationConfig
-from repro.simulation.clock import SimulatedClock
 from repro.simulation.network import LatencyModel, SimulatedNetwork
 from repro.simulation.queueing import (
     QueueStats,

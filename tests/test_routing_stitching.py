@@ -9,7 +9,6 @@ from repro.routing.stitching import (
     RouteLeg,
     RouteStitcher,
     StitchError,
-    StitchedRoute,
     route_stretch,
 )
 
@@ -103,7 +102,7 @@ class TestStitcher:
         destination = near.destination(0.0, 100.0)
         legs = [_leg("a", [START, handover]), _leg("b", [near, destination])]
         stitched = RouteStitcher(max_gap_meters=60.0).stitch(START, destination, legs)
-        assert stitched.total_cost == pytest.approx(sum(l.cost for l in legs) + stitched.connector_meters, rel=1e-6)
+        assert stitched.total_cost == pytest.approx(sum(leg.cost for leg in legs) + stitched.connector_meters, rel=1e-6)
 
     def test_three_servers(self):
         p1 = START.destination(90.0, 200.0)

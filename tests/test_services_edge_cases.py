@@ -28,7 +28,6 @@ class TestRegistryUpdates:
         registration = registry.update_region("store.example", moved_region)
         assert registry.total_records == registration.record_count
         # No record for the old location remains.
-        old_cells = set()
         from repro.spatialindex.cellid import CellId
 
         old_cell = CellId.from_point(ANCHOR, 17)
