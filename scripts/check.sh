@@ -2,18 +2,20 @@
 # Repo check, split into the three stages the CI pipeline parallelizes:
 #
 #   --tier1   the tier-1 pytest suite
-#   --smoke   the E13 + E14 benchmark smokes (wall-clock budgeted) plus the
-#             byte-for-byte reproducibility gate on BOTH committed artifacts
-#             (BENCH_e13.json and BENCH_e14.json are written by the smoke
-#             sweeps themselves, so a drifting simulation fails the gate)
+#   --smoke   the E13 + E14 + E15 benchmark smokes (wall-clock budgeted) plus
+#             the byte-for-byte reproducibility gate on ALL committed
+#             artifacts (BENCH_e13.json, BENCH_e14.json and BENCH_e15.json
+#             are written by the smoke sweeps themselves, so a drifting
+#             simulation fails the gate)
 #   --lint    ruff check + ruff format --check (skipped with a notice when
 #             ruff is not installed, so offline containers stay one-command;
 #             CI installs ruff and enforces it)
 #
 # With no stage flag every stage runs in order — the local one-command check.
-# Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS (default 20s
-# each; the optimized smokes finish in a couple of seconds, so only an
-# order-of-magnitude hot-path regression trips them).
+# Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS /
+# E15_SMOKE_BUDGET_SECONDS (default 20s each; the optimized smokes finish in
+# a couple of seconds, so only an order-of-magnitude hot-path regression
+# trips them).
 # Usage: scripts/check.sh [--tier1|--smoke|--lint]...
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -56,7 +58,18 @@ if $run_smoke; then
   python benchmarks/bench_e14_churn.py --smoke \
     --budget-seconds "${E14_SMOKE_BUDGET_SECONDS:-20}"
 
-  for artifact in BENCH_e13.json BENCH_e14.json; do
+  echo
+  echo "== benchmark smoke: E15 operator control plane (budgeted) =="
+  python benchmarks/bench_e15_control.py --smoke \
+    --budget-seconds "${E15_SMOKE_BUDGET_SECONDS:-20}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json; do
+    # `git diff` exits 0 for untracked paths, which would make the gate
+    # vacuous for an artifact nobody committed — require the baseline.
+    if ! git ls-files --error-unmatch "$artifact" >/dev/null 2>&1; then
+      echo "FAIL: $artifact is not tracked by git (the byte-for-byte gate needs a committed baseline)"
+      exit 1
+    fi
     if ! git diff --quiet -- "$artifact" 2>/dev/null; then
       echo "FAIL: smoke did not reproduce the committed $artifact"
       exit 1

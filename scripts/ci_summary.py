@@ -2,9 +2,10 @@
 """Render the BENCH artifacts' headline numbers as a markdown summary.
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
-every run shows the availability / balancing / saturation headlines next to
-the uploaded ``BENCH_e13.json`` / ``BENCH_e14.json`` artifacts without
-anyone downloading them.  Standalone use: ``python scripts/ci_summary.py``.
+every run shows the control-plane / availability / balancing / saturation
+headlines next to the uploaded ``BENCH_e13.json`` / ``BENCH_e14.json`` /
+``BENCH_e15.json`` artifacts without anyone downloading them.  Standalone
+use: ``python scripts/ci_summary.py``.
 """
 
 from __future__ import annotations
@@ -13,6 +14,33 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e15_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E15 — operator control plane: drains, convergence, warm standbys",
+        "",
+        "| cell | DNS TTL (s) | converged | converge p95 (s) | drained share | standby served | failed | stale |",
+        "|---|---:|---|---:|---:|---:|---:|---:|",
+    ]
+    for row in payload.get("rows", []):
+        control = row.get("control", {})
+        tracked = int(control.get("devices_tracked", 0))
+        converged = int(control.get("devices_converged", 0))
+        lines.append(
+            "| {cell} | {ttl:g} | {conv} | {p95:.1f} | {share:.3f} "
+            "| {standby} | {failed} | {stale} |".format(
+                cell=row.get("cell", "?"),
+                ttl=row.get("dns_ttl_s", 0.0),
+                conv=f"{converged}/{tracked}" if tracked else "—",
+                p95=control.get("converge_p95_s", 0.0),
+                share=row.get("drained_share", 0.0),
+                standby=row.get("standby_arrivals", 0),
+                failed=row.get("failed_requests", 0),
+                stale=row.get("stale_attempts", 0),
+            )
+        )
+    return lines
 
 
 def e14_summary(payload: dict) -> list[str]:
@@ -69,7 +97,11 @@ def e13_summary(payload: dict) -> list[str]:
 
 def main() -> int:
     lines: list[str] = ["# Benchmark smoke headlines", ""]
-    for name, render in (("BENCH_e14.json", e14_summary), ("BENCH_e13.json", e13_summary)):
+    for name, render in (
+        ("BENCH_e15.json", e15_summary),
+        ("BENCH_e14.json", e14_summary),
+        ("BENCH_e13.json", e13_summary),
+    ):
         path = REPO_ROOT / name
         if not path.is_file():
             lines += [f"## {name}", "", "_missing — smoke stage did not produce it_", ""]

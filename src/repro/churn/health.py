@@ -43,6 +43,9 @@ class SharedHealthBoard:
     clock: SimulatedClock
     ttl_seconds: float = 30.0
     _suspect_until: dict[str, float] = field(default_factory=dict)
+    _suspected_at: dict[str, float] = field(default_factory=dict)
+    """When each live entry was last (re)posted — devices compare their own
+    last success against this to tell stale suspicion from fresh news."""
     _epochs: dict[str, int] = field(default_factory=dict)
     reports: int = 0
     recoveries: int = 0
@@ -59,10 +62,18 @@ class SharedHealthBoard:
             # Clean (or lapsed) -> suspect: a new outage epoch begins.
             self._epochs[server_id] = self._epochs.get(server_id, 0) + 1
         self._suspect_until[server_id] = now + self.ttl_seconds
+        self._suspected_at[server_id] = now
 
     def report_recovery(self, server_id: str) -> None:
-        """A device got a real answer from ``server_id``: clear the entry."""
-        if self._suspect_until.pop(server_id, None) is not None:
+        """A device got a real answer from ``server_id``: clear the entry.
+
+        Only a *live* entry counts as a recovery: an entry whose TTL already
+        lapsed expired on its own (``is_suspect`` would have dropped it), so
+        a success racing the expiry must not inflate the recovery counter.
+        """
+        until = self._suspect_until.pop(server_id, None)
+        self._suspected_at.pop(server_id, None)
+        if until is not None and until > self.clock.now():
             self.recoveries += 1
 
     def is_suspect(self, server_id: str) -> bool:
@@ -73,8 +84,13 @@ class SharedHealthBoard:
             # TTL lapsed: the entry expires so a revived server wins traffic
             # back even if nobody explicitly reported the recovery.
             del self._suspect_until[server_id]
+            self._suspected_at.pop(server_id, None)
             return False
         return True
+
+    def suspected_at(self, server_id: str) -> float | None:
+        """When the live entry against ``server_id`` was last posted."""
+        return self._suspected_at.get(server_id) if self.is_suspect(server_id) else None
 
     def epoch(self, server_id: str) -> int:
         return self._epochs.get(server_id, 0)
@@ -98,6 +114,12 @@ class ReplicaHealth:
     _failures: dict[str, int] = field(default_factory=dict)
     _acknowledged_epoch: dict[str, int] = field(default_factory=dict)
     """Board epoch this device has already incorporated per replica."""
+    _last_success: dict[str, float] = field(default_factory=dict)
+    """When this device last got a real answer per replica.  First-hand
+    evidence at least as fresh as a board entry overrides the board: under
+    the engine's concurrent-round clock a pool mate's timeout can be posted
+    at a simulated instant *before* this device's own success, and gossip
+    must not demote a replica the device itself just proved healthy."""
 
     def record_failure(self, server_id: str, dead: bool = False) -> None:
         """Demote a replica for the cooldown window (failures accumulate).
@@ -110,6 +132,7 @@ class ReplicaHealth:
         pollute the time-to-detect accounting.
         """
         self._failures[server_id] = self._failures.get(server_id, 0) + 1
+        self._last_success.pop(server_id, None)
         if self.cooldown_seconds > 0.0:
             self._demoted_until[server_id] = self.clock.now() + self.cooldown_seconds
         if dead and self.board is not None:
@@ -120,6 +143,7 @@ class ReplicaHealth:
         """A successful response immediately rehabilitates the replica."""
         self._demoted_until.pop(server_id, None)
         self._failures.pop(server_id, None)
+        self._last_success[server_id] = self.clock.now()
         if self.board is not None:
             self.board.report_recovery(server_id)
 
@@ -137,10 +161,29 @@ class ReplicaHealth:
             return False
         return True
 
+    def _board_suspicion_active(self, server_id: str) -> bool:
+        """Whether the pool board's suspicion applies to *this* device.
+
+        First-hand evidence wins: a device whose own last success against
+        the replica is at least as fresh as the board entry ignores the
+        entry — the device literally proved the replica healthy no earlier
+        than the moment the entry was posted, so the shared suspicion is
+        stale for it (though still valid gossip for pool mates without that
+        evidence).
+        """
+        if self.board is None or not self.board.is_suspect(server_id):
+            return False
+        last_success = self._last_success.get(server_id)
+        if last_success is not None:
+            suspected_at = self.board.suspected_at(server_id)
+            if suspected_at is not None and last_success >= suspected_at:
+                return False
+        return True
+
     def is_healthy(self, server_id: str) -> bool:
         if self._own_demotion_active(server_id):
             return False
-        if self.board is not None and self.board.is_suspect(server_id):
+        if self._board_suspicion_active(server_id):
             return False
         return True
 
@@ -151,10 +194,13 @@ class ReplicaHealth:
         the moment the pool's board — not the device's own experience — is
         what marks the replica suspect.  That moment is the gossip win the
         availability metrics count: a detection whose cost was zero instead
-        of a dead-server timeout.
+        of a dead-server timeout.  Board entries the device's own fresher
+        success overrides are neither news nor suspicion — the epoch stays
+        unacknowledged, so a *renewed* entry (posted after the success)
+        still lands as shared news.
         """
         own = self._own_demotion_active(server_id)
-        if self.board is not None and self.board.is_suspect(server_id):
+        if self._board_suspicion_active(server_id):
             epoch = self.board.epoch(server_id)
             if self._acknowledged_epoch.get(server_id) != epoch:
                 self._acknowledged_epoch[server_id] = epoch

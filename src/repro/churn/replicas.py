@@ -87,3 +87,35 @@ class ReplicaGroup:
 
     def priority_of(self, server_id: str) -> int:
         return self.priorities[self.server_ids.index(server_id)]
+
+    # ------------------------------------------------------------------
+    # Live mutation (operator control plane)
+    # ------------------------------------------------------------------
+    def set_weight(self, server_id: str, weight: int) -> None:
+        """Change one replica's advertised weight in place.
+
+        Draining the *last* positively-weighted replica of a multi-replica
+        group is rejected — it would leave RFC 2782 selection nothing but
+        last resorts, which is an operator error, not a drain (drain the
+        replicas one at a time and the guard never triggers).
+        """
+        if weight < 0:
+            raise ValueError("replica weights cannot be negative")
+        index = self.server_ids.index(server_id)
+        prospective = list(self.weights)
+        prospective[index] = weight
+        if all(w == 0 for w in prospective) and len(self.server_ids) > 1:
+            raise ValueError(
+                f"draining {server_id!r} would leave replica group "
+                f"{self.group_id!r} with no positive weight"
+            )
+        self.weights = tuple(prospective)
+
+    def set_priority(self, server_id: str, priority: int) -> None:
+        """Move one replica to a different strict priority tier in place."""
+        if priority < 0:
+            raise ValueError("replica priorities cannot be negative")
+        index = self.server_ids.index(server_id)
+        prospective = list(self.priorities)
+        prospective[index] = priority
+        self.priorities = tuple(prospective)

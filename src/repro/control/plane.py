@@ -1,0 +1,165 @@
+"""The operator control plane: mutate live federation SRV state safely.
+
+:class:`ControlPlane` is the deployment-side actor operators use to reshape
+traffic *while clients are live*:
+
+* :meth:`ControlPlane.set_weight` — change a server's RFC 2782 SRV weight.
+  The new weight propagates through the
+  :class:`~repro.discovery.registry.DiscoveryRegistry` (records re-emitted
+  add-before-remove, so the spatial names never stop resolving — no
+  NXDOMAIN window) and survives crash/expire/revive exactly as the
+  registration-time weights do.
+* :meth:`ControlPlane.drain` / :meth:`ControlPlane.undrain` — the
+  maintenance idiom: weight 0 makes a replica healthy-but-last-resort per
+  :func:`repro.churn.failover.rfc2782_order`, so its live traffic moves to
+  pool mates as client caches converge, with zero failed requests; undrain
+  restores the remembered pre-drain weight.
+* :meth:`ControlPlane.promote` — move a server between strict priority
+  tiers (e.g. a warm standby from tier 1 into serving tier 0).
+
+Mutations are immediate at the authority; *clients* converge only as their
+discovery-cache and DNS-TTL entries expire (see
+:class:`repro.control.view.DeviceSrvView`), which is precisely the
+operational lag the workload engine's ``control_stats`` measure.
+
+With a :class:`~repro.control.schedule.ControlSchedule` attached the plane
+doubles as the scripted-incident player, mirroring
+:class:`repro.churn.controller.ChurnController`: :meth:`apply_until` applies
+every due event, recording an :class:`AppliedControlEvent` per action
+(``applied=False`` for actions the federation rejected, e.g. an unknown
+server or draining a group's last positive weight).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.churn.replicas import DEFAULT_REPLICA_WEIGHT
+from repro.control.schedule import ControlEventKind, ControlSchedule
+from repro.core.errors import FederationConfigError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.federation import Federation
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedControlEvent:
+    """One operator action the plane performed (or had rejected)."""
+
+    at_seconds: float
+    kind: str
+    server_id: str
+    applied: bool = True
+    priority: int = 0
+    weight: int = 0
+    """The server's SRV ``(priority, weight)`` *after* the action — the
+    convergence target the workload engine tracks each device against."""
+
+
+@dataclass
+class ControlPlane:
+    """Drives deliberate SRV mutations through a live federation."""
+
+    federation: "Federation"
+    schedule: ControlSchedule | None = None
+    applied: list[AppliedControlEvent] = field(default_factory=list)
+    _cursor: int = 0
+    _predrain_weights: dict[str, int] = field(default_factory=dict)
+    """Weight each drained server carried before its drain, so
+    :meth:`undrain` restores the operator's intent, not a guess."""
+
+    # ------------------------------------------------------------------
+    # Imperative operator API
+    # ------------------------------------------------------------------
+    def set_weight(self, server_id: str, weight: int) -> tuple[int, int]:
+        """Re-weight a live server's SRV records; returns its new (p, w).
+
+        A positive weight also clears any remembered pre-drain weight: the
+        operator has explicitly chosen a new one.
+        """
+        priority, new_weight = self.federation.set_srv(server_id, weight=weight)
+        if weight > 0:
+            self._predrain_weights.pop(server_id, None)
+        return (priority, new_weight)
+
+    def drain(self, server_id: str) -> tuple[int, int]:
+        """Weight a server to 0 (healthy-but-last-resort), remembering the
+        previous weight for :meth:`undrain`."""
+        _, previous = self.federation.srv_of(server_id)
+        result = self.federation.set_srv(server_id, weight=0)
+        if previous > 0:
+            self._predrain_weights[server_id] = previous
+        return result
+
+    def undrain(self, server_id: str, weight: int | None = None) -> tuple[int, int]:
+        """Restore a drained server's pre-drain weight (or an explicit one).
+
+        A server never drained through this plane (or drained from weight 0)
+        comes back at :data:`~repro.churn.replicas.DEFAULT_REPLICA_WEIGHT`.
+        The remembered weight is consumed only once the restore actually
+        lands — a rejected undrain (e.g. the server is gone right now) keeps
+        the memory for a later retry.
+        """
+        if weight is None:
+            weight = self._predrain_weights.get(server_id, DEFAULT_REPLICA_WEIGHT)
+        result = self.federation.set_srv(server_id, weight=weight)
+        self._predrain_weights.pop(server_id, None)
+        return result
+
+    def promote(self, server_id: str, priority: int) -> tuple[int, int]:
+        """Move a server to a (usually lower-numbered) priority tier."""
+        return self.federation.set_srv(server_id, priority=priority)
+
+    def is_drained(self, server_id: str) -> bool:
+        return self.federation.srv_of(server_id)[1] == 0
+
+    @property
+    def pending_events(self) -> int:
+        if self.schedule is None:
+            return 0
+        return len(self.schedule.events) - self._cursor
+
+    # ------------------------------------------------------------------
+    # Scheduled application (round boundaries, via the workload engine)
+    # ------------------------------------------------------------------
+    def apply_until(self, now: float) -> list[AppliedControlEvent]:
+        """Apply every scheduled action due at or before ``now``."""
+        if self.schedule is None:
+            return []
+        performed: list[AppliedControlEvent] = []
+        events = self.schedule.events
+        while self._cursor < len(events) and events[self._cursor].at_seconds <= now:
+            event = events[self._cursor]
+            self._cursor += 1
+            try:
+                if event.kind == ControlEventKind.SET_WEIGHT:
+                    priority, weight = self.set_weight(event.server_id, event.value)
+                elif event.kind == ControlEventKind.DRAIN:
+                    priority, weight = self.drain(event.server_id)
+                elif event.kind == ControlEventKind.UNDRAIN:
+                    priority, weight = self.undrain(event.server_id, event.value)
+                else:
+                    priority, weight = self.promote(event.server_id, event.value)
+            except (FederationConfigError, ValueError):
+                # A scripted action the live federation rejects (unknown
+                # server, draining a group's last positive weight) is
+                # recorded, not fatal: the tape keeps playing, mirroring
+                # the churn controller's inapplicable events.
+                performed.append(
+                    AppliedControlEvent(
+                        event.at_seconds, event.kind.value, event.server_id, applied=False
+                    )
+                )
+                continue
+            performed.append(
+                AppliedControlEvent(
+                    event.at_seconds,
+                    event.kind.value,
+                    event.server_id,
+                    priority=priority,
+                    weight=weight,
+                )
+            )
+        self.applied.extend(performed)
+        return performed

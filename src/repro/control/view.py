@@ -1,0 +1,68 @@
+"""The client's view of SRV priority/weight data, with staleness semantics.
+
+Operators re-weight live replicas (:class:`repro.control.plane.ControlPlane`),
+but clients must not see the change instantly: in a real deployment the new
+SRV records only reach a device once every cache between it and the
+authority — its own discovery cache and its resolver pool's DNS cache — has
+expired and been refilled.  :class:`DeviceSrvView` encodes exactly that: it
+prefers the (possibly stale) per-server ``(priority, weight)`` pairs the
+device's :class:`~repro.discovery.discoverer.Discoverer` decoded out of the
+discovery answers it actually received, and falls back to the federation's
+live values only for servers the device has never resolved (bootstrap and
+directly-scripted tests, where there is no cached answer to be stale).
+
+The workload engine measures *time to converge* — how long after a control
+event each device's view catches up — through this class.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from typing import Iterator
+
+
+class DeviceSrvView(Mapping):
+    """Per-device ``server_id -> (priority, weight)``, stale until refreshed."""
+
+    __slots__ = ("_discovered", "_fallback")
+
+    def __init__(
+        self,
+        discovered: Mapping[str, tuple[int, int]],
+        fallback: Mapping[str, tuple[int, int]] | None = None,
+    ) -> None:
+        self._discovered = discovered
+        self._fallback = fallback if fallback is not None else {}
+
+    def __getitem__(self, server_id: str) -> tuple[int, int]:
+        hit = self._discovered.get(server_id)
+        if hit is not None:
+            return hit
+        return self._fallback[server_id]
+
+    def get(self, server_id: str, default=None):
+        hit = self._discovered.get(server_id)
+        if hit is not None:
+            return hit
+        return self._fallback.get(server_id, default)
+
+    def __contains__(self, server_id: object) -> bool:
+        return server_id in self._discovered or server_id in self._fallback
+
+    def __iter__(self) -> Iterator[str]:
+        seen = set(self._discovered)
+        yield from self._discovered
+        for server_id in self._fallback:
+            if server_id not in seen:
+                yield server_id
+
+    def __len__(self) -> int:
+        return len(set(self._discovered) | set(self._fallback))
+
+    def is_stale(self, server_id: str) -> bool:
+        """True if the device holds a cached value that disagrees with the
+        federation's live advertisement — the window convergence measures."""
+        held = self._discovered.get(server_id)
+        if held is None:
+            return False
+        return self._fallback.get(server_id, held) != held

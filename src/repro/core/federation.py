@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from repro.churn.failover import FailoverRecorder
 from repro.churn.health import ReplicaHealth, SharedHealthBoard
 from repro.churn.replicas import ReplicaGroup, replica_server_id
+from repro.control.view import DeviceSrvView
 from repro.core.config import FederationConfig
 from repro.core.errors import FederationConfigError
 from repro.discovery.discoverer import Discoverer
@@ -236,6 +237,58 @@ class Federation:
         return self.replica_groups.get(group_id) if group_id is not None else None
 
     # ------------------------------------------------------------------
+    # Live SRV mutation (operator control plane)
+    # ------------------------------------------------------------------
+    def srv_of(self, server_id: str) -> tuple[int, int]:
+        """A server's currently advertised SRV ``(priority, weight)``."""
+        if server_id not in self.servers and server_id not in self._offline:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        return self._srv_of.get(server_id, (0, 0))
+
+    def set_srv(
+        self, server_id: str, priority: int | None = None, weight: int | None = None
+    ) -> tuple[int, int]:
+        """Change a deployed server's SRV priority and/or weight, live.
+
+        The change lands everywhere the old values lived, in dependency
+        order: the replica group's advertised tuples, the federation's
+        ``_srv_of`` (so crash → lease expiry → revive re-registers with the
+        *new* values, exactly as :meth:`revive_map_server` preserves
+        registration-time ones), and — when the server is currently
+        registered, reachable or not — the authority's records via
+        :meth:`repro.discovery.registry.DiscoveryRegistry.reweight`
+        (add-before-remove: no NXDOMAIN window).  An offline server whose
+        records already expired gets only the state update; its revival
+        re-registers with the new values.
+
+        Clients are deliberately *not* notified: their cached discovery
+        answers keep the old values until the TTLs lapse, which is the
+        convergence window the workload engine measures.
+        """
+        old_priority, old_weight = self.srv_of(server_id)
+        new_priority = old_priority if priority is None else priority
+        new_weight = old_weight if weight is None else weight
+        if new_priority < 0:
+            raise FederationConfigError("SRV priority cannot be negative")
+        if new_weight < 0:
+            raise FederationConfigError("SRV weight cannot be negative")
+        if (new_priority, new_weight) == (old_priority, old_weight):
+            return (new_priority, new_weight)
+        group = self.group_for(server_id)
+        if group is not None:
+            # The group guard (no all-zero-weight multi-replica group) runs
+            # before any state changes, so a rejected drain leaves the
+            # federation untouched.
+            if new_weight != old_weight:
+                group.set_weight(server_id, new_weight)
+            if new_priority != old_priority:
+                group.set_priority(server_id, new_priority)
+        self._srv_of[server_id] = (new_priority, new_weight)
+        if server_id in self.registry.registrations:
+            self.registry.reweight(server_id, priority=new_priority, weight=new_weight)
+        return (new_priority, new_weight)
+
+    # ------------------------------------------------------------------
     # Churn lifecycle (crash / graceful leave / revive / lease expiry)
     # ------------------------------------------------------------------
     def crash_map_server(self, server_id: str) -> None:
@@ -392,7 +445,13 @@ class Federation:
             health=health,
             failover=FailoverRecorder(),
             replica_selection=self.config.replica_selection,
-            srv_of=self._srv_of,
+            # The device's *own* view of SRV data: the (possibly stale)
+            # values decoded from the discovery answers it actually holds,
+            # falling back to the live advertisement for servers it never
+            # resolved.  With static weights the two always agree; after a
+            # control-plane re-weight the device keeps acting on the old
+            # values until its cache entries expire — real convergence.
+            srv_of=DeviceSrvView(discoverer.srv_view, self._srv_of),
             selection_rng=random.Random(
                 selection_seed if selection_seed is not None else self._context_counter
             ),

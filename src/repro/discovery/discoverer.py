@@ -91,6 +91,14 @@ class Discoverer:
             max_entries=self.cache_max_entries,
             default_ttl_seconds=self.device_cache_ttl_seconds,
         )
+        self.srv_view: dict[str, tuple[int, int]] = {}
+        """Per-server ``(priority, weight)`` as this device last decoded it
+        from an actual discovery answer.  Updated only on fresh name
+        resolution — replays from the device cache keep whatever the device
+        learned before — so after an operator re-weights a live replica the
+        device's view stays stale until its discovery-cache entry *and* the
+        resolver pool's DNS entry expire.  That staleness is the point: it
+        is the client half of the control plane's convergence story."""
 
     @property
     def device_cache_hits(self) -> int:
@@ -208,7 +216,13 @@ class Discoverer:
         if not matching:
             ttl = remaining if remaining is not None else dns_cache.negative_ttl_seconds
             return [], now + ttl
-        targets = [SrvData.decode(record.data).target for record in matching]
+        decoded = [SrvData.decode(record.data) for record in matching]
+        targets = []
+        for srv in decoded:
+            # The freshest SRV data this device has actually seen for the
+            # target; weighted replica selection reads this view.
+            self.srv_view[srv.target] = (srv.priority, srv.weight)
+            targets.append(srv.target)
         ttl = min(record.ttl_seconds for record in matching)
         if remaining is not None:
             ttl = min(ttl, remaining)

@@ -10,7 +10,7 @@ discovered servers afterwards.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.dns.records import RecordType, ResourceRecord, SrvData
 from repro.dns.server import NameServer
@@ -158,6 +158,48 @@ class DiscoveryRegistry:
             port=registration.port,
             target=registration.target,
         )
+
+    def reweight(
+        self, server_id: str, priority: int | None = None, weight: int | None = None
+    ) -> Registration:
+        """Re-emit a registered server's SRV records with new priority/weight.
+
+        The operator control plane's authority-side half: every spatial name
+        the registration covers gets a replacement record carrying the new
+        RFC 2782 values.  The replacement is published *before* the stale
+        record is withdrawn, so at no instant does a covered name stop
+        resolving the endpoint — there is no NXDOMAIN (or empty-answer)
+        window for a fresh query to fall into.  Caches are untouched:
+        clients keep acting on the old values until their TTLs lapse, which
+        is exactly the convergence lag the workload engine measures.
+        """
+        registration = self.registrations.get(server_id)
+        if registration is None:
+            raise ValueError(f"map server {server_id!r} is not registered")
+        new_priority = registration.priority if priority is None else priority
+        new_weight = registration.weight if weight is None else weight
+        if (new_priority, new_weight) == (registration.priority, registration.weight):
+            return registration
+        srv = SrvData(
+            target=registration.target,
+            port=registration.port,
+            priority=new_priority,
+            weight=new_weight,
+        )
+        data = srv.encode()
+        for cell in registration.cells:
+            name = self.naming.cell_to_name(cell)
+            stale = [
+                record
+                for record in self.zone.records_at(name, MAP_SERVER_RECORD_TYPE)
+                if SrvData.decode(record.data).endpoint == srv.endpoint
+            ]
+            self.zone.add(name, MAP_SERVER_RECORD_TYPE, data, self.ttl_seconds)
+            for record in stale:
+                self.zone.remove_record(record)
+        updated = replace(registration, priority=new_priority, weight=new_weight)
+        self.registrations[server_id] = updated
+        return updated
 
     def deregister(self, server_id: str) -> int:
         """Remove a map server's records; returns the number of records removed.

@@ -20,6 +20,8 @@ from dataclasses import dataclass, field
 from repro.churn.controller import ChurnController
 from repro.churn.failover import FailoverRecorder
 from repro.churn.schedule import ChurnSchedule
+from repro.control.plane import ControlPlane
+from repro.control.schedule import ControlSchedule
 from repro.core.client import OpenFlameClient
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
@@ -86,6 +88,12 @@ class WorkloadConfig:
     churn_lease_seconds: float | None = None
     """Registration-lease override for crashed servers (``None`` uses the
     federation's ``registration_ttl_seconds``)."""
+    control: ControlSchedule | None = None
+    """Operator actions applied while the fleet runs: the engine plays the
+    tape through a :class:`~repro.control.plane.ControlPlane` at round
+    boundaries (same granularity as churn), then tracks each device's
+    stale SRV view until it converges on the new advertisement —
+    ``WorkloadReport.control_stats`` reports the convergence tail."""
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -153,6 +161,11 @@ class WorkloadReport:
     replica_groups: dict[str, tuple[str, ...]] = field(default_factory=dict)
     """Replica-group membership at the end of the run (group id → server
     ids), used to fold ``server_stats`` into per-group balance metrics."""
+    control_stats: dict[str, float] = field(default_factory=dict)
+    """Operator-control-plane outcome: events applied/rejected, devices whose
+    stale SRV view was tracked, and the time-to-converge tail (p50/p95 of
+    seconds from a control event landing at the authority to each tracked
+    device's view catching up).  Empty when the run had no control tape."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -256,6 +269,8 @@ class WorkloadReport:
         for group_id, cv in self.group_load_cvs().items():
             data[f"balance.{group_id}.util_cv"] = cv
         data["balance.replica_load_cv"] = self.replica_load_cv
+        for key, value in sorted(self.control_stats.items()):
+            data[f"control.{key}"] = value
         return data
 
 
@@ -286,6 +301,15 @@ class WorkloadEngine:
         # Rejoined servers whose return traffic has not been seen yet:
         # server_id -> (rejoin instant, served-requests baseline).
         self._pending_rediscovery: dict[str, tuple[float, int]] = {}
+        self.control_plane: ControlPlane | None = None
+        if self.config.control is not None:
+            self.control_plane = ControlPlane(
+                federation=scenario.federation, schedule=self.config.control
+            )
+        # Devices holding a stale SRV view of a re-weighted server:
+        # (device index, server_id) -> (event instant, target (prio, weight)).
+        self._pending_convergence: dict[tuple[int, str], tuple[float, tuple[int, int]]] = {}
+        self._devices_tracked = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -384,6 +408,7 @@ class WorkloadEngine:
         try:
             for _ in range(self.config.steps):
                 self._apply_churn(clock.now())
+                self._apply_control(clock.now())
                 round_start = clock.now()
                 slowest = 0.0
                 for device in self.fleet:
@@ -394,6 +419,7 @@ class WorkloadEngine:
                     clock.rewind_to(round_start)
                 clock.advance(slowest + self.config.step_seconds)
                 self._observe_rediscoveries(clock.now())
+                self._observe_convergence(clock.now())
         finally:
             # Leave the shared network on its default jitter stream: direct
             # (non-fleet) use after a run must not inherit the last device's.
@@ -443,6 +469,64 @@ class WorkloadEngine:
                 found.append(server_id)
         for server_id in found:
             del self._pending_rediscovery[server_id]
+
+    # ------------------------------------------------------------------
+    # Operator control plane
+    # ------------------------------------------------------------------
+    def _apply_control(self, now: float) -> None:
+        """Apply due operator actions at a round boundary, then start the
+        convergence stopwatch for every device holding a stale view.
+
+        A device is *tracked* only if it actually holds cached SRV data for
+        the re-weighted server that disagrees with the new advertisement —
+        devices that never resolved the server bootstrap straight onto the
+        live values and have nothing to converge."""
+        if self.control_plane is None:
+            return
+        for event in self.control_plane.apply_until(now):
+            if not event.applied:
+                self.metrics.counter("control.rejected").increment()
+                continue
+            self.metrics.counter(f"control.{event.kind}").increment()
+            target = (event.priority, event.weight)
+            for device in self.fleet:
+                held = device.client.context.discoverer.srv_view.get(event.server_id)
+                if held is None:
+                    continue
+                key = (device.index, event.server_id)
+                if held == target:
+                    # The newest advertisement matches what the device
+                    # already holds (e.g. an undrain restored the weight
+                    # before this device ever saw the drain): the change is
+                    # invisible to it, so any stopwatch still running toward
+                    # the now-obsolete value is voided, not left to report
+                    # phantom non-convergence.
+                    if self._pending_convergence.pop(key, None) is not None:
+                        self._devices_tracked -= 1
+                    continue
+                if key not in self._pending_convergence:
+                    self._devices_tracked += 1
+                # A second event against the same server restarts the
+                # stopwatch toward the *newest* advertisement.
+                self._pending_convergence[key] = (now, target)
+
+    def _observe_convergence(self, now: float) -> None:
+        """Check tracked devices' SRV views against their targets.
+
+        Time-to-converge is measured at round granularity, like rediscovery:
+        the first round end at which the device's view — refreshed only by a
+        fresh discovery once its cache entries lapsed — matches the new
+        advertisement."""
+        if not self._pending_convergence:
+            return
+        converged: list[tuple[int, str]] = []
+        for (index, server_id), (since, target) in self._pending_convergence.items():
+            view = self.fleet[index].client.context.discoverer.srv_view
+            if view.get(server_id) == target:
+                self.metrics.histogram("control.converge_seconds").observe(now - since)
+                converged.append((index, server_id))
+        for key in converged:
+            del self._pending_convergence[key]
 
     def _issue(self, device: FleetClient, kind: RequestKind) -> None:
         network = self.scenario.federation.network
@@ -597,6 +681,21 @@ class WorkloadEngine:
         if self.churn_controller is not None:
             churn_applied = sum(1 for event in self.churn_controller.applied if event.applied)
         rediscovery = self.metrics.summaries.get("availability.rediscovery_seconds")
+        control_stats: dict[str, float] = {}
+        if self.control_plane is not None:
+            converge = self.metrics.histograms.get("control.converge_seconds")
+            applied = sum(1 for event in self.control_plane.applied if event.applied)
+            rejected = sum(1 for event in self.control_plane.applied if not event.applied)
+            control_stats = {
+                "events_applied": float(applied),
+                "events_rejected": float(rejected),
+                "devices_tracked": float(self._devices_tracked),
+                "devices_converged": float(converge.count if converge is not None else 0),
+                "devices_unconverged": float(len(self._pending_convergence)),
+                "converge_p50_s": converge.p50 if converge is not None else 0.0,
+                "converge_p95_s": converge.p95 if converge is not None else 0.0,
+                "converge_mean_s": converge.mean if converge is not None else 0.0,
+            }
         return WorkloadReport(
             metrics=self.metrics,
             requests=requests,
@@ -618,4 +717,5 @@ class WorkloadEngine:
                 group_id: group.server_ids
                 for group_id, group in sorted(federation.replica_groups.items())
             },
+            control_stats=control_stats,
         )

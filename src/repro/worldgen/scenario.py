@@ -134,6 +134,8 @@ def build_scenario(
     seed: int = 0,
     reuse_worlds: bool = False,
     store_replicas: int = 1,
+    store_replica_weights: tuple[int, ...] | None = None,
+    store_replica_priorities: tuple[int, ...] | None = None,
 ) -> FederatedScenario:
     """Build the standard scenario used throughout the experiments.
 
@@ -150,6 +152,9 @@ def build_scenario(
     name becomes the group id, server ids ``r<i>.<name>``): every replica
     advertises the same coverage, so clients can fail over between them
     under churn.  The city world provider is never replicated.
+    ``store_replica_weights`` / ``store_replica_priorities`` configure the
+    groups' per-replica RFC 2782 values (e.g. a warm standby at priority 1
+    that sees traffic only when tier 0 is down).
     """
     if reuse_worlds:
         memo_key = (store_count, include_campus, city_rows, city_cols, products_per_store, seed)
@@ -185,7 +190,11 @@ def build_scenario(
             store.equip_map_server(server)
         else:
             group = federation.add_replica_group(
-                store.name, store.map_data, replica_count=store_replicas
+                store.name,
+                store.map_data,
+                replica_count=store_replicas,
+                weights=store_replica_weights,
+                priorities=store_replica_priorities,
             )
             for server_id in group.server_ids:
                 store.equip_map_server(federation.servers[server_id])

@@ -68,12 +68,13 @@ class TestWorkflow:
             assert with_block.get("cache") == "pip", f"job {name!r} lacks pip caching"
             assert with_block.get("cache-dependency-path") == "requirements-dev.txt"
 
-    def test_smoke_job_uploads_both_bench_artifacts(self, workflow):
+    def test_smoke_job_uploads_every_bench_artifact(self, workflow):
         steps = workflow["jobs"]["smoke"]["steps"]
         uploads = [s for s in steps if str(s.get("uses", "")).startswith("actions/upload-artifact")]
         assert uploads, "smoke job uploads no artifacts"
         paths = uploads[0]["with"]["path"]
-        assert "BENCH_e13.json" in paths and "BENCH_e14.json" in paths
+        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+            assert artifact in paths, f"smoke job does not upload {artifact}"
         assert any("ci_summary" in s.get("run", "") for s in steps), "no step-summary step"
 
     def test_workflow_steps_are_well_formed(self, workflow):
@@ -90,8 +91,25 @@ class TestCheckShStages:
         script = CHECK_SH.read_text()
         for flag in ("--tier1", "--smoke", "--lint"):
             assert flag in script
-        # Both artifacts are byte-for-byte gated.
-        assert "BENCH_e13.json" in script and "BENCH_e14.json" in script
+        # Every artifact is byte-for-byte gated.
+        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+            assert artifact in script, f"check.sh does not gate {artifact}"
+
+    def test_smoke_stage_runs_every_budgeted_bench(self):
+        """Each experiment smoke runs under its own wall-clock budget knob."""
+        script = CHECK_SH.read_text()
+        for bench, budget in (
+            ("bench_e13_workload.py", "E13_SMOKE_BUDGET_SECONDS"),
+            ("bench_e14_churn.py", "E14_SMOKE_BUDGET_SECONDS"),
+            ("bench_e15_control.py", "E15_SMOKE_BUDGET_SECONDS"),
+        ):
+            assert bench in script, f"check.sh does not run {bench}"
+            assert budget in script, f"check.sh does not budget via {budget}"
+
+    def test_ci_summary_renders_every_artifact(self):
+        summary = (REPO_ROOT / "scripts" / "ci_summary.py").read_text()
+        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+            assert artifact in summary, f"ci_summary.py ignores {artifact}"
 
     def test_requirements_file_exists_for_pip_cache(self):
         requirements = (REPO_ROOT / "requirements-dev.txt").read_text()

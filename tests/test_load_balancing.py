@@ -225,6 +225,76 @@ class TestSharedHealthBoard:
         health.record_failure("gone", dead=True)  # real timeout
         assert board.is_suspect("gone")
 
+    def test_recovery_racing_ttl_expiry_counts_once_at_most(self):
+        """A recovery reported just before the TTL lapses counts; one
+        reported after the entry already lapsed must not — the entry expired
+        on its own and there is nothing left to recover."""
+        clock = SimulatedClock()
+        board = SharedHealthBoard(clock=clock, ttl_seconds=10.0)
+        board.report_failure("r0")
+        clock.advance(9.9)
+        board.report_recovery("r0")  # races the expiry, wins
+        assert board.recoveries == 1
+        board.report_failure("r0")
+        clock.advance(10.1)  # entry lapses silently (nobody consulted it)
+        board.report_recovery("r0")  # loses the race: no recovery happened
+        assert board.recoveries == 1
+        assert not board.is_suspect("r0")
+
+    def test_epoch_is_monotone_across_revive_cycles(self):
+        """Epochs only ever grow, through any sequence of outage / recovery /
+        expiry cycles — a device can always order two pieces of news."""
+        clock = SimulatedClock()
+        board = SharedHealthBoard(clock=clock, ttl_seconds=5.0)
+        observed = []
+        for cycle in range(4):
+            board.report_failure("r0")
+            observed.append(board.epoch("r0"))
+            if cycle % 2 == 0:
+                board.report_recovery("r0")  # explicit recovery
+            else:
+                clock.advance(6.0)  # silent TTL expiry
+                assert not board.is_suspect("r0")
+        assert observed == sorted(observed)
+        assert len(set(observed)) == len(observed)
+        assert board.epoch("r0") == 4
+
+    def test_suspected_at_tracks_the_live_entry_only(self):
+        clock = SimulatedClock()
+        board = SharedHealthBoard(clock=clock, ttl_seconds=10.0)
+        assert board.suspected_at("r0") is None
+        board.report_failure("r0")
+        assert board.suspected_at("r0") == clock.now()
+        clock.advance(4.0)
+        board.report_failure("r0")  # renewal re-stamps the entry
+        assert board.suspected_at("r0") == clock.now()
+        clock.advance(11.0)
+        assert board.suspected_at("r0") is None  # lapsed with the entry
+
+    def test_shared_health_toggling_mid_run_splits_cleanly(self):
+        """Devices built while ``shared_health`` gossip is on share the
+        board; devices built without it neither read nor write it — a
+        mid-run mix of both configurations never cross-contaminates."""
+        clock = SimulatedClock()
+        board = SharedHealthBoard(clock=clock, ttl_seconds=30.0)
+        gossiping = ReplicaHealth(clock=clock, cooldown_seconds=30.0, board=board)
+        solo = ReplicaHealth(clock=clock, cooldown_seconds=30.0, board=None)
+        gossiping.record_failure("r0", dead=True)
+        assert board.is_suspect("r0")
+        # The solo device is deaf to the board...
+        assert solo.is_healthy("r0")
+        # ...and mute toward it: its own timeout posts nothing new.
+        epoch_before = board.epoch("r1")
+        solo.record_failure("r1", dead=True)
+        assert not board.is_suspect("r1")
+        assert board.epoch("r1") == epoch_before
+        # A solo success must not clear the pool's entry either.
+        solo.record_success("r0")
+        assert board.is_suspect("r0")
+        # A late joiner attached to the board inherits the pool view.
+        joiner = ReplicaHealth(clock=clock, cooldown_seconds=30.0, board=board)
+        assert not joiner.is_healthy("r0")
+
     def test_member_health_consults_board(self):
         clock = SimulatedClock()
         board = SharedHealthBoard(clock=clock, ttl_seconds=30.0)
@@ -238,6 +308,72 @@ class TestSharedHealthBoard:
 
         assert listener.consult("r0") == SHARED_NEWS
         assert listener.consult("r0") == KNOWN_DEAD
+
+
+class TestOwnSuccessOverridesStaleSuspicion:
+    """Regression: first-hand success must outrank stale pool gossip.
+
+    Under the engine's concurrent-round clock a pool mate's dead-server
+    timeout can be *posted* after this device's success yet stamped at an
+    earlier-or-equal simulated instant.  The board consult in ``sort_key`` /
+    ``consult`` / ``is_healthy`` used to demote the replica anyway; now a
+    device whose own last success is at least as fresh as the board entry
+    keeps trusting its own evidence.
+    """
+
+    def _pair(self, ttl=30.0):
+        clock = SimulatedClock()
+        board = SharedHealthBoard(clock=clock, ttl_seconds=ttl)
+        device = ReplicaHealth(clock=clock, cooldown_seconds=30.0, board=board)
+        mate = ReplicaHealth(clock=clock, cooldown_seconds=30.0, board=board)
+        return clock, board, device, mate
+
+    def test_fresh_success_overrides_equal_or_older_board_entry(self):
+        clock, board, device, mate = self._pair()
+        clock.advance(10.0)
+        device.record_success("r0")
+        # The mate's timeout lands at the same simulated instant (the
+        # concurrent-round race): the entry is not fresher than the success.
+        mate.record_failure("r0", dead=True)
+        assert board.is_suspect("r0")  # pool-wide view: suspect...
+        assert device.is_healthy("r0")  # ...but not for this device
+        assert device.consult("r0") == "healthy"
+        assert device.sort_key("r0")[0] == 0  # sorts with the healthy
+        # The mate itself has no such evidence and honours the board.
+        assert not mate.is_healthy("r0")
+
+    def test_board_news_fresher_than_success_still_wins(self):
+        clock, board, device, mate = self._pair()
+        device.record_success("r0")
+        clock.advance(1.0)
+        mate.record_failure("r0", dead=True)  # strictly newer than success
+        assert not device.is_healthy("r0")
+
+    def test_renewed_entry_after_override_lands_as_shared_news(self):
+        """An override must not acknowledge the epoch: when the entry is
+        re-posted *after* the success, it is genuine news — and counts as a
+        zero-cost shared detection exactly once."""
+        from repro.churn.health import KNOWN_DEAD, SHARED_NEWS
+
+        clock, board, device, mate = self._pair()
+        clock.advance(5.0)
+        device.record_success("r0")
+        mate.record_failure("r0", dead=True)  # same instant: overridden
+        assert device.consult("r0") == "healthy"
+        clock.advance(2.0)
+        mate.record_failure("r0", dead=True)  # renewal, now fresher
+        assert device.consult("r0") == SHARED_NEWS
+        assert device.consult("r0") == KNOWN_DEAD
+
+    def test_own_failure_discards_the_success_evidence(self):
+        clock, board, device, _ = self._pair()
+        clock.advance(10.0)
+        device.record_success("r0")
+        device.record_failure("r0")  # newer first-hand failure
+        clock.advance(31.0)  # own cooldown lapses...
+        board.report_failure("r0")  # ...but fresh board news arrives
+        # The stale success from t=10 must not override the t=41 entry.
+        assert not device.is_healthy("r0")
 
 
 class TestSharedHealthEndToEnd:
