@@ -2,10 +2,10 @@
 # Repo check, split into the three stages the CI pipeline parallelizes:
 #
 #   --tier1   the tier-1 pytest suite
-#   --smoke   the E13 + E14 + E15 benchmark smokes (wall-clock budgeted) plus
-#             the byte-for-byte reproducibility gate on ALL committed
-#             artifacts (BENCH_e13.json, BENCH_e14.json and BENCH_e15.json
-#             are written by the smoke sweeps themselves, so a drifting
+#   --smoke   the E13 + E14 + E15 + E16 benchmark smokes (wall-clock
+#             budgeted) plus the byte-for-byte reproducibility gate on ALL
+#             committed artifacts (BENCH_e13.json .. BENCH_e16.json are
+#             written by the smoke sweeps themselves, so a drifting
 #             simulation fails the gate)
 #   --lint    ruff check + ruff format --check (skipped with a notice when
 #             ruff is not installed, so offline containers stay one-command;
@@ -13,9 +13,10 @@
 #
 # With no stage flag every stage runs in order — the local one-command check.
 # Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS /
-# E15_SMOKE_BUDGET_SECONDS (default 20s each; the optimized smokes finish in
-# a couple of seconds, so only an order-of-magnitude hot-path regression
-# trips them).
+# E15_SMOKE_BUDGET_SECONDS / E16_SMOKE_BUDGET_SECONDS (default 20s each;
+# the optimized smokes finish in a couple of seconds — E16 runs 100,000
+# clients inside its budget on the cohort fast path — so only an
+# order-of-magnitude hot-path regression trips them).
 # Usage: scripts/check.sh [--tier1|--smoke|--lint]...
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -63,7 +64,12 @@ if $run_smoke; then
   python benchmarks/bench_e15_control.py --smoke \
     --budget-seconds "${E15_SMOKE_BUDGET_SECONDS:-20}"
 
-  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json; do
+  echo
+  echo "== benchmark smoke: E16 100k-client scale (budgeted) =="
+  python benchmarks/bench_e16_scale.py --smoke \
+    --budget-seconds "${E16_SMOKE_BUDGET_SECONDS:-20}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json; do
     # `git diff` exits 0 for untracked paths, which would make the gate
     # vacuous for an artifact nobody committed — require the baseline.
     if ! git ls-files --error-unmatch "$artifact" >/dev/null 2>&1; then

@@ -2,9 +2,9 @@
 """Render the BENCH artifacts' headline numbers as a markdown summary.
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
-every run shows the control-plane / availability / balancing / saturation
-headlines next to the uploaded ``BENCH_e13.json`` / ``BENCH_e14.json`` /
-``BENCH_e15.json`` artifacts without anyone downloading them.  Standalone
+every run shows the scale / control-plane / availability / balancing /
+saturation headlines next to the uploaded ``BENCH_e13.json`` ..
+``BENCH_e16.json`` artifacts without anyone downloading them.  Standalone
 use: ``python scripts/ci_summary.py``.
 """
 
@@ -14,6 +14,35 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e16_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E16 — large-fleet scale on the cohort fast path",
+        "",
+        "| clients | tracers | requests | p50 (ms) | p99 (ms) | dropped | max utilization |",
+        "|---:|---:|---:|---:|---:|---:|---:|",
+    ]
+    for row in payload.get("rows", []):
+        latency = row.get("latency_ms", {})
+        servers = row.get("servers", {})
+        sampling = row.get("sampling", {})
+        util_max = max(
+            (stats.get("utilization", 0.0) for stats in servers.values()), default=0.0
+        )
+        lines.append(
+            "| {clients} | {tracers} | {requests} | {p50:.1f} | {p99:.1f} "
+            "| {dropped} | {util:.3f} |".format(
+                clients=row.get("clients", 0),
+                tracers=int(sampling.get("tracers", 0)),
+                requests=row.get("requests", 0),
+                p50=latency.get("p50", 0.0),
+                p99=latency.get("p99", 0.0),
+                dropped=row.get("dropped", 0),
+                util=util_max,
+            )
+        )
+    return lines
 
 
 def e15_summary(payload: dict) -> list[str]:
@@ -98,6 +127,7 @@ def e13_summary(payload: dict) -> list[str]:
 def main() -> int:
     lines: list[str] = ["# Benchmark smoke headlines", ""]
     for name, render in (
+        ("BENCH_e16.json", e16_summary),
         ("BENCH_e15.json", e15_summary),
         ("BENCH_e14.json", e14_summary),
         ("BENCH_e13.json", e13_summary),

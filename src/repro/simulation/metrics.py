@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -22,19 +23,32 @@ class Counter:
 
 @dataclass
 class Summary:
-    """Streaming summary statistics (count, mean, min, max, stddev)."""
+    """Streaming summary statistics (count, mean, min, max, stddev).
+
+    The variance is tracked with Welford's online algorithm: the naive
+    ``total_squares/count − mean²`` formula catastrophically cancels for
+    large-magnitude observations with small spread (e.g. timestamps around
+    1e9 with millisecond jitter lose *all* precision, often going negative
+    before any clamp).  Welford accumulates the centered second moment
+    directly, so the spread survives regardless of magnitude.  ``mean``
+    stays ``total/count`` — bit-for-bit what it always was — so committed
+    benchmark artifacts that carry means are untouched by the fix.
+    """
 
     name: str
     count: int = 0
     total: float = 0.0
-    total_squares: float = 0.0
     minimum: float = math.inf
     maximum: float = -math.inf
+    _welford_mean: float = field(default=0.0, repr=False)
+    _welford_m2: float = field(default=0.0, repr=False)
 
     def observe(self, value: float) -> None:
         self.count += 1
         self.total += value
-        self.total_squares += value * value
+        delta = value - self._welford_mean
+        self._welford_mean += delta / self.count
+        self._welford_m2 += delta * (value - self._welford_mean)
         self.minimum = min(self.minimum, value)
         self.maximum = max(self.maximum, value)
 
@@ -50,8 +64,7 @@ class Summary:
     def stddev(self) -> float:
         if self.count < 2:
             return 0.0
-        variance = self.total_squares / self.count - self.mean**2
-        return math.sqrt(max(0.0, variance))
+        return math.sqrt(max(0.0, self._welford_m2 / self.count))
 
     def snapshot(self) -> dict[str, float]:
         """This summary's statistics, keyed ``<name>.<stat>``.
@@ -70,47 +83,136 @@ class Summary:
         }
 
 
+def _streaming_bounds() -> list[float]:
+    """Log-spaced bucket upper bounds shared by every streaming histogram.
+
+    48 buckets per decade over 1e-3 .. 1e7 (latencies in ms, route lengths
+    in meters, convergence times in seconds all fit) gives a worst-case
+    relative quantile error of ``10**(1/48) − 1 ≈ 4.9%`` per bucket —
+    comfortably inside the tolerance the exact-vs-streaming agreement test
+    asserts.  Values at or below the lowest bound share the first bucket;
+    values above the highest share the overflow bucket.
+    """
+    per_decade = 48
+    return [10.0 ** (-3.0 + i / per_decade) for i in range(10 * per_decade + 1)]
+
+
+_STREAM_BOUNDS: list[float] = _streaming_bounds()
+
+
 @dataclass
 class Histogram:
     """A value histogram that reports percentiles (p50/p95/p99).
 
-    The simulation scale (thousands of requests per run) makes it fine to
-    keep raw observations; percentiles are exact, not approximated.
+    Two storage modes:
+
+    * **exact** (default): every raw observation is kept and percentiles are
+      exact.  Fine at the small-fleet simulation scale (thousands of requests
+      per run) — and byte-stable, which the committed benchmark artifacts
+      rely on.
+    * **streaming** (``streaming=True``): observations land in fixed
+      log-spaced buckets with (possibly weighted) counts, so memory stays
+      O(buckets) no matter how many observations arrive — a million-client
+      sweep would otherwise retain tens of millions of raw floats.
+      Percentiles are interpolated within the containing bucket (error
+      bounded by the bucket's relative width); weighted observation is what
+      the cohort fast path uses to record one tracer's latency on behalf of
+      its whole cohort.
     """
 
     name: str
+    streaming: bool = False
     values: list[float] = field(default_factory=list)
     _sorted: list[float] | None = field(default=None, repr=False, compare=False)
+    _bucket_weights: dict[int, float] = field(default_factory=dict, repr=False, compare=False)
+    _total_weight: float = field(default=0.0, repr=False, compare=False)
+    _weighted_sum: float = field(default=0.0, repr=False, compare=False)
+    _minimum: float = field(default=math.inf, repr=False, compare=False)
+    _maximum: float = field(default=-math.inf, repr=False, compare=False)
 
-    def observe(self, value: float) -> None:
-        self.values.append(value)
+    def observe(self, value: float, weight: float = 1.0) -> None:
+        if weight < 0.0:
+            raise ValueError("observation weight cannot be negative")
+        if self.streaming:
+            if weight == 0.0:
+                return
+            index = bisect_left(_STREAM_BOUNDS, value)
+            self._bucket_weights[index] = self._bucket_weights.get(index, 0.0) + weight
+            self._total_weight += weight
+            self._weighted_sum += value * weight
+            self._minimum = min(self._minimum, value)
+            self._maximum = max(self._maximum, value)
+            return
+        if weight != int(weight):
+            raise ValueError("exact histograms take integral weights")
+        if weight == 1.0:
+            self.values.append(value)
+        else:
+            self.values.extend([value] * int(weight))
         self._sorted = None
 
     def observe_many(self, values: Iterable[float]) -> None:
+        if self.streaming:
+            for value in values:
+                self.observe(value)
+            return
         self.values.extend(values)
         self._sorted = None
 
     @property
     def count(self) -> int:
+        if self.streaming:
+            return int(round(self._total_weight))
         return len(self.values)
 
     @property
     def mean(self) -> float:
+        if self.streaming:
+            return self._weighted_sum / self._total_weight if self._total_weight else 0.0
         return sum(self.values) / len(self.values) if self.values else 0.0
 
     def quantile(self, fraction: float) -> float:
         """The ``fraction`` percentile of the observations (0.0 when empty).
 
-        The sorted copy is cached between observations, so reading several
-        percentiles of one histogram (snapshot, p50/p95/p99) sorts once.
+        Exact mode interpolates over the sorted raw values (the sorted copy
+        is cached between observations, so reading several percentiles of
+        one histogram sorts once); streaming mode interpolates within the
+        bucket containing the target cumulative weight.
         """
-        if not self.values:
-            return 0.0
         if not (0.0 <= fraction <= 1.0):
             raise ValueError("fraction must be in [0, 1]")
+        if self.streaming:
+            return self._streaming_quantile(fraction)
+        if not self.values:
+            return 0.0
         if self._sorted is None:
             self._sorted = sorted(self.values)
         return _interpolate(self._sorted, fraction)
+
+    def _streaming_quantile(self, fraction: float) -> float:
+        if not self._total_weight:
+            return 0.0
+        target = fraction * self._total_weight
+        cumulative = 0.0
+        for index in sorted(self._bucket_weights):
+            bucket_weight = self._bucket_weights[index]
+            if cumulative + bucket_weight >= target:
+                low = _STREAM_BOUNDS[index - 1] if index > 0 else self._minimum
+                high = (
+                    _STREAM_BOUNDS[index]
+                    if index < len(_STREAM_BOUNDS)
+                    else self._maximum
+                )
+                # Clamp the bucket to the observed range so single-bucket
+                # histograms report the actual values, not bucket edges.
+                low = max(low, self._minimum)
+                high = min(high, self._maximum)
+                if bucket_weight <= 0.0 or high <= low:
+                    return high
+                position = (target - cumulative) / bucket_weight
+                return low + (high - low) * position
+            cumulative += bucket_weight
+        return self._maximum
 
     @property
     def p50(self) -> float:
@@ -142,6 +244,10 @@ class MetricsRegistry:
     counters: dict[str, Counter] = field(default_factory=dict)
     summaries: dict[str, Summary] = field(default_factory=dict)
     histograms: dict[str, Histogram] = field(default_factory=dict)
+    streaming_histograms: bool = False
+    """Create histograms in bounded streaming mode (the large-fleet cohort
+    sweep sets this so a million-client run keeps O(buckets) memory per
+    histogram instead of one float per observation)."""
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
@@ -155,7 +261,7 @@ class MetricsRegistry:
 
     def histogram(self, name: str) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
+            self.histograms[name] = Histogram(name, streaming=self.streaming_histograms)
         return self.histograms[name]
 
     def snapshot(self) -> dict[str, float]:

@@ -204,6 +204,12 @@ class ServerQueue:
     capacity: int = 64
     workers: int = 1
     stats: QueueStats = field(default_factory=QueueStats)
+    kind_arrivals: dict[str, int] = field(default_factory=dict, repr=False)
+    """Per-request-kind count of *individually processed* arrivals (phantom
+    batches excluded).  The cohort fast path diffs this around one tracer
+    request to learn which kinds that request charged to this server, then
+    replays them for the tracer's phantom cohort-mates.  Deliberately not
+    part of :meth:`snapshot`, so committed artifacts keep their keys."""
     _schedules: list[_WorkerSchedule] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -254,6 +260,7 @@ class ServerQueue:
         """
         now = self.network.clock.now()
         self.stats.arrivals += 1
+        self.kind_arrivals[kind] = self.kind_arrivals.get(kind, 0) + 1
         if sum(len(schedule.ends) for schedule in self._schedules) > 1024:
             self._prune(now)
         service_ms = self.service_times.service_ms(kind)
@@ -290,3 +297,97 @@ class ServerQueue:
         total_ms = wait_ms + service_ms
         self.network.server_processing(total_ms)
         return total_ms
+
+    def phantom_arrivals(self, kind: str, count: int) -> tuple[int, int]:
+        """Charge ``count`` statistically-identical arrivals in aggregate.
+
+        The cohort fast path of the workload engine simulates one *tracer*
+        device per cohort slice through the full client stack and charges the
+        server-side load of the tracer's phantom cohort-mates here: ``count``
+        requests of ``kind`` all arriving at the current simulated instant.
+        Their busy time, waits, depths and drops land in :class:`QueueStats`
+        exactly as if each had been admitted individually, and their busy
+        intervals are committed to the worker schedules so subsequent *real*
+        requests queue behind them — that is what makes large-fleet
+        saturation measured rather than extrapolated.
+
+        Two deliberate approximations versus ``count`` calls to
+        :meth:`process` (both only matter off the saturated path the batch
+        exists for):
+
+        * placement is tail-append per worker (interior idle gaps are not
+          back-filled), and
+        * the per-worker drop check is the aggregate ``capacity − live``
+          backlog bound rather than a per-job placement probe.
+
+        Phantoms charge no network latency and never advance the clock —
+        only real requests drive time.  Returns ``(admitted, dropped)``.
+        """
+        if count < 0:
+            raise ValueError("phantom arrival count cannot be negative")
+        if count == 0:
+            return (0, 0)
+        now = self.network.clock.now()
+        self.stats.arrivals += count
+        if sum(len(schedule.ends) for schedule in self._schedules) > 1024:
+            self._prune(now)
+        service_ms = self.service_times.service_ms(kind)
+        service_s = service_ms / 1000.0
+
+        # Per-worker tail state: next-free instant, live backlog, cap left.
+        tails: list[float] = []
+        lives: list[int] = []
+        caps: list[int] = []
+        for schedule in self._schedules:
+            tails.append(max(now, schedule.ends[-1] if schedule.ends else 0.0))
+            live = schedule.live_count(now)
+            lives.append(live)
+            caps.append(max(0, self.capacity - live))
+        admitted = min(count, sum(caps))
+        dropped = count - admitted
+        self.stats.dropped += dropped
+        if admitted == 0:
+            return (0, dropped)
+
+        # Greedy earliest-finish water-fill, bounded by per-worker caps.
+        # The loop runs at most capacity × workers times, never `count`.
+        assigned = [0] * self.workers
+        if service_s <= 0.0:
+            # Zero service time: every job starts at its worker's tail and
+            # nothing levels — spread round-robin across workers with room.
+            remaining = admitted
+            while remaining:
+                for index in range(self.workers):
+                    if remaining and assigned[index] < caps[index]:
+                        take = min(remaining, caps[index] - assigned[index])
+                        assigned[index] += take
+                        remaining -= take
+        else:
+            for _ in range(admitted):
+                best_index = -1
+                best_finish = math.inf
+                for index in range(self.workers):
+                    if assigned[index] >= caps[index]:
+                        continue
+                    finish = tails[index] + assigned[index] * service_s
+                    if finish < best_finish:
+                        best_finish = finish
+                        best_index = index
+                assigned[best_index] += 1
+
+        for index, jobs in enumerate(assigned):
+            if not jobs:
+                continue
+            schedule = self._schedules[index]
+            tail = tails[index]
+            for position in range(jobs):
+                start = tail + position * service_s
+                schedule.commit(start, service_s)
+                self.stats.wait_ms_total += (start - now) * 1000.0
+                queued_behind = lives[index] + position
+                self.stats.depth_total += queued_behind
+                if queued_behind > self.stats.max_depth:
+                    self.stats.max_depth = queued_behind
+            self.stats.served += jobs
+            self.stats.busy_ms += jobs * service_ms
+        return (admitted, dropped)

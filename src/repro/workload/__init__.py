@@ -9,12 +9,16 @@ search/route/tile/localize workload with Zipf-distributed POI popularity,
 so caches can be measured under realistic request streams.
 """
 
+from repro.workload.cohort import Cohort, plan_cohorts
 from repro.workload.engine import (
     FleetClient,
     WorkloadConfig,
     WorkloadEngine,
     WorkloadReport,
+    client_base_seed,
+    derived_seed_streams,
 )
+from repro.workload.events import Event, EventHeap, EventKind
 from repro.workload.mobility import (
     AisleWalk,
     CommuterHandoff,
@@ -26,8 +30,12 @@ from repro.workload.traffic import RequestKind, RequestMix, ZipfSampler, zipf_we
 
 __all__ = [
     "AisleWalk",
+    "Cohort",
     "CommuterHandoff",
     "CommuterTrace",
+    "Event",
+    "EventHeap",
+    "EventKind",
     "FleetClient",
     "MobilityModel",
     "RandomWaypoint",
@@ -37,5 +45,8 @@ __all__ = [
     "WorkloadEngine",
     "WorkloadReport",
     "ZipfSampler",
+    "client_base_seed",
+    "derived_seed_streams",
+    "plan_cohorts",
     "zipf_weights",
 ]

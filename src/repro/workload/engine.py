@@ -3,10 +3,23 @@
 The engine owns nothing but orchestration: it builds one
 :class:`repro.core.client.OpenFlameClient` per simulated device (so every
 device has its own discovery and tile caches), assigns each a mobility model
-and a seed-derived RNG, and then interleaves the fleet step by step issuing a
-mixed request workload.  All latency comes from the federation's simulated
-network, and per-service latency is recorded into percentile histograms so a
-run can report tail latency (p50/p95/p99) alongside cache hit-rates.
+and a seed-derived RNG, and then drives the fleet through an event-driven
+simulation: a single heap (:mod:`repro.workload.events`) of churn, control,
+request and end-of-round observation events scheduled over the shared
+:class:`~repro.simulation.clock.SimulatedClock`.  All latency comes from the
+federation's simulated network, and per-service latency is recorded into
+percentile histograms so a run can report tail latency (p50/p95/p99)
+alongside cache hit-rates.
+
+Small fleets run every device through the full client stack (the *exact*
+path, byte-identical to the retained legacy round loop).  At
+:attr:`WorkloadConfig.cohort_min_clients` and above the engine switches to
+the cohort fast path (:mod:`repro.workload.cohort`): devices that are
+statistically identical — same mobility family, same resolver pool, no
+individual state — are represented by a few fully simulated *tracer*
+devices plus integer phantom counts whose server-side load is charged in
+batch, which is what lets one process reach 100k clients inside a smoke
+budget and a million in a full sweep.
 
 Everything is deterministic: the same scenario and :class:`WorkloadConfig`
 produce byte-identical :meth:`WorkloadReport.snapshot` dictionaries.
@@ -29,6 +42,8 @@ from repro.localization.cues import CueBundle, GnssCue
 from repro.services.routing import FederatedRoutingError
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.queueing import load_cv
+from repro.workload.cohort import Cohort, plan_cohorts
+from repro.workload.events import EventHeap, EventKind
 from repro.workload.mobility import (
     AisleWalk,
     CommuterHandoff,
@@ -41,6 +56,42 @@ from repro.worldgen.scenario import FederatedScenario
 
 _CLIENT_SEED_STRIDE = 1_000_003
 """Prime stride separating per-client RNG streams derived from one seed."""
+
+_SELECTION_SEED_SALT = 0xD15C
+"""XOR salt deriving a device's RFC 2782 weighted-selection stream."""
+
+_JITTER_SEED_SALT = 0x5EED
+"""XOR salt deriving a device's network jitter/loss stream."""
+
+
+def client_base_seed(seed: int, index: int) -> int:
+    """Device ``index``'s base (mobility/traffic) RNG seed for a run seed."""
+    return seed + _CLIENT_SEED_STRIDE * (index + 1)
+
+
+def derived_seed_streams(seed: int, index: int) -> dict[str, int]:
+    """Every RNG stream seed derived for one device, by family.
+
+    Collision-freedom argument (audited for 100k–1M-device fleets): base
+    seeds are ``seed + stride·(i+1)`` with a stride of 1,000,003, so two
+    distinct devices' base seeds differ by at least the stride.  The
+    selection and jitter families are the base XOR a salt below 2^16; two
+    integers whose XOR is below 2^16 agree on every bit from 16 up and so
+    differ by less than 65,536 < stride.  Hence a salted seed can never
+    collide with any *other* device's seed in the same or another family,
+    and within one device the two salts (and their XOR) are non-zero, so
+    all three streams are distinct.  The engine-level POI shuffle uses the
+    bare run ``seed`` — device index −1 under the same argument — and can
+    collide with nothing either.  ``tests/test_rng_streams.py`` asserts
+    both the pairwise-distinctness and the salts-below-stride invariant
+    this argument rests on.
+    """
+    base = client_base_seed(seed, index)
+    return {
+        "base": base,
+        "selection": base ^ _SELECTION_SEED_SALT,
+        "jitter": base ^ _JITTER_SEED_SALT,
+    }
 
 
 @dataclass(frozen=True)
@@ -94,6 +145,20 @@ class WorkloadConfig:
     boundaries (same granularity as churn), then tracks each device's
     stale SRV view until it converges on the new advertisement —
     ``WorkloadReport.control_stats`` reports the convergence tail."""
+    engine: str = "event"
+    """Which execution loop drives the fleet: ``"event"`` (the heap-driven
+    engine, default) or ``"legacy"`` (the retained round loop, kept as the
+    golden reference the equivalence suite compares against)."""
+    cohort_min_clients: int = 5000
+    """Fleet size at or above which the event engine stops materializing
+    every device and switches to the cohort fast path (tracers + phantom
+    batch load).  Fleets below the threshold — including every committed
+    byte-gated benchmark — run the exact per-device path."""
+    tracers_per_cohort: int = 16
+    """Fully simulated devices per cohort on the fast path.  Tracers keep
+    their true index-derived RNG streams and all individual state (caches,
+    replica-health memories, SRV views) — they are the slow-path escape
+    hatch — so more tracers buys fidelity at the cost of scale."""
 
     def __post_init__(self) -> None:
         if self.clients < 1:
@@ -106,6 +171,12 @@ class WorkloadConfig:
             raise ValueError("a workload needs at least one resolver pool")
         if self.trace_dwell_steps < 0:
             raise ValueError("trace dwell steps cannot be negative")
+        if self.engine not in ("event", "legacy"):
+            raise ValueError("engine must be 'event' or 'legacy'")
+        if self.cohort_min_clients < 1:
+            raise ValueError("cohort threshold must be positive")
+        if self.tracers_per_cohort < 1:
+            raise ValueError("a cohort needs at least one tracer")
 
 
 @dataclass
@@ -119,6 +190,9 @@ class FleetClient:
     net_rng: random.Random | None = None
     """Jitter/loss RNG stream for this device's network exchanges (only set
     when the federation's latency model is stochastic)."""
+    weight: int = 1
+    """Devices this client stands for: 1 on the exact path; a tracer on the
+    cohort fast path answers for itself plus ``weight - 1`` phantoms."""
     position: LatLng = field(init=False)
 
     def __post_init__(self) -> None:
@@ -166,6 +240,10 @@ class WorkloadReport:
     stale SRV view was tracked, and the time-to-converge tail (p50/p95 of
     seconds from a control event landing at the authority to each tracked
     device's view catching up).  Empty when the run had no control tape."""
+    sampling: dict[str, float] = field(default_factory=dict)
+    """Cohort-fast-path accounting (cohorts, tracers, max weight); empty on
+    the exact path, so small-fleet snapshots carry no extra keys and the
+    committed benchmark artifacts stay byte-identical."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -271,6 +349,8 @@ class WorkloadReport:
         data["balance.replica_load_cv"] = self.replica_load_cv
         for key, value in sorted(self.control_stats.items()):
             data[f"control.{key}"] = value
+        for key, value in sorted(self.sampling.items()):
+            data[f"sampling.{key}"] = value
         return data
 
 
@@ -285,12 +365,24 @@ class WorkloadEngine:
     ) -> None:
         self.scenario = scenario
         self.config = config or WorkloadConfig()
-        self.metrics = metrics or MetricsRegistry()
+        self._cohort_mode = (
+            self.config.engine == "event"
+            and self.config.clients >= self.config.cohort_min_clients
+        )
+        # Large fleets get bounded streaming histograms by default so a
+        # million-client sweep does not retain one float per observation; an
+        # explicitly supplied registry always wins.
+        self.metrics = metrics or MetricsRegistry(streaming_histograms=self._cohort_mode)
         self.pois = self._build_poi_pool()
         self._poi_sampler: ZipfSampler[PointOfInterest] = ZipfSampler(
             self.pois, self.config.zipf_exponent
         )
+        self.cohorts: list[Cohort] = []
         self.fleet = self._build_fleet()
+        self._device_by_index = {device.index: device for device in self.fleet}
+        # Multiplier applied to every metric a request records; 1 except
+        # while a cohort tracer answers for its phantoms.
+        self._active_weight = 1
         self.churn_controller: ChurnController | None = None
         if self.config.churn is not None:
             self.churn_controller = ChurnController(
@@ -335,7 +427,19 @@ class WorkloadEngine:
         random.Random(self.config.seed).shuffle(pois)
         return pois
 
-    def _build_fleet(self) -> list[FleetClient]:
+    def _mobility_spec(self, index: int) -> tuple[str, int]:
+        """Which mobility family (and store, for aisle walks) a device gets.
+
+        Shared by both fleet builders so the cohort planner's equivalence
+        classes are exactly the families the exact path would construct.
+        """
+        if self.scenario.stores and index % 3 == 1:
+            return ("aisle", (index // 3) % len(self.scenario.stores))
+        if index % 3 == 2:
+            return ("trace" if self.config.long_traces else "commute", 0)
+        return ("waypoint", 0)
+
+    def _commute_routes(self) -> tuple[list[LatLng], list[LatLng]]:
         stores = self.scenario.stores
         city_bounds = self.scenario.city.bounds
         commute_stops = [store.entrance for store in stores[:2]]
@@ -351,42 +455,107 @@ class WorkloadEngine:
             city_bounds.south_west,
             city_bounds.north_east,
         ]
+        return commute_stops, trace_stops
 
+    def _make_mobility(
+        self,
+        spec: tuple[str, int],
+        commute_stops: list[LatLng],
+        trace_stops: list[LatLng],
+    ) -> MobilityModel:
+        family, store_index = spec
+        if family == "aisle":
+            return AisleWalk(self.scenario.stores[store_index])
+        if family == "trace":
+            return CommuterTrace(
+                list(trace_stops), dwell_steps=self.config.trace_dwell_steps
+            )
+        if family == "commute":
+            return CommuterHandoff(list(commute_stops))
+        return RandomWaypoint(self.scenario.city.bounds)
+
+    def _make_device(
+        self,
+        index: int,
+        pools,
+        stochastic: bool,
+        mobility: MobilityModel,
+        weight: int = 1,
+    ) -> FleetClient:
+        seeds = derived_seed_streams(self.config.seed, index)
+        return FleetClient(
+            index=index,
+            client=self.scenario.federation.client(
+                stub_resolver=pools[index % len(pools)],
+                # A distinct weighted-selection stream per device: replica
+                # draws must not depend on fleet interleaving.
+                selection_seed=seeds["selection"],
+            ),
+            mobility=mobility,
+            rng=random.Random(seeds["base"]),
+            # A distinct stream per device: network draws must not depend
+            # on how the fleet's requests interleave.
+            net_rng=random.Random(seeds["jitter"]) if stochastic else None,
+            weight=weight,
+        )
+
+    def _build_fleet(self) -> list[FleetClient]:
         federation = self.scenario.federation
         pools = federation.resolver_pool(self.config.resolver_pools)
         stochastic = federation.network.latency.is_stochastic
-
+        commute_stops, trace_stops = self._commute_routes()
+        if self._cohort_mode:
+            return self._build_cohort_fleet(pools, stochastic, commute_stops, trace_stops)
         fleet: list[FleetClient] = []
         for index in range(self.config.clients):
-            mobility: MobilityModel
-            if stores and index % 3 == 1:
-                mobility = AisleWalk(stores[(index // 3) % len(stores)])
-            elif index % 3 == 2:
-                if self.config.long_traces:
-                    mobility = CommuterTrace(
-                        list(trace_stops), dwell_steps=self.config.trace_dwell_steps
-                    )
-                else:
-                    mobility = CommuterHandoff(list(commute_stops))
-            else:
-                mobility = RandomWaypoint(city_bounds)
-            client_seed = self.config.seed + _CLIENT_SEED_STRIDE * (index + 1)
-            fleet.append(
-                FleetClient(
-                    index=index,
-                    client=federation.client(
-                        stub_resolver=pools[index % len(pools)],
-                        # A distinct weighted-selection stream per device:
-                        # replica draws must not depend on fleet interleaving.
-                        selection_seed=client_seed ^ 0xD15C,
-                    ),
-                    mobility=mobility,
-                    rng=random.Random(client_seed),
-                    # A distinct stream per device: network draws must not
-                    # depend on how the fleet's requests interleave.
-                    net_rng=random.Random(client_seed ^ 0x5EED) if stochastic else None,
-                )
+            mobility = self._make_mobility(
+                self._mobility_spec(index), commute_stops, trace_stops
             )
+            fleet.append(self._make_device(index, pools, stochastic, mobility))
+        return fleet
+
+    def _build_cohort_fleet(
+        self,
+        pools,
+        stochastic: bool,
+        commute_stops: list[LatLng],
+        trace_stops: list[LatLng],
+    ) -> list[FleetClient]:
+        """Plan cohorts over the whole fleet, materialize only the tracers.
+
+        A cohort is (mobility spec, resolver pool index): every device in it
+        would be built from the same store/route/bounds and talk to the same
+        shared resolver, so they differ only by RNG stream — exactly the
+        statistical identity tracer sampling needs.  Planning is one
+        arithmetic pass over the index range; device objects exist only for
+        tracers, which is what makes million-client fleets affordable.
+        """
+
+        def assignments():
+            for index in range(self.config.clients):
+                spec = self._mobility_spec(index)
+                pool_index = index % len(pools)
+                label = f"{spec[0]}{spec[1]}-pool{pool_index}"
+                yield index, (spec, pool_index), label
+
+        self.cohorts = plan_cohorts(assignments(), self.config.tracers_per_cohort)
+        fleet: list[FleetClient] = []
+        for cohort in self.cohorts:
+            spec, _pool_index = cohort.key
+            weights = cohort.tracer_weights()
+            for tracer_index, weight in zip(cohort.tracer_indices, weights):
+                device = self._make_device(
+                    tracer_index,
+                    pools,
+                    stochastic,
+                    self._make_mobility(spec, commute_stops, trace_stops),
+                    weight=weight,
+                )
+                cohort.tracers.append(device)
+                fleet.append(device)
+        # Fleet order (and thus every per-round interleaving) stays index
+        # order regardless of how cohorts were discovered.
+        fleet.sort(key=lambda device: device.index)
         return fleet
 
     # ------------------------------------------------------------------
@@ -401,7 +570,20 @@ class WorkloadEngine:
         inter-round pacing) rather than by the sum over the whole fleet.
         Without this, large fleets would spuriously age every TTL between one
         client's consecutive requests.
+
+        ``config.engine`` picks the loop: the event-driven engine (default)
+        or the retained legacy round loop.  Below the cohort threshold the
+        two produce byte-identical snapshots (the equivalence suite gates
+        this); at or above it the event engine switches to cohort sampling.
         """
+        if self.config.engine == "legacy":
+            return self.run_legacy()
+        return self._run_events()
+
+    def run_legacy(self) -> WorkloadReport:
+        """The original round loop, retained verbatim as the golden
+        reference ``tests/test_engine_equivalence.py`` compares the event
+        engine against."""
         network = self.scenario.federation.network
         clock = network.clock
         started_at = clock.now()
@@ -425,6 +607,120 @@ class WorkloadEngine:
             # (non-fleet) use after a run must not inherit the last device's.
             network.set_jitter_stream(None)
         return self._report(clock.now() - started_at)
+
+    def _schedule_round(self, heap: EventHeap, at: float) -> None:
+        """Queue one fleet round's fixed events at instant ``at``.
+
+        EventKind ranks make the pop order churn → control → round begin
+        (which fans out the device/cohort events) → devices → round end,
+        replicating the legacy loop's statement order exactly.
+        """
+        if self.churn_controller is not None:
+            heap.push(at, EventKind.CHURN)
+        if self.control_plane is not None:
+            heap.push(at, EventKind.CONTROL)
+        heap.push(at, EventKind.ROUND_BEGIN)
+        heap.push(at, EventKind.ROUND_END)
+
+    def _run_events(self) -> WorkloadReport:
+        """The event-driven loop: pop the heap dry, advancing the clock to
+        each event's instant.
+
+        Per-device work stays byte-identical to the legacy loop below the
+        cohort threshold because the heap's total order replays its
+        statement order; above the threshold ROUND_BEGIN fans out cohort
+        events instead of device events and the fast path takes over.
+        """
+        network = self.scenario.federation.network
+        clock = network.clock
+        started_at = clock.now()
+        heap = EventHeap()
+        rounds_remaining = self.config.steps
+        self._round_start = clock.now()
+        self._round_slowest = 0.0
+        self._schedule_round(heap, clock.now())
+        try:
+            while heap:
+                event = heap.pop()
+                clock.advance_to(event.at_seconds)
+                if event.kind is EventKind.CHURN:
+                    self._apply_churn(clock.now())
+                elif event.kind is EventKind.CONTROL:
+                    self._apply_control(clock.now())
+                elif event.kind is EventKind.ROUND_BEGIN:
+                    self._round_start = clock.now()
+                    self._round_slowest = 0.0
+                    if self._cohort_mode:
+                        for cohort in self.cohorts:
+                            heap.push(self._round_start, EventKind.COHORT, cohort)
+                    else:
+                        for device in self.fleet:
+                            heap.push(self._round_start, EventKind.DEVICE, device)
+                elif event.kind is EventKind.DEVICE:
+                    self._run_device(event.payload, self._round_start)
+                elif event.kind is EventKind.COHORT:
+                    self._run_cohort(event.payload, self._round_start)
+                else:  # ROUND_END
+                    clock.advance(self._round_slowest + self.config.step_seconds)
+                    self._observe_rediscoveries(clock.now())
+                    self._observe_convergence(clock.now())
+                    rounds_remaining -= 1
+                    if rounds_remaining > 0:
+                        self._schedule_round(heap, clock.now())
+        finally:
+            # Leave the shared network on its default jitter stream: direct
+            # (non-fleet) use after a run must not inherit the last device's.
+            network.set_jitter_stream(None)
+        return self._report(clock.now() - started_at)
+
+    def _run_device(self, device: FleetClient, round_start: float) -> None:
+        """One device's round: advance, issue, track the slowest, rewind."""
+        clock = self.scenario.federation.network.clock
+        device.advance()
+        kind = self.config.mix.sample(device.rng)
+        self._issue(device, kind)
+        self._round_slowest = max(self._round_slowest, clock.now() - round_start)
+        clock.rewind_to(round_start)
+
+    def _run_cohort(self, cohort: Cohort, round_start: float) -> None:
+        """One cohort's round: tracers run for real, phantoms ride along.
+
+        Each tracer runs the full client stack with ``_active_weight`` set,
+        so every metric it records counts for its whole share of the cohort.
+        Server-side, the tracer's per-kind queue arrivals are diffed around
+        its turn and replayed ``weight − 1`` times as batch phantom load at
+        the same instant — phantoms occupy real worker capacity (later
+        requests queue behind them, overflow is dropped) without the engine
+        simulating their client stacks.
+        """
+        federation = self.scenario.federation
+        queues = {
+            server_id: server.queue
+            for server_id, server in federation.all_servers.items()
+            if server.queue is not None
+        }
+        for device in cohort.tracers:
+            weight = device.weight
+            before = (
+                {server_id: dict(queue.kind_arrivals) for server_id, queue in queues.items()}
+                if weight > 1 and queues
+                else None
+            )
+            self._active_weight = weight
+            try:
+                self._run_device(device, round_start)
+            finally:
+                self._active_weight = 1
+            if before is None:
+                continue
+            for server_id, queue in queues.items():
+                prior = before[server_id]
+                for kind, arrivals in queue.kind_arrivals.items():
+                    delta = arrivals - prior.get(kind, 0)
+                    if delta > 0:
+                        # The clock is back at round_start, so phantom jobs
+                        # land at the same instant their tracer's did.
+                        queue.phantom_arrivals(kind, delta * (weight - 1))
 
     # ------------------------------------------------------------------
     # Churn
@@ -521,7 +817,7 @@ class WorkloadEngine:
             return
         converged: list[tuple[int, str]] = []
         for (index, server_id), (since, target) in self._pending_convergence.items():
-            view = self.fleet[index].client.context.discoverer.srv_view
+            view = self._device_by_index[index].client.context.discoverer.srv_view
             if view.get(server_id) == target:
                 self.metrics.histogram("control.converge_seconds").observe(now - since)
                 converged.append((index, server_id))
@@ -532,6 +828,9 @@ class WorkloadEngine:
         network = self.scenario.federation.network
         if device.net_rng is not None:
             network.set_jitter_stream(device.net_rng)
+        # 1 everywhere except a cohort tracer's turn, where one request
+        # records on behalf of the tracer's whole phantom share.
+        weight = self._active_weight
         latency_before = network.stats.total_latency_ms
         recorder = device.client.context.failover
         chains_ok_before = recorder.chains_ok
@@ -549,32 +848,33 @@ class WorkloadEngine:
         except FederatedRoutingError:
             # Failed requests are counted separately; their (often short)
             # abort latency must not dilute the success-path percentiles.
-            self.metrics.counter(f"errors.{kind.value}").increment()
-            self.metrics.counter("availability.failed_requests").increment()
+            self.metrics.counter(f"errors.{kind.value}").increment(weight)
+            self.metrics.counter("availability.failed_requests").increment(weight)
             return
         if recorder.chains_failed > chains_failed_before and recorder.chains_ok == chains_ok_before:
             # Every map server this request tried was unreachable or
             # overloaded past its whole replica chain: the user got nothing.
-            self.metrics.counter("availability.failed_requests").increment()
+            self.metrics.counter("availability.failed_requests").increment(weight)
         if not issued:
             # No traffic was generated; recording a request with 0 ms latency
             # would dilute the tail percentiles the benchmarks compare.  The
             # counter lives outside the "requests." namespace so _report's
             # prefix sum counts only real traffic.
-            self.metrics.counter(f"skipped.{kind.value}").increment()
+            self.metrics.counter(f"skipped.{kind.value}").increment(weight)
             return
-        self.metrics.counter(f"requests.{kind.value}").increment()
+        self.metrics.counter(f"requests.{kind.value}").increment(weight)
         latency_ms = network.stats.total_latency_ms - latency_before
-        self.metrics.histogram("latency_ms.all").observe(latency_ms)
-        self.metrics.histogram(f"latency_ms.{kind.value}").observe(latency_ms)
+        self.metrics.histogram("latency_ms.all").observe(latency_ms, weight)
+        self.metrics.histogram(f"latency_ms.{kind.value}").observe(latency_ms, weight)
 
     def _do_search(self, device: FleetClient) -> None:
+        weight = self._active_weight
         poi = self._poi_sampler.sample(device.rng)
         result = device.client.search(
             poi.name, near=poi.location, radius_meters=self.config.search_radius_meters
         )
-        self.metrics.counter("search.results").increment(len(result))
-        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+        self.metrics.counter("search.results").increment(len(result) * weight)
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups * weight)
 
     def _do_route(self, device: FleetClient) -> bool:
         """Route to a popular POI; returns False if no route was worth issuing.
@@ -582,29 +882,34 @@ class WorkloadEngine:
         A shopper standing on the very shelf it would route to resamples a
         few times before giving up, so zero-length "routes" never happen.
         """
+        weight = self._active_weight
         for _ in range(4):
             poi = self._poi_sampler.sample(device.rng)
             if device.position.distance_to(poi.location) < 1.0:
                 continue
             result = device.client.route(device.position, poi.location)
-            self.metrics.histogram("route.length_meters").observe(result.length_meters)
-            self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+            self.metrics.histogram("route.length_meters").observe(
+                result.length_meters, weight
+            )
+            self.metrics.counter("dns.lookups").increment(result.dns_lookups * weight)
             return True
         return False
 
     def _do_tiles(self, device: FleetClient) -> None:
+        weight = self._active_weight
         viewport = BoundingBox.around(device.position, self.config.viewport_meters)
         result = device.client.render_viewport(viewport, zoom=self.config.tile_zoom)
-        self.metrics.counter("tiles.downloaded").increment(result.tiles_downloaded)
-        self.metrics.counter("tiles.from_cache").increment(result.tiles_from_cache)
-        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+        self.metrics.counter("tiles.downloaded").increment(result.tiles_downloaded * weight)
+        self.metrics.counter("tiles.from_cache").increment(result.tiles_from_cache * weight)
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups * weight)
 
     def _do_localize(self, device: FleetClient) -> None:
+        weight = self._active_weight
         cues = self._sense(device)
         result = device.client.localize(device.position, cues)
         if result.best is not None:
-            self.metrics.counter("localize.fixes").increment()
-        self.metrics.counter("dns.lookups").increment(result.dns_lookups)
+            self.metrics.counter("localize.fixes").increment(weight)
+        self.metrics.counter("dns.lookups").increment(result.dns_lookups * weight)
 
     def _sense(self, device: FleetClient) -> CueBundle:
         """What the device senses where it stands.
@@ -645,10 +950,14 @@ class WorkloadEngine:
         fleet_failover = FailoverRecorder()
         for device in self.fleet:
             stats = device.client.cache_stats()
-            discovery_hits += int(stats["discovery.hits"])
-            discovery_misses += int(stats["discovery.misses"])
-            tile_hits += int(stats["tiles.hits"])
-            tile_misses += int(stats["tiles.misses"])
+            # Weight is 1 on the exact path; on the cohort fast path a
+            # tracer's cache behaviour stands in for its phantom share.
+            discovery_hits += int(stats["discovery.hits"]) * device.weight
+            discovery_misses += int(stats["discovery.misses"]) * device.weight
+            tile_hits += int(stats["tiles.hits"]) * device.weight
+            tile_misses += int(stats["tiles.misses"]) * device.weight
+            # Failover accounting stays tracer-only (unweighted): the
+            # recorder holds raw latency lists that cannot be scaled.
             fleet_failover.merge_from(device.client.context.failover)
         if fleet_failover.failover_ms:
             # Failover latencies land in the shared registry so the snapshot
@@ -696,6 +1005,15 @@ class WorkloadEngine:
                 "converge_p95_s": converge.p95 if converge is not None else 0.0,
                 "converge_mean_s": converge.mean if converge is not None else 0.0,
             }
+        sampling: dict[str, float] = {}
+        if self._cohort_mode:
+            sampling = {
+                "cohorts": float(len(self.cohorts)),
+                "tracers": float(len(self.fleet)),
+                "fleet_clients": float(self.config.clients),
+                "phantom_clients": float(self.config.clients - len(self.fleet)),
+                "max_weight": float(max((d.weight for d in self.fleet), default=1)),
+            }
         return WorkloadReport(
             metrics=self.metrics,
             requests=requests,
@@ -718,4 +1036,5 @@ class WorkloadEngine:
                 for group_id, group in sorted(federation.replica_groups.items())
             },
             control_stats=control_stats,
+            sampling=sampling,
         )

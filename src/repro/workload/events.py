@@ -1,0 +1,95 @@
+"""The event heap at the core of the workload engine's simulation loop.
+
+The engine schedules everything that happens to a running fleet — churn
+tape application, operator control actions, per-device (or per-cohort)
+request work, and the end-of-round expiry/rediscovery/convergence
+observations — as events on one binary heap ordered by simulated time.
+Same-instant events are ordered by :class:`EventKind` rank and then by a
+monotone sequence number, so the pop order of a round's events is exactly
+the legacy round loop's statement order: churn, control, round begin,
+devices in fleet order, round end.  That total order is what makes the
+event-driven engine byte-identical to the legacy loop at small fleet
+sizes while letting large fleets swap per-device events for batched
+cohort events.
+
+Churn and control tapes carry their own event times; the engine applies
+them at the first round boundary at or after those times (via the
+controllers' ``apply_until``), which is the documented round-granularity
+semantic both engines share: a server is up or down for a whole round,
+never half of one.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import Any
+
+
+class EventKind(IntEnum):
+    """Event families, ranked by their order within one simulated instant."""
+
+    CHURN = 0
+    """Apply due membership-churn tape events (round boundary)."""
+
+    CONTROL = 1
+    """Apply due operator control tape events (round boundary)."""
+
+    ROUND_BEGIN = 2
+    """Start a fleet round: schedules the round's device/cohort events."""
+
+    DEVICE = 3
+    """One device advances and issues one request (exact path)."""
+
+    COHORT = 4
+    """One cohort's tracers advance and issue, phantoms charged in batch."""
+
+    ROUND_END = 5
+    """Advance the round clock, run expiry/rediscovery/convergence
+    observations, and schedule the next round if any remain."""
+
+
+@dataclass(frozen=True, slots=True)
+class Event:
+    """One scheduled occurrence: when, what, and an optional payload."""
+
+    at_seconds: float
+    kind: EventKind
+    seq: int
+    payload: Any = None
+
+    @property
+    def sort_key(self) -> tuple[float, int, int]:
+        return (self.at_seconds, int(self.kind), self.seq)
+
+
+@dataclass
+class EventHeap:
+    """A deterministic min-heap of :class:`Event`s.
+
+    Orders by ``(time, kind rank, insertion sequence)``; the sequence
+    number makes same-time, same-kind events FIFO, which is how per-device
+    events preserve fleet order without any secondary bookkeeping.
+    """
+
+    _heap: list[tuple[tuple[float, int, int], Event]] = field(default_factory=list)
+    _seq: int = 0
+
+    def push(self, at_seconds: float, kind: EventKind, payload: Any = None) -> Event:
+        event = Event(at_seconds, kind, self._seq, payload)
+        self._seq += 1
+        heapq.heappush(self._heap, (event.sort_key, event))
+        return event
+
+    def pop(self) -> Event:
+        return heapq.heappop(self._heap)[1]
+
+    def peek(self) -> Event | None:
+        return self._heap[0][1] if self._heap else None
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

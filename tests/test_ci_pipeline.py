@@ -73,7 +73,12 @@ class TestWorkflow:
         uploads = [s for s in steps if str(s.get("uses", "")).startswith("actions/upload-artifact")]
         assert uploads, "smoke job uploads no artifacts"
         paths = uploads[0]["with"]["path"]
-        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+        for artifact in (
+            "BENCH_e13.json",
+            "BENCH_e14.json",
+            "BENCH_e15.json",
+            "BENCH_e16.json",
+        ):
             assert artifact in paths, f"smoke job does not upload {artifact}"
         assert any("ci_summary" in s.get("run", "") for s in steps), "no step-summary step"
 
@@ -92,7 +97,12 @@ class TestCheckShStages:
         for flag in ("--tier1", "--smoke", "--lint"):
             assert flag in script
         # Every artifact is byte-for-byte gated.
-        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+        for artifact in (
+            "BENCH_e13.json",
+            "BENCH_e14.json",
+            "BENCH_e15.json",
+            "BENCH_e16.json",
+        ):
             assert artifact in script, f"check.sh does not gate {artifact}"
 
     def test_smoke_stage_runs_every_budgeted_bench(self):
@@ -102,13 +112,19 @@ class TestCheckShStages:
             ("bench_e13_workload.py", "E13_SMOKE_BUDGET_SECONDS"),
             ("bench_e14_churn.py", "E14_SMOKE_BUDGET_SECONDS"),
             ("bench_e15_control.py", "E15_SMOKE_BUDGET_SECONDS"),
+            ("bench_e16_scale.py", "E16_SMOKE_BUDGET_SECONDS"),
         ):
             assert bench in script, f"check.sh does not run {bench}"
             assert budget in script, f"check.sh does not budget via {budget}"
 
     def test_ci_summary_renders_every_artifact(self):
         summary = (REPO_ROOT / "scripts" / "ci_summary.py").read_text()
-        for artifact in ("BENCH_e13.json", "BENCH_e14.json", "BENCH_e15.json"):
+        for artifact in (
+            "BENCH_e13.json",
+            "BENCH_e14.json",
+            "BENCH_e15.json",
+            "BENCH_e16.json",
+        ):
             assert artifact in summary, f"ci_summary.py ignores {artifact}"
 
     def test_requirements_file_exists_for_pip_cache(self):

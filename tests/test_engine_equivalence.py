@@ -1,0 +1,137 @@
+"""Golden equivalence: the event-driven engine vs the legacy round loop.
+
+The event engine replaced the legacy loop as the default; the legacy loop
+is retained verbatim (``WorkloadEngine.run_legacy``) as the golden
+reference.  Below the cohort threshold the two must produce *byte-identical*
+``WorkloadReport.snapshot()`` dictionaries — not approximately equal:
+identical floats, identical keys — across seeds, mobility mixes, resolver
+shardings, churn tapes, control tapes, and stochastic network jitter.
+This is the regression gate that lets the committed BENCH_e13/e14/e15
+artifacts stay byte-for-byte unchanged while the execution core underneath
+them was rewritten.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.churn.schedule import ChurnEvent, ChurnEventKind, ChurnSchedule
+from repro.control.schedule import ControlEvent, ControlEventKind, ControlSchedule
+from repro.core.config import FederationConfig
+from repro.simulation.network import LatencyModel
+from repro.simulation.queueing import ServiceTimeModel
+from repro.workload import WorkloadConfig, WorkloadEngine
+from repro.worldgen.scenario import build_scenario
+
+
+def snapshot_for(engine_kind: str, *, scenario_kw=None, **config_kw) -> str:
+    """Run one fresh scenario+fleet and return the canonical snapshot JSON.
+
+    Scenarios are rebuilt per run (never shared): both engines must start
+    from identical world state, and runs mutate caches/queues/clock.
+    """
+    scenario_kw = dict(scenario_kw or {})
+    scenario_kw.setdefault("store_count", 2)
+    scenario_kw.setdefault("city_rows", 4)
+    scenario_kw.setdefault("city_cols", 4)
+    scenario_kw.setdefault("seed", 33)
+    scenario = build_scenario(**scenario_kw)
+    config_kw.setdefault("clients", 24)
+    config_kw.setdefault("steps", 3)
+    config = WorkloadConfig(engine=engine_kind, **config_kw)
+    report = WorkloadEngine(scenario, config).run()
+    return json.dumps(report.snapshot(), sort_keys=True)
+
+
+def assert_equivalent(**kw) -> None:
+    event = snapshot_for("event", **kw)
+    legacy = snapshot_for("legacy", **kw)
+    assert event == legacy
+
+
+class TestByteIdenticalSnapshots:
+    @pytest.mark.parametrize("seed", [0, 7, 21])
+    def test_across_seeds(self, seed):
+        assert_equivalent(seed=seed)
+
+    @pytest.mark.parametrize("clients,steps", [(1, 1), (5, 2), (40, 4)])
+    def test_across_fleet_shapes(self, clients, steps):
+        assert_equivalent(clients=clients, steps=steps, seed=7)
+
+    def test_with_long_traces_and_dwell(self):
+        assert_equivalent(seed=7, long_traces=True, trace_dwell_steps=2, steps=5)
+
+    def test_with_resolver_pools(self):
+        assert_equivalent(seed=7, resolver_pools=3)
+
+    def test_with_stochastic_network_jitter(self):
+        assert_equivalent(
+            seed=7,
+            scenario_kw={"config": FederationConfig(latency=LatencyModel(jitter_sigma=0.4))},
+        )
+
+    def test_with_churn_tape(self):
+        scenario_kw = {"store_replicas": 2, "seed": 21}
+        scenario = build_scenario(store_count=2, city_rows=4, city_cols=4, **scenario_kw)
+        victim = scenario.store_replica_ids(0)[0]
+        churn = ChurnSchedule.from_events(
+            [
+                ChurnEvent(4.0, ChurnEventKind.CRASH, victim),
+                ChurnEvent(20.0, ChurnEventKind.JOIN, victim),
+            ]
+        )
+        assert_equivalent(seed=11, steps=6, churn=churn, scenario_kw=scenario_kw)
+
+    def test_with_control_tape(self):
+        scenario_kw = {"store_replicas": 3, "seed": 21}
+        scenario = build_scenario(store_count=2, city_rows=4, city_cols=4, **scenario_kw)
+        replicas = scenario.store_replica_ids(0)
+        control = ControlSchedule.from_events(
+            [
+                ControlEvent(6.0, ControlEventKind.SET_WEIGHT, replicas[1], 7),
+                ControlEvent(14.0, ControlEventKind.DRAIN, replicas[2]),
+            ]
+        )
+        assert_equivalent(seed=11, steps=6, control=control, scenario_kw=scenario_kw)
+
+    def test_kitchen_sink(self):
+        """Everything at once: replicas, queue model, jitter, churn AND
+        control tapes, long traces, sharded resolvers."""
+        fed = FederationConfig(
+            latency=LatencyModel(jitter_sigma=0.3),
+            service_times=ServiceTimeModel(default_ms=2.0, per_kind_ms={"routing": 5.0}),
+            server_queue_capacity=64,
+        )
+        scenario_kw = {"store_replicas": 2, "seed": 21, "config": fed}
+        scenario = build_scenario(store_count=2, city_rows=4, city_cols=4, **scenario_kw)
+        replicas = scenario.store_replica_ids(0)
+        churn = ChurnSchedule.from_events(
+            [
+                ChurnEvent(4.0, ChurnEventKind.CRASH, replicas[0]),
+                ChurnEvent(24.0, ChurnEventKind.JOIN, replicas[0]),
+            ]
+        )
+        control = ControlSchedule.from_events(
+            [ControlEvent(10.0, ControlEventKind.SET_WEIGHT, replicas[1], 9)]
+        )
+        assert_equivalent(
+            seed=3,
+            steps=7,
+            clients=30,
+            resolver_pools=2,
+            long_traces=True,
+            churn=churn,
+            control=control,
+            scenario_kw=scenario_kw,
+        )
+
+
+class TestEquivalenceBoundary:
+    def test_snapshot_has_no_sampling_keys_below_threshold(self):
+        data = json.loads(snapshot_for("event", seed=7))
+        assert not any(key.startswith("sampling.") for key in data)
+
+    def test_event_engine_is_the_default(self):
+        assert WorkloadConfig().engine == "event"

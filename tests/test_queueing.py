@@ -237,3 +237,76 @@ class TestQueueStatsEdgeCases:
         assert stats.mean_wait_ms == 0.0
         assert stats.mean_depth == 0.0
         assert stats.utilization(0.0) == 0.0
+
+
+class TestPhantomArrivals:
+    """The cohort fast path's batch admission must match sequential reality."""
+
+    def make_queue(self, service_ms: float = 10.0, capacity: int = 8, workers: int = 1) -> ServerQueue:
+        return ServerQueue(
+            network=SimulatedNetwork(),
+            service_times=ServiceTimeModel(default_ms=service_ms),
+            capacity=capacity,
+            workers=workers,
+        )
+
+    def test_batch_matches_sequential_concurrent_admissions(self):
+        """One phantom_arrivals(n) call must book the same aggregate stats as
+        n sequential same-instant process() calls (the concurrent-round
+        rewind pattern the engine uses)."""
+        count = 30
+        sequential = self.make_queue(service_ms=2.0, capacity=8, workers=3)
+        clock = sequential.network.clock
+        for _ in range(count):
+            start = clock.now()
+            try:
+                sequential.process("search")
+            except ServerOverloadedError:
+                pass
+            clock.rewind_to(start)
+
+        batch = self.make_queue(service_ms=2.0, capacity=8, workers=3)
+        batch.phantom_arrivals("search", count)
+
+        a, b = sequential.stats, batch.stats
+        assert (a.arrivals, a.served, a.dropped) == (b.arrivals, b.served, b.dropped)
+        assert a.busy_ms == pytest.approx(b.busy_ms)
+        assert a.wait_ms_total == pytest.approx(b.wait_ms_total)
+        assert a.depth_total == b.depth_total
+        assert a.max_depth == b.max_depth
+
+    def test_phantoms_never_advance_the_clock(self):
+        queue = self.make_queue()
+        queue.phantom_arrivals("search", 5)
+        assert queue.network.clock.now() == 0.0
+
+    def test_later_real_request_queues_behind_phantom_load(self):
+        """Phantom jobs occupy real worker time: a request issued after a
+        batch waits behind it rather than seeing an idle server."""
+        queue = self.make_queue(service_ms=10.0, capacity=8, workers=1)
+        queue.phantom_arrivals("search", 3)
+        total_ms = queue.process("search")
+        assert total_ms == pytest.approx(40.0)  # 3 phantoms ahead + own service
+
+    def test_capacity_bounds_batch_admission(self):
+        queue = self.make_queue(service_ms=10.0, capacity=4, workers=2)
+        admitted, dropped = queue.phantom_arrivals("search", 100)
+        assert admitted == 8  # capacity x workers
+        assert dropped == 92
+        assert queue.stats.dropped == 92
+
+    def test_kind_arrivals_tracks_per_kind_counts(self):
+        queue = self.make_queue(capacity=64)
+        queue.process("search")
+        queue.process("search")
+        queue.process("tiles")
+        assert queue.kind_arrivals == {"search": 2, "tiles": 1}
+        # ...and deliberately stays out of the committed snapshot keys.
+        assert not any("kind" in key for key in queue.snapshot(window_seconds=1.0))
+
+    def test_rejects_negative_count_and_accepts_zero(self):
+        queue = self.make_queue()
+        with pytest.raises(ValueError):
+            queue.phantom_arrivals("search", -1)
+        assert queue.phantom_arrivals("search", 0) == (0, 0)
+        assert queue.stats.arrivals == 0

@@ -209,6 +209,101 @@ class TestHistogram:
         assert registry.snapshot() == {}
 
 
+class TestWelfordStddev:
+    def test_large_magnitude_small_jitter(self):
+        """Regression: the naive total_squares/count − mean² formula loses
+        every significant bit of a millisecond-scale spread sitting on a
+        1e9-scale base (simulated epoch timestamps), reporting 0.0 or going
+        negative.  Welford keeps the centered second moment directly."""
+        import statistics
+
+        base = 1e9
+        jitter = [0.001, 0.002, 0.003, 0.001, 0.004, 0.002, 0.003, 0.005]
+        values = [base + j for j in jitter]  # float64 rounds these slightly
+        summary = Summary("ts")
+        summary.observe_many(values)
+        expected = statistics.pstdev(values)  # exact-rational reference
+        assert expected > 0.0
+        assert summary.stddev == pytest.approx(expected, rel=1e-4)
+        # The naive formula on the same inputs is pure cancellation noise:
+        # every significant bit of the variance is lost.
+        naive_var = sum(v * v for v in values) / len(values) - (
+            sum(values) / len(values)
+        ) ** 2
+        assert abs(naive_var - expected**2) >= 0.5 * expected**2
+        # The mean is still the plain total/count the artifacts carry.
+        assert summary.mean == pytest.approx(base, abs=1.0)
+
+    def test_matches_pstdev_at_ordinary_scale(self):
+        import statistics
+
+        values = [3.0, 7.0, 7.0, 19.0, 24.0, 4.5]
+        summary = Summary("x")
+        summary.observe_many(values)
+        assert summary.stddev == pytest.approx(statistics.pstdev(values), rel=1e-12)
+
+
+class TestStreamingHistogram:
+    def test_modes_agree_within_bucket_tolerance(self):
+        """Streaming percentiles must stay inside the log-bucket relative
+        width (≈4.9% per bucket; 6% asserted for headroom) of exact ones."""
+        import random as _random
+
+        rng = _random.Random(42)
+        values = [rng.lognormvariate(3.0, 1.2) for _ in range(5000)]
+        exact = Histogram("lat")
+        stream = Histogram("lat", streaming=True)
+        for value in values:
+            exact.observe(value)
+            stream.observe(value)
+        assert stream.count == exact.count
+        assert stream.mean == pytest.approx(exact.mean, rel=1e-9)
+        for fraction in (0.5, 0.9, 0.95, 0.99):
+            assert stream.quantile(fraction) == pytest.approx(
+                exact.quantile(fraction), rel=0.06
+            )
+
+    def test_weighted_observation_equals_repetition(self):
+        weighted = Histogram("w", streaming=True)
+        repeated = Histogram("r", streaming=True)
+        for value, weight in ((5.0, 3), (80.0, 7), (900.0, 2)):
+            weighted.observe(value, weight)
+            for _ in range(weight):
+                repeated.observe(value)
+        assert weighted.count == repeated.count
+        assert weighted.mean == pytest.approx(repeated.mean)
+        assert weighted.p50 == pytest.approx(repeated.p50)
+        assert weighted.p99 == pytest.approx(repeated.p99)
+
+    def test_exact_mode_weight_is_repetition(self):
+        histogram = Histogram("x")
+        histogram.observe(4.0, 3)
+        assert histogram.values == [4.0, 4.0, 4.0]
+        with pytest.raises(ValueError):
+            histogram.observe(1.0, 1.5)
+        with pytest.raises(ValueError):
+            histogram.observe(1.0, -1)
+
+    def test_single_bucket_reports_observed_values(self):
+        histogram = Histogram("x", streaming=True)
+        histogram.observe(123.0, 10)
+        assert histogram.p50 == pytest.approx(123.0)
+        assert histogram.p99 == pytest.approx(123.0)
+
+    def test_streaming_memory_is_bounded(self):
+        histogram = Histogram("x", streaming=True)
+        for i in range(100_000):
+            histogram.observe(float(i % 977) + 0.5)
+        assert histogram.values == []  # raw floats are never retained
+        assert len(histogram._bucket_weights) < 500
+        assert histogram.count == 100_000
+
+    def test_registry_streaming_flag(self):
+        registry = MetricsRegistry(streaming_histograms=True)
+        assert registry.histogram("lat").streaming is True
+        assert MetricsRegistry().histogram("lat").streaming is False
+
+
 class TestLruCache:
     def test_basic_hit_miss_and_eviction_order(self):
         cache = LruCache(max_entries=2)
