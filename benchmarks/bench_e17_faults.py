@@ -1,0 +1,288 @@
+"""E17 — correlated disasters: fault injection and graceful degradation.
+
+E14 measures availability under *independent* churn (one server crashes,
+one lease expires).  Production federations are judged on the *correlated*
+failures: a region loses its uplink, a DNS authority goes dark, a stadium
+fills, a bad kernel rolls across a replica fleet.  This experiment runs
+the named disaster library (:mod:`repro.faults.scenarios`) — each scenario
+twice, fault-free baseline and faulted — and checks every scenario's
+measured availability/latency/degradation metrics against its acceptance
+bands:
+
+* **regional-outage** — replica 0 of every store partitioned for 100s;
+  failed-request rate must stay within the baseline envelope because
+  clients fail over to replica 1 (``failovers`` must engage).
+* **stadium-flash-crowd** — external search load past queue capacity on
+  store 0; the overload must shed server-side (``dropped_requests``)
+  without collapsing fleet availability.
+* **authority-outage** — discovery DNS dark for 120s; warm devices must
+  coast on stale-while-unreachable cached SRV views (``stale_serves`` and
+  ``degraded_rate`` must engage), bounded by ``stale_serve_max_ms``.
+* **asymmetric-partition** — region 0 loses a replica while operators
+  drain the healthy one; region-0 clients must still find service.
+* **rolling-gray** — 12x latency + 35% loss marching across replica
+  ranks; bounded retransmits keep requests succeeding at inflated p95.
+
+Runs three ways, like E13–E16:
+
+* under pytest-benchmark;
+* standalone smoke: ``python benchmarks/bench_e17_faults.py --smoke`` —
+  used by ``scripts/check.sh`` (wall-clock budgeted via
+  ``--budget-seconds``); the smoke sweep *is* the committed artifact, so
+  every check run re-verifies that ``BENCH_e17.json`` reproduces;
+* the full sweep (no flags) runs the same scenarios with a larger fleet.
+
+Everything is deterministic under the fixed seeds: the same invocation
+rewrites byte-identical JSON.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.faults.scenarios import (
+    SCENARIOS,
+    WORKLOAD_SEED,
+    WORLD_SEED,
+    DisasterSpec,
+    check_bands,
+    scenario_metrics,
+)
+from repro.workload import WorkloadEngine
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _util import print_table  # noqa: E402
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e17.json"
+"""The committed, check.sh-gated artifact — written by the *smoke* sweep."""
+FULL_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e17_full.json"
+"""Default output of the full sweep, so exploratory runs never clobber the
+byte-for-byte-gated smoke artifact."""
+
+FULL_CLIENTS = 60
+"""Fleet size of the full sweep (the smoke sweep uses each scenario's own
+``clients``, which is what the committed bands are calibrated against)."""
+
+
+def _digest(snapshot: dict[str, float]) -> str:
+    """A short stable fingerprint of a run's full snapshot (determinism)."""
+    import hashlib
+
+    payload = json.dumps(snapshot, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def run_disaster(spec: DisasterSpec, clients: int | None = None) -> dict[str, object]:
+    """Run one scenario's baseline + faulted pair and fold the metrics."""
+    if clients is not None:
+        spec = dataclasses.replace(spec, clients=clients)
+    started = time.perf_counter()
+    baseline_world = spec.build()
+    baseline = WorkloadEngine(
+        baseline_world, spec.workload(baseline_world, faulted=False)
+    ).run()
+    faulted_world = spec.build()
+    faulted = WorkloadEngine(
+        faulted_world, spec.workload(faulted_world, faulted=True)
+    ).run()
+    wall_seconds = time.perf_counter() - started
+    metrics = scenario_metrics(baseline, faulted)
+    return {
+        "scenario": spec.name,
+        "requests": faulted.requests + faulted.errors,
+        "avail": metrics["availability"],
+        "base_fail": metrics["baseline_failed_rate"],
+        "fail_rate": metrics["failed_rate"],
+        "failovers": int(metrics["failovers"]),
+        "degraded": metrics["degraded_rate"],
+        "stale": int(metrics["stale_serves"]),
+        "dropped": int(metrics["dropped_requests"]),
+        "p95_x": metrics["p95_inflation"],
+        "events": int(metrics["events_applied"]),
+        # Carried for the JSON artifact (dropped from the printed table).
+        "_title": spec.title,
+        "_clients": spec.clients,
+        "_metrics": metrics,
+        "_bands": {
+            name: list(band) for name, band in sorted(spec.bands.items())
+        },
+        "_band_failures": check_bands(spec, metrics),
+        "_wall_seconds": wall_seconds,
+        "_baseline_snapshot_digest": _digest(baseline.snapshot()),
+        "_snapshot_digest": _digest(faulted.snapshot()),
+        "_simulated_seconds": faulted.simulated_seconds,
+    }
+
+
+def sweep(clients: int | None = None) -> list[dict[str, object]]:
+    return [run_disaster(spec, clients) for spec in SCENARIOS]
+
+
+def table_rows(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]
+
+
+def emit_json(rows: list[dict[str, object]], path: Path) -> None:
+    """Write the machine-readable disaster outcomes + acceptance bands."""
+    payload = {
+        "experiment": "E17",
+        "description": "correlated-disaster scenario library: availability "
+        "and graceful degradation under fault injection",
+        "world_seed": WORLD_SEED,
+        "workload_seed": WORKLOAD_SEED,
+        "scenarios": [
+            {
+                "name": row["scenario"],
+                "title": row["_title"],
+                "clients": row["_clients"],
+                "requests": row["requests"],
+                "metrics": row["_metrics"],
+                "bands": row["_bands"],
+                "band_failures": row["_band_failures"],
+                "baseline_snapshot_digest": row["_baseline_snapshot_digest"],
+                "snapshot_digest": row["_snapshot_digest"],
+                # Deliberately no wall-clock fields: the artifact must be
+                # byte-identical across runs (check.sh enforces it).
+                "simulated_seconds": row["_simulated_seconds"],
+            }
+            for row in rows
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def verify(rows: list[dict[str, object]]) -> list[str]:
+    """Every scenario's band violations, plus cross-scenario claims."""
+    failures: list[str] = []
+    for row in rows:
+        failures.extend(row["_band_failures"])
+    by_name = {row["scenario"]: row for row in rows}
+
+    # The disaster library must cover every fault family the subsystem
+    # models: partitions must force failovers, crowds must shed load,
+    # authority outages must degrade gracefully, gray must inflate tails.
+    outage = by_name.get("regional-outage")
+    if outage is not None and outage["failovers"] < 1:
+        failures.append("regional outage engaged no failovers")
+    crowd = by_name.get("stadium-flash-crowd")
+    if crowd is not None and crowd["dropped"] < 1:
+        failures.append("flash crowd shed no load")
+    authority = by_name.get("authority-outage")
+    if authority is not None:
+        if authority["stale"] < 1:
+            failures.append("authority outage served nothing stale")
+        if authority["degraded"] <= 0.0:
+            failures.append("authority outage degraded no requests")
+    gray = by_name.get("rolling-gray")
+    if gray is not None and gray["p95_x"] <= 1.0:
+        failures.append("rolling gray failure did not inflate tail latency")
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_e17_disasters_stay_in_band(benchmark):
+    """Every scenario's faulted run stays inside its acceptance bands."""
+    rows = sweep()
+    print_table("E17 correlated disasters", table_rows(rows))
+    assert not verify(rows)
+    benchmark.extra_info["authority_degraded_rate"] = next(
+        row["degraded"] for row in rows if row["scenario"] == "authority-outage"
+    )
+    benchmark(lambda: run_disaster(SCENARIOS[0], clients=8))
+
+
+def test_e17_deterministic(benchmark):
+    """Fixed seeds give byte-identical disaster snapshots."""
+    first = run_disaster(SCENARIOS[2])
+    second = run_disaster(SCENARIOS[2])
+    assert first["_snapshot_digest"] == second["_snapshot_digest"]
+    assert first["_baseline_snapshot_digest"] == second["_baseline_snapshot_digest"]
+    benchmark(lambda: run_disaster(SCENARIOS[0], clients=8))
+
+
+# ----------------------------------------------------------------------
+# Standalone mode
+# ----------------------------------------------------------------------
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the scenario library at its calibrated fleet sizes (finishes "
+        "in seconds) for CI smoke checks",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=f"where to write the sweep artifact (smoke default {DEFAULT_JSON_PATH.name} "
+        f"— the committed, byte-for-byte-gated artifact; full-sweep default "
+        f"{FULL_JSON_PATH.name} so exploration never clobbers the gated file)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON artifact"
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the sweep takes longer than this wall-clock budget",
+    )
+    args = parser.parse_args(argv)
+
+    started = time.perf_counter()
+    rows = sweep(clients=None if args.smoke else FULL_CLIENTS)
+    elapsed = time.perf_counter() - started
+    print_table("E17 correlated disasters (baseline vs faulted)", table_rows(rows))
+
+    failures = verify(rows)
+
+    # Determinism: the richest scenario (authority outage: DNS timeouts,
+    # stale serving, degraded accounting) must reproduce exactly.
+    repeat = run_disaster(
+        SCENARIOS[2], clients=None if args.smoke else FULL_CLIENTS
+    )
+    reference = next(row for row in rows if row["scenario"] == repeat["scenario"])
+    if repeat["_snapshot_digest"] != reference["_snapshot_digest"]:
+        failures.append("rerun with fixed seed produced a different snapshot")
+
+    json_path = args.json if args.json is not None else (DEFAULT_JSON_PATH if args.smoke else FULL_JSON_PATH)
+    if not args.no_json:
+        emit_json(rows, json_path)
+        print(f"\nwrote {json_path}")
+
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        failures.append(
+            f"sweep took {elapsed:.1f}s, over the {args.budget_seconds:.1f}s budget "
+            "(hot-path regression?)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"\nOK: all {len(rows)} disasters stayed inside their acceptance bands "
+        f"— failover under partitions, load shedding under crowds, stale-serve "
+        f"degradation under authority outage ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,9 @@
 # Repo check, split into the three stages the CI pipeline parallelizes:
 #
 #   --tier1   the tier-1 pytest suite
-#   --smoke   the E13 + E14 + E15 + E16 benchmark smokes (wall-clock
+#   --smoke   the E13 + E14 + E15 + E16 + E17 benchmark smokes (wall-clock
 #             budgeted) plus the byte-for-byte reproducibility gate on ALL
-#             committed artifacts (BENCH_e13.json .. BENCH_e16.json are
+#             committed artifacts (BENCH_e13.json .. BENCH_e17.json are
 #             written by the smoke sweeps themselves, so a drifting
 #             simulation fails the gate)
 #   --lint    ruff check + ruff format --check (skipped with a notice when
@@ -13,9 +13,10 @@
 #
 # With no stage flag every stage runs in order — the local one-command check.
 # Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS /
-# E15_SMOKE_BUDGET_SECONDS / E16_SMOKE_BUDGET_SECONDS (default 20s each;
-# the optimized smokes finish in a couple of seconds — E16 runs 100,000
-# clients inside its budget on the cohort fast path — so only an
+# E15_SMOKE_BUDGET_SECONDS / E16_SMOKE_BUDGET_SECONDS /
+# E17_SMOKE_BUDGET_SECONDS (default 20s each; the optimized smokes finish
+# in a couple of seconds — E16 runs 100,000 clients inside its budget on
+# the cohort fast path, E17 plays the whole disaster library — so only an
 # order-of-magnitude hot-path regression trips them).
 # Usage: scripts/check.sh [--tier1|--smoke|--lint]...
 set -euo pipefail
@@ -69,7 +70,12 @@ if $run_smoke; then
   python benchmarks/bench_e16_scale.py --smoke \
     --budget-seconds "${E16_SMOKE_BUDGET_SECONDS:-20}"
 
-  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json; do
+  echo
+  echo "== benchmark smoke: E17 correlated disasters (budgeted) =="
+  python benchmarks/bench_e17_faults.py --smoke \
+    --budget-seconds "${E17_SMOKE_BUDGET_SECONDS:-20}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json BENCH_e17.json; do
     # `git diff` exits 0 for untracked paths, which would make the gate
     # vacuous for an artifact nobody committed — require the baseline.
     if ! git ls-files --error-unmatch "$artifact" >/dev/null 2>&1; then

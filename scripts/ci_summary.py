@@ -2,10 +2,10 @@
 """Render the BENCH artifacts' headline numbers as a markdown summary.
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
-every run shows the scale / control-plane / availability / balancing /
-saturation headlines next to the uploaded ``BENCH_e13.json`` ..
-``BENCH_e16.json`` artifacts without anyone downloading them.  Standalone
-use: ``python scripts/ci_summary.py``.
+every run shows the disaster / scale / control-plane / availability /
+balancing / saturation headlines next to the uploaded ``BENCH_e13.json``
+.. ``BENCH_e17.json`` artifacts without anyone downloading them.
+Standalone use: ``python scripts/ci_summary.py``.
 """
 
 from __future__ import annotations
@@ -14,6 +14,31 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e17_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E17 — correlated disasters and graceful degradation",
+        "",
+        "| scenario | availability | failovers | degraded | stale serves | dropped | p95 inflation | in band |",
+        "|---|---:|---:|---:|---:|---:|---:|---|",
+    ]
+    for row in payload.get("scenarios", []):
+        metrics = row.get("metrics", {})
+        lines.append(
+            "| {name} | {avail:.4f} | {failovers} | {degraded:.3f} | {stale} "
+            "| {dropped} | {p95x:.2f} | {ok} |".format(
+                name=row.get("name", "?"),
+                avail=metrics.get("availability", 0.0),
+                failovers=int(metrics.get("failovers", 0)),
+                degraded=metrics.get("degraded_rate", 0.0),
+                stale=int(metrics.get("stale_serves", 0)),
+                dropped=int(metrics.get("dropped_requests", 0)),
+                p95x=metrics.get("p95_inflation", 0.0),
+                ok="yes" if not row.get("band_failures") else "NO",
+            )
+        )
+    return lines
 
 
 def e16_summary(payload: dict) -> list[str]:
@@ -127,6 +152,7 @@ def e13_summary(payload: dict) -> list[str]:
 def main() -> int:
     lines: list[str] = ["# Benchmark smoke headlines", ""]
     for name, render in (
+        ("BENCH_e17.json", e17_summary),
         ("BENCH_e16.json", e16_summary),
         ("BENCH_e15.json", e15_summary),
         ("BENCH_e14.json", e14_summary),

@@ -34,6 +34,7 @@ from typing import TYPE_CHECKING, Callable, Mapping, Sequence, TypeVar
 from repro.churn.health import SHARED_NEWS, ReplicaHealth
 from repro.churn.retry import RetryPolicy
 from repro.mapserver.policy import AccessDenied
+from repro.simulation.network import NetworkTimeoutError
 from repro.simulation.queueing import ServerOverloadedError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -274,14 +275,17 @@ def execute_with_failover(
     policy: RetryPolicy | None,
     health: ReplicaHealth | None,
     recorder: FailoverRecorder,
+    rng: random.Random | None = None,
 ) -> T:
     """Run ``operation`` against ``target`` with replica failover.
 
     Charges one client↔map-server exchange per live attempt (and a
-    dead-server timeout per dead attempt), paces retries per ``policy``, and
-    raises :class:`TargetUnavailableError` once the chain is exhausted.
-    With ``policy=None`` the chain is a single attempt — the legacy
-    skip-on-failure behaviour, byte-identical in message counts.
+    dead-server timeout per dead or partitioned-away attempt), paces retries
+    per ``policy`` (drawing full-jitter delays from ``rng`` when the policy
+    asks for them), and raises :class:`TargetUnavailableError` once the
+    chain is exhausted.  With ``policy=None`` the chain is a single attempt
+    — the legacy skip-on-failure behaviour, byte-identical in message
+    counts.
     """
     recorder.chains += 1
     clock = network.clock
@@ -297,18 +301,21 @@ def execute_with_failover(
         if failed >= max_attempts:
             break
         if failed > 0 and policy is not None:
-            delay_ms = policy.delay_ms(failed, failed_load)
+            delay_ms = policy.delay_ms(failed, failed_load, rng=rng)
             if delay_ms > 0.0:
                 recorder.backoff_ms_total += delay_ms
                 network.client_backoff(delay_ms)
 
         recorder.attempts += 1
-        if server is None:
-            # Stale discovery: the id resolves to nothing reachable.  The
-            # client only learns that by waiting out a timeout.
-            recorder.stale_attempts += 1
+        if server is None or not network.server_reachable(server_id):
+            # Stale discovery (the id resolves to nothing reachable) or a
+            # partition between this client and the server.  Either way the
+            # client only learns that by waiting out a timeout, and either
+            # way the server is unreachable-dead from where it stands.
+            if server is None:
+                recorder.stale_attempts += 1
             recorder.failed_attempts += 1
-            timeout_ms = policy.dead_server_timeout_ms if policy is not None else 0.0
+            timeout_ms = policy.timeout_ms(failed) if policy is not None else 0.0
             if health is None or not health.knew_dead(server_id):
                 # A first detection, paid for the hard way: nothing — not
                 # the device's own memory, not its pool's board — warned it.
@@ -323,7 +330,23 @@ def execute_with_failover(
                 first_failure_at = clock.now()
             continue
 
-        network.client_map_server_exchange()
+        try:
+            network.client_map_server_exchange(
+                server_id=server_id, fail_on_exhaustion=policy is not None
+            )
+        except NetworkTimeoutError:
+            # The exchange burned its whole retransmit budget (loss burst /
+            # gray failure) and was abandoned.  Flaky, not proven dead: the
+            # failure is recorded per-device without dead-gossip.
+            recorder.failed_attempts += 1
+            network.dead_server_timeout(policy.timeout_ms(failed) if policy else 0.0)
+            if health is not None:
+                health.record_failure(server_id)
+            failed += 1
+            failed_load = _instantaneous_load(server)
+            if first_failure_at is None:
+                first_failure_at = clock.now()
+            continue
         try:
             result = operation(server)
         except AccessDenied:

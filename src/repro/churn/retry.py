@@ -12,13 +12,23 @@ the :class:`RetryPolicy`:
   server was (its queue depth relative to capacity), so retries against a
   saturated group spread out while retries after a one-off blip stay fast.
 
-Delays are deterministic (no jitter draw here — the simulated network
-already models jitter) and are charged against the simulated clock by the
-caller, so backoff shows up in client-observed latency percentiles.
+Delays are deterministic by default; ``jitter="full"`` draws a full-jitter
+delay (``Uniform(0, computed)``, AWS-style) from a *seeded per-device* RNG
+stream the caller provides, so a replica group's clients desynchronize
+their retry storms without losing reproducibility.  Either way delays are
+charged against the simulated clock by the caller, so backoff shows up in
+client-observed latency percentiles.
+
+``attempt_timeout_ms`` replaces the single constant ``dead_server_timeout``
+cost with an escalating per-attempt patience: early attempts give up
+quickly (fast failover), later attempts wait longer (the client is running
+out of replicas), capped at ``dead_server_timeout_ms``.  ``None`` — the
+default — keeps the historical constant-cost behaviour byte-identical.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 
 IMMEDIATE = "immediate"
@@ -26,6 +36,11 @@ BACKOFF = "backoff"
 UTILIZATION = "utilization"
 
 _KINDS = (IMMEDIATE, BACKOFF, UTILIZATION)
+
+NO_JITTER = "none"
+FULL_JITTER = "full"
+
+_JITTER_MODES = (NO_JITTER, FULL_JITTER)
 
 
 @dataclass(frozen=True, slots=True)
@@ -45,6 +60,15 @@ class RetryPolicy:
     health_cooldown_seconds: float = 30.0
     """How long a replica stays demoted in the client's health tracker after
     a failed attempt."""
+    jitter: str = NO_JITTER
+    """``"none"`` (default) keeps fully deterministic delays; ``"full"``
+    draws ``Uniform(0, computed_delay)`` from the caller-provided per-device
+    RNG stream (AWS full jitter), desynchronizing retry storms."""
+    attempt_timeout_ms: float | None = None
+    """Per-attempt patience before abandoning an unresponsive server,
+    escalating by ``multiplier`` per prior failure and capped at
+    ``dead_server_timeout_ms``.  ``None`` (default) charges the constant
+    ``dead_server_timeout_ms`` on every attempt — the legacy cost model."""
 
     def __post_init__(self) -> None:
         if self.kind not in _KINDS:
@@ -59,6 +83,12 @@ class RetryPolicy:
             raise ValueError("dead-server timeout cannot be negative")
         if self.health_cooldown_seconds < 0.0:
             raise ValueError("health cooldown cannot be negative")
+        if self.jitter not in _JITTER_MODES:
+            raise ValueError(
+                f"unknown jitter mode {self.jitter!r}; expected one of {_JITTER_MODES}"
+            )
+        if self.attempt_timeout_ms is not None and self.attempt_timeout_ms <= 0.0:
+            raise ValueError("attempt timeout must be positive when set")
 
     # ------------------------------------------------------------------
     # Constructors for the three canonical policies
@@ -75,17 +105,33 @@ class RetryPolicy:
     def utilization_aware(cls, **overrides) -> "RetryPolicy":
         return cls(kind=UTILIZATION, **overrides)
 
+    @classmethod
+    def full_jitter(cls, **overrides) -> "RetryPolicy":
+        """Exponential backoff with full jitter and escalating timeouts —
+        the recommended policy under correlated failures, where the
+        deterministic policies synchronize a whole region's retries."""
+        overrides.setdefault("jitter", FULL_JITTER)
+        overrides.setdefault("attempt_timeout_ms", 50.0)
+        return cls(kind=BACKOFF, **overrides)
+
     # ------------------------------------------------------------------
     # Delay computation
     # ------------------------------------------------------------------
-    def delay_ms(self, failed_attempts: int, utilization: float = 0.0) -> float:
+    def delay_ms(
+        self,
+        failed_attempts: int,
+        utilization: float = 0.0,
+        rng: random.Random | None = None,
+    ) -> float:
         """Milliseconds to wait before the next attempt.
 
         ``failed_attempts`` counts the attempts that have already failed for
         this logical request (>= 1 when a retry is being considered);
         ``utilization`` is the failed server's instantaneous load in [0, 1]
         (queue depth over capacity; 1.0 for a dead server), consulted only by
-        the utilization-aware policy.
+        the utilization-aware policy.  ``rng`` is the caller's seeded
+        per-device stream, consulted only when ``jitter="full"`` — a no-jitter
+        policy never draws from it, so legacy runs stay byte-identical.
         """
         if failed_attempts < 1:
             return 0.0
@@ -97,4 +143,21 @@ class RetryPolicy:
             # spread out; a barely-loaded blip barely changes the pacing.
             load = min(max(utilization, 0.0), 0.95)
             delay = delay / (1.0 - load)
-        return min(delay, self.max_delay_ms)
+        delay = min(delay, self.max_delay_ms)
+        if self.jitter == FULL_JITTER and rng is not None and delay > 0.0:
+            delay = rng.uniform(0.0, delay)
+        return delay
+
+    def timeout_ms(self, failed_attempts: int = 0) -> float:
+        """What waiting out an unresponsive server costs on this attempt.
+
+        With no ``attempt_timeout_ms`` the cost is the constant
+        ``dead_server_timeout_ms`` (legacy).  With one, patience escalates —
+        ``attempt_timeout_ms * multiplier ** failed_attempts`` — so the first
+        failover is cheap and later attempts (fewer replicas left) wait
+        longer, capped at ``dead_server_timeout_ms``.
+        """
+        if self.attempt_timeout_ms is None:
+            return self.dead_server_timeout_ms
+        timeout = self.attempt_timeout_ms * self.multiplier ** max(failed_attempts, 0)
+        return min(timeout, self.dead_server_timeout_ms)

@@ -45,6 +45,9 @@ class OpenFlameClient:
     selection_seed: int | None = None
     """Seed of this device's RFC 2782 weighted-selection RNG stream; the
     workload engine derives one per device for reproducible fleets."""
+    backoff_seed: int | None = None
+    """Seed of this device's retry-jitter RNG stream (full-jitter backoff);
+    derived per device like ``selection_seed``."""
     context: FederationContext = field(init=False)
     geocoder: FederatedGeocoder = field(init=False)
     searcher: FederatedSearch = field(init=False)
@@ -57,6 +60,7 @@ class OpenFlameClient:
             self.credential or ANONYMOUS,
             stub_resolver=self.stub_resolver,
             selection_seed=self.selection_seed,
+            backoff_seed=self.backoff_seed,
         )
         self.geocoder = FederatedGeocoder(
             context=self.context, world_provider=self.federation.world_provider

@@ -80,6 +80,17 @@ class FederationConfig:
     """Lifetime of a shared-health board entry.  Entries must expire so a
     revived replica is re-tried (and wins traffic back) even if the whole
     pool once saw it dead."""
+    stale_serve_max_ms: float = 0.0
+    """Graceful-degradation bound: how long past expiry a device may keep
+    serving a *stale* cached discovery result when live resolution fails
+    (authority dark, SERVFAIL).  0 — the default — hard-fails on discovery
+    failure exactly as before; disaster scenarios set it so warm-cache
+    devices coast through authority outages, with degraded requests counted
+    separately in :class:`repro.workload.engine.WorkloadReport`."""
+    max_retransmits: int | None = None
+    """Per-exchange retransmit budget under ``latency.loss_probability`` /
+    gray-failure loss.  ``None`` keeps :class:`LatencyModel`'s own default;
+    setting it overrides the latency model's cap at federation build time."""
 
     def __post_init__(self) -> None:
         if self.replica_selection not in SELECTION_MODES:
@@ -89,3 +100,7 @@ class FederationConfig:
             )
         if self.shared_health_ttl_seconds <= 0.0:
             raise ValueError("shared_health_ttl_seconds must be positive")
+        if self.stale_serve_max_ms < 0.0:
+            raise ValueError("stale_serve_max_ms cannot be negative")
+        if self.max_retransmits is not None and self.max_retransmits < 0:
+            raise ValueError("max_retransmits cannot be negative")

@@ -9,6 +9,7 @@ directory of reachable map servers.  Applications then obtain an
 
 from __future__ import annotations
 
+import dataclasses
 import random
 from dataclasses import dataclass, field
 
@@ -62,7 +63,15 @@ class Federation:
 
     def __post_init__(self) -> None:
         clock = SimulatedClock()
-        self.network = SimulatedNetwork(clock=clock, latency=self.config.latency)
+        latency = self.config.latency
+        if (
+            self.config.max_retransmits is not None
+            and self.config.max_retransmits != latency.max_retransmits
+        ):
+            latency = dataclasses.replace(
+                latency, max_retransmits=self.config.max_retransmits
+            )
+        self.network = SimulatedNetwork(clock=clock, latency=latency)
         self.naming = SpatialNaming(self.config.discovery_suffix)
         self.registry = DiscoveryRegistry(
             naming=self.naming,
@@ -341,6 +350,16 @@ class Federation:
         return tuple(sorted(self._offline))
 
     @property
+    def discovery_authority_id(self) -> str:
+        """The authoritative DNS server for the discovery zone.
+
+        Fault plans that take "the authority" offline without naming one
+        resolve to this id — the single server every spatial name's
+        resolution ultimately walks to.
+        """
+        return self.registry.authority.server_id
+
+    @property
     def all_servers(self) -> dict[str, MapServer]:
         """Every deployed server, reachable or currently offline.
 
@@ -407,16 +426,19 @@ class Federation:
         credential: Credential | None = None,
         stub_resolver: StubResolver | None = None,
         selection_seed: int | None = None,
+        backoff_seed: int | None = None,
     ) -> FederationContext:
         """Build the client-side context (discoverer + directory + network).
 
         ``selection_seed`` seeds the device's RFC 2782 weighted-selection
-        RNG stream; the workload engine derives one per device so fleet
-        runs stay deterministic while devices draw independently.  Without
-        an explicit seed each context gets the next value of a federation
-        counter — deterministic in construction order, but distinct per
-        device, so ad-hoc fleets still spread load instead of every client
-        replaying the same draw sequence.
+        RNG stream; ``backoff_seed`` seeds its retry-jitter stream (drawn
+        from only by full-jitter retry policies).  The workload engine
+        derives one of each per device so fleet runs stay deterministic
+        while devices draw independently.  Without an explicit seed each
+        context gets the next value of a federation counter — deterministic
+        in construction order, but distinct per device, so ad-hoc fleets
+        still spread load instead of every client replaying the same draw
+        sequence.
         """
         discoverer = Discoverer(
             resolver=stub_resolver or self.stub_resolver,
@@ -425,6 +447,7 @@ class Federation:
             ancestor_levels=self.config.discovery_ancestor_levels,
             device_cache_ttl_seconds=self.config.device_discovery_cache_ttl_seconds,
             cache_max_entries=self.config.discovery_cache_max_entries,
+            stale_serve_max_ms=self.config.stale_serve_max_ms,
         )
         retry_policy = self.config.retry_policy
         health: ReplicaHealth | None = None
@@ -455,6 +478,11 @@ class Federation:
             selection_rng=random.Random(
                 selection_seed if selection_seed is not None else self._context_counter
             ),
+            backoff_rng=random.Random(
+                backoff_seed
+                if backoff_seed is not None
+                else self._context_counter ^ 0xB0FF
+            ),
         )
         self._context_counter += 1
         if credential is not None:
@@ -466,6 +494,7 @@ class Federation:
         credential: Credential | None = None,
         stub_resolver: StubResolver | None = None,
         selection_seed: int | None = None,
+        backoff_seed: int | None = None,
     ):
         """Create an :class:`repro.core.client.OpenFlameClient` for this federation."""
         from repro.core.client import OpenFlameClient
@@ -475,6 +504,7 @@ class Federation:
             credential=credential,
             stub_resolver=stub_resolver,
             selection_seed=selection_seed,
+            backoff_seed=backoff_seed,
         )
 
     # ------------------------------------------------------------------

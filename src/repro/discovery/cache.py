@@ -36,6 +36,11 @@ class DiscoveryCache:
     clock: SimulatedClock
     max_entries: int = 4096
     default_ttl_seconds: float = 120.0
+    stale_grace_seconds: float = 0.0
+    """How long past expiry an entry may still be served *stale* via
+    :meth:`get_stale` (graceful degradation during discovery outages).
+    Zero — the default — keeps eviction and stats byte-identical to the
+    no-grace behaviour."""
     _lru: LruCache = field(init=False)
 
     def __post_init__(self) -> None:
@@ -50,13 +55,43 @@ class DiscoveryCache:
         return self.default_ttl_seconds > 0.0
 
     def get(self, cell_token: str) -> tuple[str, ...] | None:
-        """The cached server list for a cell, or None on a miss."""
+        """The cached *fresh* server list for a cell, or None on a miss."""
         if not self.enabled:
             return None
-        entry = self._lru.lookup(
-            cell_token, is_live=lambda value: value[0] > self.clock.now()
-        )
+        now = self.clock.now()
+        if self.stale_grace_seconds <= 0.0:
+            entry = self._lru.lookup(cell_token, is_live=lambda value: value[0] > now)
+            return entry[1] if entry is not None else None
+        # With a stale grace window, entries must survive their expiry so a
+        # later get_stale can find them: is_live retains within-grace entries,
+        # and the expired-but-retained case is re-accounted as a miss (a stale
+        # entry does not answer a normal lookup — resolution is still tried).
+        grace = self.stale_grace_seconds
+        entry = self._lru.lookup(cell_token, is_live=lambda value: value[0] + grace > now)
+        if entry is not None and entry[0] <= now:
+            self._lru.stats.hits -= 1
+            self._lru.stats.misses += 1
+            return None
         return entry[1] if entry is not None else None
+
+    def get_stale(self, cell_token: str) -> tuple[str, ...] | None:
+        """An *expired* entry still inside the stale grace window, else None.
+
+        The degradation path: when live resolution fails (authority dark,
+        SERVFAIL), the discoverer may serve this stale view rather than
+        hard-fail.  No stats or recency are perturbed — degraded serves are
+        counted by the discoverer, not as cache hits.
+        """
+        if not self.enabled or self.stale_grace_seconds <= 0.0:
+            return None
+        entry = self._lru.peek(cell_token)
+        if entry is None:
+            return None
+        expires_at, servers = entry
+        now = self.clock.now()
+        if expires_at <= now < expires_at + self.stale_grace_seconds:
+            return servers
+        return None
 
     def put(self, cell_token: str, servers: list[str] | tuple[str, ...], ttl_seconds: float | None = None) -> None:
         """Cache a cell's discovery result for ``ttl_seconds``.

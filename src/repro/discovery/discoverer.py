@@ -82,6 +82,11 @@ class Discoverer:
     max_query_cells: int = 24
     device_cache_ttl_seconds: float = 0.0
     cache_max_entries: int = 4096
+    stale_serve_max_ms: float = 0.0
+    """Graceful degradation bound: when live resolution *fails* (SERVFAIL —
+    authority dark or unreachable), an expired device-cache entry younger
+    than this may still be served, stale, instead of hard-failing.  0 (the
+    default) disables stale serving entirely."""
 
     def __post_init__(self) -> None:
         if self.naming is None:
@@ -90,7 +95,12 @@ class Discoverer:
             clock=self.resolver.network.clock,
             max_entries=self.cache_max_entries,
             default_ttl_seconds=self.device_cache_ttl_seconds,
+            stale_grace_seconds=self.stale_serve_max_ms / 1000.0,
         )
+        self.stale_serves: int = 0
+        """Cells answered from an expired cache entry because live
+        resolution failed — the degraded-service counter the workload
+        engine reads to tell degraded requests from healthy ones."""
         self.srv_view: dict[str, tuple[int, int]] = {}
         """Per-server ``(priority, weight)`` as this device last decoded it
         from an actual discovery answer.  Updated only on fresh name
@@ -146,7 +156,7 @@ class Discoverer:
         # cell (or for a name shared between two cells' ancestor walks) issued
         # while the first one is logically in flight coalesce onto its result
         # instead of issuing more DNS traffic.
-        name_results: dict[str, tuple[list[str], float]] = {}
+        name_results: dict[str, tuple[list[str], float, bool]] = {}
         cell_results: dict[str, list[str]] = {}
         lookups = 0
         coalesced = 0
@@ -163,15 +173,17 @@ class Discoverer:
                 else:
                     cell_servers = []
                     cell_expires_at = math.inf
+                    resolution_failed = False
                     for name in self._names_for_cell(cell):
                         if name not in name_results:
                             lookups += 1
                             name_results[name] = self._resolve_name(name)
                         else:
                             coalesced += 1
-                        name_servers, name_expires_at = name_results[name]
+                        name_servers, name_expires_at, name_failed = name_results[name]
                         cell_servers.extend(name_servers)
                         cell_expires_at = min(cell_expires_at, name_expires_at)
+                        resolution_failed = resolution_failed or name_failed
                     # The expiry is absolute: the clock advances while the walk
                     # resolves, and an entry derived from an answer expiring at
                     # T must itself expire at T no matter when it is stored.
@@ -180,6 +192,17 @@ class Discoverer:
                         cell_servers,
                         ttl_seconds=cell_expires_at - self.resolver.network.clock.now(),
                     )
+                    if not cell_servers and resolution_failed:
+                        # Graceful degradation: live resolution failed (not
+                        # "nobody covers this cell" — the authority could not
+                        # answer at all).  Serve a just-expired cached view if
+                        # one is still inside the stale window; the entry is
+                        # NOT re-cached, so the window stays anchored to the
+                        # moment the data went stale.
+                        stale = self.cache.get_stale(cell.token)
+                        if stale is not None:
+                            cell_servers = list(stale)
+                            self.stale_serves += 1
                 cell_results[cell.token] = cell_servers
 
             for server_id in cell_servers:
@@ -189,15 +212,17 @@ class Discoverer:
 
         return DiscoveryResult(tuple(servers), tuple(cells), lookups, coalesced)
 
-    def _resolve_name(self, name: str) -> tuple[list[str], float]:
-        """Resolve one spatial name to server targets plus an absolute expiry.
+    def _resolve_name(self, name: str) -> tuple[list[str], float, bool]:
+        """Resolve one spatial name to ``(targets, absolute expiry, failed)``.
 
         The expiry bounds how long a device-cache entry derived from this
         answer may live.  It is the instant the resolver's own cache entry
         lapses (an answer served from a cache expiring in 10s must not seed a
         120s device entry), falling back to the minimum record TTL for
         answers the resolver did not cache, and to the resolver's negative
-        TTL for empty answers.
+        TTL for empty answers.  ``failed`` marks a *transient* resolution
+        failure (SERVFAIL/REFUSED) — the cue for stale-serve degradation —
+        as opposed to an authoritative "nobody covers this name".
         """
         response = self.resolver.resolve(name, MAP_SERVER_RECORD_TYPE)
         dns_cache = self.resolver.recursive.cache
@@ -208,14 +233,14 @@ class Discoverer:
             # cached by the resolver; the device cache must not negative-cache
             # them either, or it would hide the recovery an uncached client
             # sees on its very next query.
-            return [], now
+            return [], now, True
         if response.code != ResponseCode.NOERROR or not response.answers:
             ttl = remaining if remaining is not None else dns_cache.negative_ttl_seconds
-            return [], now + ttl
+            return [], now + ttl, False
         matching = [r for r in response.answers if r.record_type == MAP_SERVER_RECORD_TYPE]
         if not matching:
             ttl = remaining if remaining is not None else dns_cache.negative_ttl_seconds
-            return [], now + ttl
+            return [], now + ttl, False
         decoded = [SrvData.decode(record.data) for record in matching]
         targets = []
         for srv in decoded:
@@ -226,7 +251,7 @@ class Discoverer:
         ttl = min(record.ttl_seconds for record in matching)
         if remaining is not None:
             ttl = min(ttl, remaining)
-        return targets, now + ttl
+        return targets, now + ttl, False
 
     def _names_for_cell(self, cell: CellId) -> tuple[str, ...]:
         """Names to query for a cell: the cell itself plus a few ancestors.

@@ -27,6 +27,9 @@ class ResolverStats:
     authoritative_exchanges: int = 0
     cache_answers: int = 0
     nxdomain: int = 0
+    timeouts: int = 0
+    """Queries abandoned because the authority was dark (fault-injected
+    outage): the resolver paid its full patience and synthesized SERVFAIL."""
 
 
 @dataclass
@@ -86,6 +89,15 @@ class RecursiveResolver:
     def _resolve_iteratively(self, question: Question) -> DnsResponse:
         server = self.root
         for _ in range(self.max_referrals):
+            faults = self.network.faults
+            if faults is not None and faults.authority_is_down(server.server_id):
+                # The authority is dark: the query goes unanswered, the
+                # resolver pays its full patience and gives up with SERVFAIL.
+                # SERVFAIL is deliberately never cached (see resolve), so
+                # recovery is visible on the very next uncached query.
+                self.network.dns_timeout(faults.dns_timeout_ms)
+                self.stats.timeouts += 1
+                return DnsResponse(question, code=ResponseCode.SERVFAIL)
             self.network.resolver_authority_exchange()
             self.stats.authoritative_exchanges += 1
             response = server.handle(question)

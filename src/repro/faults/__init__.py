@@ -1,0 +1,56 @@
+"""Deterministic fault injection: correlated disasters as replayable tapes.
+
+Churn (:mod:`repro.churn`) models *independent* failures — one server
+crashes, one lease expires.  Production federations are judged on the
+*correlated* ones: a region loses its uplink, a DNS authority goes dark, a
+stadium fills, a bad kernel rolls across a replica group.  This package
+makes those first-class:
+
+* :mod:`repro.faults.schedule` — :class:`FaultPlan` tapes (the third
+  sibling of :class:`~repro.churn.schedule.ChurnSchedule` and
+  :class:`~repro.control.schedule.ControlSchedule`): time-ordered
+  partition / gray-failure / authority-outage / flash-crowd events with
+  windowed constructors.
+* :mod:`repro.faults.injector` — :class:`FaultInjector` applies a plan's
+  events to a running federation's
+  :class:`~repro.simulation.network.NetworkFaultState` at round
+  boundaries, exactly as the churn controller and control plane do.
+* :mod:`repro.faults.scenarios` — the named disaster library (regional
+  outage, stadium flash crowd, authority outage with cache coasting,
+  asymmetric partition with conflicting operator drains, rolling gray
+  failure), each with availability/latency acceptance bands checked by
+  ``benchmarks/bench_e17_faults.py``.
+
+Tapes are plain data: the same plan replays byte for byte, and a run with
+no plan attaches no fault state at all — byte-identical to the fault-free
+engine.
+"""
+
+from repro.faults.injector import AppliedFaultEvent, FaultInjector
+from repro.faults.schedule import FaultEvent, FaultEventKind, FaultPlan
+
+__all__ = [
+    "AppliedFaultEvent",
+    "DisasterSpec",
+    "FaultEvent",
+    "FaultEventKind",
+    "FaultInjector",
+    "FaultPlan",
+    "SCENARIOS",
+    "check_bands",
+    "get_scenario",
+    "scenario_metrics",
+]
+
+_SCENARIO_EXPORTS = ("SCENARIOS", "DisasterSpec", "get_scenario", "scenario_metrics", "check_bands")
+
+
+def __getattr__(name: str):
+    # The scenario library builds on the workload engine, which itself
+    # imports the injector from this package — so scenarios load lazily
+    # to keep the package importable from either direction.
+    if name in _SCENARIO_EXPORTS:
+        from repro.faults import scenarios
+
+        return getattr(scenarios, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,136 @@
+"""Applies a :class:`FaultPlan` to a running federation.
+
+The :class:`FaultInjector` is the disaster-side sibling of
+:class:`repro.churn.controller.ChurnController` and
+:class:`repro.control.plane.ControlPlane`: the workload engine calls
+:meth:`FaultInjector.apply_until` at each round boundary (the FAULT event
+rank fires before churn and control), and every due tape event mutates the
+network's :class:`~repro.simulation.network.NetworkFaultState` — the
+primitives the data path consults per exchange.
+
+Flash crowds are the one primitive that is load, not connectivity: while a
+crowd is active, :meth:`inject_round_load` charges its extra arrivals into
+the target servers' queues each round (batch phantom arrivals, exactly the
+mechanism the cohort fast path uses), so fleet requests queue behind the
+crowd and the overload is measured, not assumed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.federation import Federation
+from repro.faults.schedule import FaultEvent, FaultEventKind, FaultPlan
+from repro.simulation.network import GrayFailure, NetworkFaultState
+
+
+@dataclass(frozen=True, slots=True)
+class AppliedFaultEvent:
+    """One tape event after the injector processed it."""
+
+    at_seconds: float
+    kind: str
+    detail: str
+    applied: bool = True
+    """False when the event was a no-op against current state (healing a
+    partition that was never cut, ending a crowd that never formed)."""
+
+
+@dataclass
+class FaultInjector:
+    """Plays a fault tape into a federation's network fault state."""
+
+    federation: Federation
+    plan: FaultPlan
+    dns_timeout_ms: float = 300.0
+    """What one query against a dark authority costs the resolver before it
+    gives up with SERVFAIL."""
+    applied: list[AppliedFaultEvent] = field(default_factory=list)
+    _cursor: int = 0
+    _active_crowds: dict[tuple[tuple[str, ...], str], int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        state = self.federation.network.fault_state()
+        state.dns_timeout_ms = self.dns_timeout_ms
+
+    @property
+    def state(self) -> NetworkFaultState:
+        return self.federation.network.fault_state()
+
+    def apply_until(self, now_seconds: float) -> list[AppliedFaultEvent]:
+        """Apply every tape event due at or before ``now_seconds``."""
+        performed: list[AppliedFaultEvent] = []
+        events = self.plan.events
+        while self._cursor < len(events) and events[self._cursor].at_seconds <= now_seconds:
+            event = events[self._cursor]
+            self._cursor += 1
+            performed.append(self._apply(event))
+        self.applied.extend(performed)
+        return performed
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self.plan.events)
+
+    def inject_round_load(self) -> None:
+        """Charge every active flash crowd's arrivals for this round."""
+        if not self._active_crowds:
+            return
+        servers = self.federation.all_servers
+        for (server_ids, load_kind), extra_load in self._active_crowds.items():
+            for server_id in server_ids:
+                server = servers.get(server_id)
+                if server is not None and server.queue is not None:
+                    server.queue.phantom_arrivals(load_kind, extra_load)
+
+    # ------------------------------------------------------------------
+    # Event application
+    # ------------------------------------------------------------------
+    def _authority_ids(self, event: FaultEvent) -> tuple[str, ...]:
+        if event.server_ids:
+            return event.server_ids
+        return (self.federation.discovery_authority_id,)
+
+    def _apply(self, event: FaultEvent) -> AppliedFaultEvent:
+        state = self.state
+        kind = event.kind
+        applied = False
+        if kind == FaultEventKind.PARTITION:
+            for sid in event.server_ids:
+                applied = state.block(sid, event.regions or None) or applied
+        elif kind == FaultEventKind.HEAL_PARTITION:
+            for sid in event.server_ids:
+                applied = state.unblock(sid, event.regions or None) or applied
+        elif kind == FaultEventKind.GRAY:
+            gray = GrayFailure(
+                latency_multiplier=event.latency_multiplier,
+                loss_probability=event.loss_probability,
+            )
+            for sid in event.server_ids:
+                applied = state.set_gray(sid, gray) or applied
+        elif kind == FaultEventKind.HEAL_GRAY:
+            for sid in event.server_ids:
+                applied = state.clear_gray(sid) or applied
+        elif kind == FaultEventKind.AUTHORITY_DOWN:
+            for sid in self._authority_ids(event):
+                applied = state.authority_down(sid) or applied
+        elif kind == FaultEventKind.AUTHORITY_UP:
+            for sid in self._authority_ids(event):
+                applied = state.authority_up(sid) or applied
+        elif kind == FaultEventKind.FLASH_CROWD:
+            key = (event.server_ids, event.load_kind)
+            applied = self._active_crowds.get(key) != event.extra_load
+            self._active_crowds[key] = event.extra_load
+        elif kind == FaultEventKind.FLASH_CROWD_END:
+            key = (event.server_ids, event.load_kind)
+            applied = self._active_crowds.pop(key, None) is not None
+
+        detail = ",".join(event.server_ids) or "discovery-authority"
+        if event.regions:
+            detail += f"@regions={','.join(map(str, event.regions))}"
+        return AppliedFaultEvent(
+            at_seconds=event.at_seconds,
+            kind=kind.value,
+            detail=detail,
+            applied=applied,
+        )

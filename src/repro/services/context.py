@@ -66,6 +66,9 @@ class FederationContext:
     """Per-server (priority, weight) for RFC 2782 weighted selection."""
     selection_rng: random.Random | None = None
     """This device's seeded weighted-selection RNG stream."""
+    backoff_rng: random.Random | None = None
+    """This device's seeded retry-backoff jitter stream, consulted only by
+    full-jitter retry policies (no draws otherwise — byte-identity safe)."""
 
     # ------------------------------------------------------------------
     # Directory
@@ -135,6 +138,7 @@ class FederationContext:
             policy=self.retry_policy,
             health=self.health,
             recorder=self.failover,
+            rng=self.backoff_rng,
         )
 
     # ------------------------------------------------------------------
@@ -168,8 +172,13 @@ class _NoExchangeNetwork:
     def clock(self):
         return self._network.clock
 
-    def client_map_server_exchange(self) -> float:
+    def client_map_server_exchange(
+        self, server_id: str | None = None, fail_on_exhaustion: bool = False
+    ) -> float:
         return 0.0
+
+    def server_reachable(self, server_id: str) -> bool:
+        return self._network.server_reachable(server_id)
 
     def client_backoff(self, delay_ms: float) -> float:
         return self._network.client_backoff(delay_ms)

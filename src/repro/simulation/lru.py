@@ -65,6 +65,16 @@ class LruCache:
         self.stats.hits += 1
         return value
 
+    def peek(self, key: Any) -> Any | None:
+        """The stored value for ``key`` with no accounting or recency effects.
+
+        Lets a TTL-aware wrapper inspect an entry that would fail its
+        ``is_live`` check — e.g. to serve it stale during an outage —
+        without perturbing hit/miss statistics or the eviction order.
+        """
+        value = self._entries.get(key, _MISSING)
+        return None if value is _MISSING else value
+
     def store(self, key: Any, value: Any) -> None:
         """Insert or refresh ``key``, evicting the LRU entry when full."""
         entries = self._entries

@@ -15,6 +15,15 @@ Two optional refinements serve the fleet-scale experiments:
   server-side queueing + service time (see
   :mod:`repro.simulation.queueing`) into the same latency accounting,
   without counting a network message.
+
+Correlated failures are expressed through :class:`NetworkFaultState`, a
+bag of *primitives* — region↔server partitions, per-server gray failures
+(latency multiplier and/or loss burst), and dark DNS authorities — that
+:mod:`repro.faults` drives from deterministic fault tapes.  The network
+deliberately knows nothing about fault *schedules*; it only answers "is
+this link up, and how lossy is it, right now?".  With no fault state
+attached (the default), every path through this module is byte-identical
+to the fault-free implementation.
 """
 
 from __future__ import annotations
@@ -28,8 +37,23 @@ DEFAULT_LOCAL_LATENCY_MS = 0.1
 DEFAULT_LAN_LATENCY_MS = 1.0
 DEFAULT_WAN_LATENCY_MS = 25.0
 
-_MAX_RETRANSMISSIONS = 8
+DEFAULT_MAX_RETRANSMITS = 8
 """Retry bound per exchange so a high loss probability cannot loop forever."""
+
+
+class NetworkTimeoutError(Exception):
+    """An exchange exhausted its retransmit budget and was abandoned.
+
+    Raised only on opt-in (``fail_on_exhaustion=True``) paths — the failover
+    executor — so legacy transparent-retry callers keep their draw-for-draw
+    behaviour.  The raising exchange charges nothing; the caller decides what
+    an abandoned request costs (typically a retry-policy attempt timeout).
+    """
+
+    def __init__(self, server_id: str | None = None) -> None:
+        self.server_id = server_id
+        where = f" to {server_id}" if server_id else ""
+        super().__init__(f"exchange{where} exhausted its retransmit budget")
 
 
 @dataclass(frozen=True, slots=True)
@@ -39,8 +63,9 @@ class LatencyModel:
     ``jitter_sigma`` > 0 turns every exchange's latency into
     ``base * Lognormal(0, sigma)``; ``loss_probability`` > 0 makes each
     exchange independently lose its datagram with that probability and pay a
-    full extra (jittered) round trip per retransmission.  Both default to
-    off, keeping the historical fixed-latency behaviour bit-for-bit.
+    full extra (jittered) round trip per retransmission, bounded by
+    ``max_retransmits``.  Both default to off, keeping the historical
+    fixed-latency behaviour bit-for-bit.
     """
 
     client_to_resolver_ms: float = DEFAULT_LAN_LATENCY_MS
@@ -50,16 +75,136 @@ class LatencyModel:
     local_compute_ms: float = DEFAULT_LOCAL_LATENCY_MS
     jitter_sigma: float = 0.0
     loss_probability: float = 0.0
+    max_retransmits: int = DEFAULT_MAX_RETRANSMITS
 
     def __post_init__(self) -> None:
         if self.jitter_sigma < 0.0:
             raise ValueError("jitter sigma cannot be negative")
         if not (0.0 <= self.loss_probability < 1.0):
             raise ValueError("loss probability must be in [0, 1)")
+        if self.max_retransmits < 0:
+            raise ValueError("max retransmits cannot be negative")
 
     @property
     def is_stochastic(self) -> bool:
         return self.jitter_sigma > 0.0 or self.loss_probability > 0.0
+
+
+@dataclass(frozen=True, slots=True)
+class GrayFailure:
+    """A degraded-but-alive server: slower and/or lossier, not down.
+
+    Gray failures are the failures monitoring misses — the server answers
+    health checks but every exchange with it pays ``latency_multiplier``
+    and suffers ``loss_probability`` (whichever of the gray and base loss
+    rates is worse applies).
+    """
+
+    latency_multiplier: float = 1.0
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency_multiplier < 1.0:
+            raise ValueError("a gray failure cannot speed a server up")
+        if not (0.0 <= self.loss_probability < 1.0):
+            raise ValueError("gray loss probability must be in [0, 1)")
+        if self.latency_multiplier == 1.0 and self.loss_probability == 0.0:
+            raise ValueError("a gray failure must degrade something")
+
+
+@dataclass
+class NetworkFaultState:
+    """Mutable fault primitives a :class:`SimulatedNetwork` consults per call.
+
+    The fault *tape* machinery lives in :mod:`repro.faults` (which drives
+    these setters); the network only holds current truth.  ``active_region``
+    is the region of the client currently on the wire — the workload engine
+    sets it around each device's requests so region-scoped partitions know
+    which side of the cut the caller is on.  A client with no region
+    (``active_region is None``) is outside every region-scoped partition.
+    """
+
+    active_region: int | None = None
+    dns_timeout_ms: float = 300.0
+    _blocked_all: set[str] = field(default_factory=set)
+    _blocked_regions: dict[str, set[int]] = field(default_factory=dict)
+    _gray: dict[str, GrayFailure] = field(default_factory=dict)
+    _authorities_down: set[str] = field(default_factory=set)
+
+    # -- partitions ----------------------------------------------------
+    def block(self, server_id: str, regions: tuple[int, ...] | None = None) -> bool:
+        """Open a partition between ``server_id`` and clients (or regions)."""
+        if not regions:
+            if server_id in self._blocked_all:
+                return False
+            self._blocked_all.add(server_id)
+            return True
+        cut = self._blocked_regions.setdefault(server_id, set())
+        before = len(cut)
+        cut.update(regions)
+        return len(cut) > before
+
+    def unblock(self, server_id: str, regions: tuple[int, ...] | None = None) -> bool:
+        """Heal a partition; returns False when nothing was blocked."""
+        if not regions:
+            changed = server_id in self._blocked_all
+            self._blocked_all.discard(server_id)
+            if self._blocked_regions.pop(server_id, None) is not None:
+                changed = True
+            return changed
+        cut = self._blocked_regions.get(server_id)
+        if not cut:
+            return False
+        before = len(cut)
+        cut.difference_update(regions)
+        if not cut:
+            del self._blocked_regions[server_id]
+        return len(cut or ()) < before
+
+    def server_reachable(self, server_id: str) -> bool:
+        if server_id in self._blocked_all:
+            return False
+        regions = self._blocked_regions.get(server_id)
+        if regions and self.active_region is not None:
+            return self.active_region not in regions
+        return True
+
+    # -- gray failures -------------------------------------------------
+    def set_gray(self, server_id: str, gray: GrayFailure) -> bool:
+        changed = self._gray.get(server_id) != gray
+        self._gray[server_id] = gray
+        return changed
+
+    def clear_gray(self, server_id: str) -> bool:
+        return self._gray.pop(server_id, None) is not None
+
+    def gray_for(self, server_id: str) -> GrayFailure | None:
+        return self._gray.get(server_id)
+
+    # -- DNS authority outages -----------------------------------------
+    def authority_down(self, server_id: str) -> bool:
+        if server_id in self._authorities_down:
+            return False
+        self._authorities_down.add(server_id)
+        return True
+
+    def authority_up(self, server_id: str) -> bool:
+        if server_id not in self._authorities_down:
+            return False
+        self._authorities_down.discard(server_id)
+        return True
+
+    def authority_is_down(self, server_id: str) -> bool:
+        return server_id in self._authorities_down
+
+    @property
+    def any_active(self) -> bool:
+        return bool(
+            self._blocked_all
+            or self._blocked_regions
+            or self._gray
+            or self._authorities_down
+        )
 
 
 @dataclass
@@ -95,7 +240,22 @@ class SimulatedNetwork:
     latency: LatencyModel = field(default_factory=LatencyModel)
     stats: NetworkStats = field(default_factory=NetworkStats)
     jitter_seed: int = 0
+    faults: NetworkFaultState | None = None
     _jitter_rng: random.Random | None = field(default=None, repr=False)
+
+    def fault_state(self) -> NetworkFaultState:
+        """The attached fault state, created on first use.
+
+        Fault-free runs never call this, so ``faults`` stays ``None`` and
+        every exchange skips the fault checks entirely.
+        """
+        if self.faults is None:
+            self.faults = NetworkFaultState()
+        return self.faults
+
+    def server_reachable(self, server_id: str) -> bool:
+        """Whether the active client can reach ``server_id`` right now."""
+        return self.faults is None or self.faults.server_reachable(server_id)
 
     def reseed_jitter(self, stream_key: int) -> None:
         """Restart the jitter/loss RNG from a fresh deterministic stream.
@@ -118,26 +278,59 @@ class SimulatedNetwork:
         """
         self._jitter_rng = rng
 
-    def _jittered(self, latency_ms: float) -> float:
-        """One exchange's latency after jitter and (retransmitted) losses."""
-        if not self.latency.is_stochastic:
+    def _jittered(
+        self,
+        latency_ms: float,
+        *,
+        server_id: str | None = None,
+        fail_on_exhaustion: bool = False,
+    ) -> float:
+        """One exchange's latency after jitter, gray failure and losses.
+
+        Draw-for-draw compatible with the historical transparent-retry
+        behaviour: the same RNG sequence is consumed for the same inputs.
+        Only when the retransmit budget is exhausted *and* the caller opted
+        in does one extra loss draw decide whether the exchange is abandoned
+        (:class:`NetworkTimeoutError`, charging nothing).
+        """
+        gray = None
+        if self.faults is not None and server_id is not None:
+            gray = self.faults.gray_for(server_id)
+        sigma = self.latency.jitter_sigma
+        loss = self.latency.loss_probability
+        if gray is not None:
+            latency_ms *= gray.latency_multiplier
+            loss = max(loss, gray.loss_probability)
+        if sigma <= 0.0 and loss <= 0.0:
             return latency_ms
         if self._jitter_rng is None:
             self._jitter_rng = random.Random(self.jitter_seed)
         rng = self._jitter_rng
-        sigma = self.latency.jitter_sigma
-        loss = self.latency.loss_probability
+        cap = self.latency.max_retransmits
         total = latency_ms * (rng.lognormvariate(0.0, sigma) if sigma > 0.0 else 1.0)
         retries = 0
-        while loss > 0.0 and retries < _MAX_RETRANSMISSIONS and rng.random() < loss:
+        while loss > 0.0 and retries < cap and rng.random() < loss:
             retries += 1
             total += latency_ms * (rng.lognormvariate(0.0, sigma) if sigma > 0.0 else 1.0)
         self.stats.retransmissions += retries
+        if fail_on_exhaustion and loss > 0.0 and retries >= cap and rng.random() < loss:
+            raise NetworkTimeoutError(server_id)
         return total
 
-    def round_trip(self, kind: str, one_way_latency_ms: float) -> float:
+    def round_trip(
+        self,
+        kind: str,
+        one_way_latency_ms: float,
+        *,
+        server_id: str | None = None,
+        fail_on_exhaustion: bool = False,
+    ) -> float:
         """Charge one request/response exchange and return its latency in ms."""
-        latency_ms = self._jittered(2.0 * one_way_latency_ms)
+        latency_ms = self._jittered(
+            2.0 * one_way_latency_ms,
+            server_id=server_id,
+            fail_on_exhaustion=fail_on_exhaustion,
+        )
         self.clock.advance_ms(latency_ms)
         self.stats.record(kind, latency_ms)
         return latency_ms
@@ -149,8 +342,15 @@ class SimulatedNetwork:
     def resolver_authority_exchange(self) -> float:
         return self.round_trip("dns.resolver_authority", self.latency.resolver_to_authority_ms)
 
-    def client_map_server_exchange(self) -> float:
-        return self.round_trip("mapserver.request", self.latency.client_to_map_server_ms)
+    def client_map_server_exchange(
+        self, server_id: str | None = None, fail_on_exhaustion: bool = False
+    ) -> float:
+        return self.round_trip(
+            "mapserver.request",
+            self.latency.client_to_map_server_ms,
+            server_id=server_id,
+            fail_on_exhaustion=fail_on_exhaustion,
+        )
 
     def client_central_exchange(self) -> float:
         return self.round_trip("central.request", self.latency.client_to_central_ms)
@@ -184,6 +384,19 @@ class SimulatedNetwork:
             return 0.0
         self.clock.advance_ms(timeout_ms)
         self.stats.record("mapserver.timeout", timeout_ms)
+        return timeout_ms
+
+    def dns_timeout(self, timeout_ms: float) -> float:
+        """Charge one unanswered DNS query to a dark authority.
+
+        Like :meth:`dead_server_timeout` but on the resolver→authority hop:
+        the query is a real message (counted under ``dns.timeout``) whose
+        cost is the resolver's full patience for the authority.
+        """
+        if timeout_ms <= 0.0:
+            return 0.0
+        self.clock.advance_ms(timeout_ms)
+        self.stats.record("dns.timeout", timeout_ms)
         return timeout_ms
 
     def server_processing(self, latency_ms: float) -> float:

@@ -36,6 +36,8 @@ from repro.churn.schedule import ChurnSchedule
 from repro.control.plane import ControlPlane
 from repro.control.schedule import ControlSchedule
 from repro.core.client import OpenFlameClient
+from repro.faults.injector import FaultInjector
+from repro.faults.schedule import FaultPlan
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle, GnssCue
@@ -63,6 +65,9 @@ _SELECTION_SEED_SALT = 0xD15C
 _JITTER_SEED_SALT = 0x5EED
 """XOR salt deriving a device's network jitter/loss stream."""
 
+_BACKOFF_SEED_SALT = 0xB0FF
+"""XOR salt deriving a device's retry-backoff jitter stream."""
+
 
 def client_base_seed(seed: int, index: int) -> int:
     """Device ``index``'s base (mobility/traffic) RNG seed for a run seed."""
@@ -75,22 +80,23 @@ def derived_seed_streams(seed: int, index: int) -> dict[str, int]:
     Collision-freedom argument (audited for 100k–1M-device fleets): base
     seeds are ``seed + stride·(i+1)`` with a stride of 1,000,003, so two
     distinct devices' base seeds differ by at least the stride.  The
-    selection and jitter families are the base XOR a salt below 2^16; two
-    integers whose XOR is below 2^16 agree on every bit from 16 up and so
-    differ by less than 65,536 < stride.  Hence a salted seed can never
-    collide with any *other* device's seed in the same or another family,
-    and within one device the two salts (and their XOR) are non-zero, so
-    all three streams are distinct.  The engine-level POI shuffle uses the
-    bare run ``seed`` — device index −1 under the same argument — and can
-    collide with nothing either.  ``tests/test_rng_streams.py`` asserts
-    both the pairwise-distinctness and the salts-below-stride invariant
-    this argument rests on.
+    selection, jitter and backoff families are the base XOR a salt below
+    2^16; two integers whose XOR is below 2^16 agree on every bit from 16
+    up and so differ by less than 65,536 < stride.  Hence a salted seed
+    can never collide with any *other* device's seed in the same or
+    another family, and within one device the three salts (and their
+    pairwise XORs) are non-zero, so all four streams are distinct.  The
+    engine-level POI shuffle uses the bare run ``seed`` — device index −1
+    under the same argument — and can collide with nothing either.
+    ``tests/test_rng_streams.py`` asserts both the pairwise-distinctness
+    and the salts-below-stride invariant this argument rests on.
     """
     base = client_base_seed(seed, index)
     return {
         "base": base,
         "selection": base ^ _SELECTION_SEED_SALT,
         "jitter": base ^ _JITTER_SEED_SALT,
+        "backoff": base ^ _BACKOFF_SEED_SALT,
     }
 
 
@@ -145,6 +151,14 @@ class WorkloadConfig:
     boundaries (same granularity as churn), then tracks each device's
     stale SRV view until it converges on the new advertisement —
     ``WorkloadReport.control_stats`` reports the convergence tail."""
+    faults: FaultPlan | None = None
+    """Correlated-disaster tape applied while the fleet runs: the engine
+    plays the plan through a :class:`~repro.faults.injector.FaultInjector`
+    at round boundaries (the FAULT event rank fires before churn and
+    control), mutating the network's fault state — partitions, gray
+    failures, authority outages — and charging active flash crowds' load.
+    ``None`` attaches no fault state at all, keeping fault-free runs
+    byte-identical to the pre-fault engine."""
     engine: str = "event"
     """Which execution loop drives the fleet: ``"event"`` (the heap-driven
     engine, default) or ``"legacy"`` (the retained round loop, kept as the
@@ -244,6 +258,13 @@ class WorkloadReport:
     """Cohort-fast-path accounting (cohorts, tracers, max weight); empty on
     the exact path, so small-fleet snapshots carry no extra keys and the
     committed benchmark artifacts stay byte-identical."""
+    degraded_requests: int = 0
+    """Requests served from a stale-while-unreachable cached SRV view after
+    live discovery failed (graceful degradation, not full service)."""
+    fault_stats: dict[str, float] = field(default_factory=dict)
+    """Fault-injection outcome: tape events applied/skipped, degraded
+    (stale-served) requests and stale cache serves.  Empty when the run had
+    no fault plan, so fault-free snapshots carry no extra keys."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -351,6 +372,8 @@ class WorkloadReport:
             data[f"control.{key}"] = value
         for key, value in sorted(self.sampling.items()):
             data[f"sampling.{key}"] = value
+        for key, value in sorted(self.fault_stats.items()):
+            data[f"faults.{key}"] = value
         return data
 
 
@@ -383,6 +406,11 @@ class WorkloadEngine:
         # Multiplier applied to every metric a request records; 1 except
         # while a cohort tracer answers for its phantoms.
         self._active_weight = 1
+        self.fault_injector: FaultInjector | None = None
+        if self.config.faults is not None:
+            self.fault_injector = FaultInjector(
+                federation=scenario.federation, plan=self.config.faults
+            )
         self.churn_controller: ChurnController | None = None
         if self.config.churn is not None:
             self.churn_controller = ChurnController(
@@ -490,6 +518,7 @@ class WorkloadEngine:
                 # A distinct weighted-selection stream per device: replica
                 # draws must not depend on fleet interleaving.
                 selection_seed=seeds["selection"],
+                backoff_seed=seeds["backoff"],
             ),
             mobility=mobility,
             rng=random.Random(seeds["base"]),
@@ -502,7 +531,12 @@ class WorkloadEngine:
     def _build_fleet(self) -> list[FleetClient]:
         federation = self.scenario.federation
         pools = federation.resolver_pool(self.config.resolver_pools)
-        stochastic = federation.network.latency.is_stochastic
+        # Fault runs always get per-device jitter streams: a gray failure can
+        # make a deterministic latency model draw loss mid-run, and those
+        # draws must not depend on how the fleet's requests interleave.
+        stochastic = (
+            federation.network.latency.is_stochastic or self.config.faults is not None
+        )
         commute_stops, trace_stops = self._commute_routes()
         if self._cohort_mode:
             return self._build_cohort_fleet(pools, stochastic, commute_stops, trace_stops)
@@ -589,6 +623,7 @@ class WorkloadEngine:
         started_at = clock.now()
         try:
             for _ in range(self.config.steps):
+                self._apply_faults(clock.now())
                 self._apply_churn(clock.now())
                 self._apply_control(clock.now())
                 round_start = clock.now()
@@ -611,10 +646,12 @@ class WorkloadEngine:
     def _schedule_round(self, heap: EventHeap, at: float) -> None:
         """Queue one fleet round's fixed events at instant ``at``.
 
-        EventKind ranks make the pop order churn → control → round begin
-        (which fans out the device/cohort events) → devices → round end,
-        replicating the legacy loop's statement order exactly.
+        EventKind ranks make the pop order faults → churn → control → round
+        begin (which fans out the device/cohort events) → devices → round
+        end, replicating the legacy loop's statement order exactly.
         """
+        if self.fault_injector is not None:
+            heap.push(at, EventKind.FAULT)
         if self.churn_controller is not None:
             heap.push(at, EventKind.CHURN)
         if self.control_plane is not None:
@@ -643,7 +680,9 @@ class WorkloadEngine:
             while heap:
                 event = heap.pop()
                 clock.advance_to(event.at_seconds)
-                if event.kind is EventKind.CHURN:
+                if event.kind is EventKind.FAULT:
+                    self._apply_faults(clock.now())
+                elif event.kind is EventKind.CHURN:
                     self._apply_churn(clock.now())
                 elif event.kind is EventKind.CONTROL:
                     self._apply_control(clock.now())
@@ -721,6 +760,25 @@ class WorkloadEngine:
                         # The clock is back at round_start, so phantom jobs
                         # land at the same instant their tracer's did.
                         queue.phantom_arrivals(kind, delta * (weight - 1))
+
+    # ------------------------------------------------------------------
+    # Faults
+    # ------------------------------------------------------------------
+    def _apply_faults(self, now: float) -> None:
+        """Apply due fault-tape events at a round boundary, then charge any
+        active flash crowd's load for the round about to run.
+
+        Like churn, disasters land *between* concurrent rounds: a partition
+        is open or healed for a whole round, never half of one.
+        """
+        if self.fault_injector is None:
+            return
+        for event in self.fault_injector.apply_until(now):
+            if event.applied:
+                self.metrics.counter(f"faults.{event.kind}").increment()
+            else:
+                self.metrics.counter("faults.skipped").increment()
+        self.fault_injector.inject_round_load()
 
     # ------------------------------------------------------------------
     # Churn
@@ -835,6 +893,13 @@ class WorkloadEngine:
         recorder = device.client.context.failover
         chains_ok_before = recorder.chains_ok
         chains_failed_before = recorder.chains_failed
+        discoverer = device.client.context.discoverer
+        stale_before = discoverer.stale_serves
+        faults = network.faults if self.fault_injector is not None else None
+        if faults is not None:
+            # Which side of a region-scoped partition this device's
+            # exchanges see: its resolver-pool index is its client region.
+            faults.active_region = device.index % self.config.resolver_pools
         issued = True
         try:
             if kind == RequestKind.SEARCH:
@@ -851,6 +916,13 @@ class WorkloadEngine:
             self.metrics.counter(f"errors.{kind.value}").increment(weight)
             self.metrics.counter("availability.failed_requests").increment(weight)
             return
+        finally:
+            if faults is not None:
+                faults.active_region = None
+            if discoverer.stale_serves > stale_before:
+                # The request got *degraded* service: at least one cell was
+                # answered from a stale-while-unreachable cached SRV view.
+                self.metrics.counter("degraded.requests").increment(weight)
         if recorder.chains_failed > chains_failed_before and recorder.chains_ok == chains_ok_before:
             # Every map server this request tried was unreachable or
             # overloaded past its whole replica chain: the user got nothing.
@@ -1005,6 +1077,22 @@ class WorkloadEngine:
                 "converge_p95_s": converge.p95 if converge is not None else 0.0,
                 "converge_mean_s": converge.mean if converge is not None else 0.0,
             }
+        degraded_counter = self.metrics.counters.get("degraded.requests")
+        degraded = degraded_counter.value if degraded_counter is not None else 0
+        fault_stats: dict[str, float] = {}
+        if self.fault_injector is not None:
+            applied = sum(1 for event in self.fault_injector.applied if event.applied)
+            skipped = sum(1 for event in self.fault_injector.applied if not event.applied)
+            stale_serves = sum(
+                device.client.context.discoverer.stale_serves * device.weight
+                for device in self.fleet
+            )
+            fault_stats = {
+                "events_applied": float(applied),
+                "events_skipped": float(skipped),
+                "degraded_requests": float(degraded),
+                "stale_serves": float(stale_serves),
+            }
         sampling: dict[str, float] = {}
         if self._cohort_mode:
             sampling = {
@@ -1037,4 +1125,6 @@ class WorkloadEngine:
             },
             control_stats=control_stats,
             sampling=sampling,
+            degraded_requests=degraded,
+            fault_stats=fault_stats,
         )

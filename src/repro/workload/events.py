@@ -30,22 +30,27 @@ from typing import Any
 class EventKind(IntEnum):
     """Event families, ranked by their order within one simulated instant."""
 
-    CHURN = 0
+    FAULT = 0
+    """Apply due fault-tape events (round boundary).  Faults rank first:
+    a disaster that strikes at a round boundary is in force before churn,
+    operators or any device of that round react to the world."""
+
+    CHURN = 1
     """Apply due membership-churn tape events (round boundary)."""
 
-    CONTROL = 1
+    CONTROL = 2
     """Apply due operator control tape events (round boundary)."""
 
-    ROUND_BEGIN = 2
+    ROUND_BEGIN = 3
     """Start a fleet round: schedules the round's device/cohort events."""
 
-    DEVICE = 3
+    DEVICE = 4
     """One device advances and issues one request (exact path)."""
 
-    COHORT = 4
+    COHORT = 5
     """One cohort's tracers advance and issue, phantoms charged in batch."""
 
-    ROUND_END = 5
+    ROUND_END = 6
     """Advance the round clock, run expiry/rediscovery/convergence
     observations, and schedule the next round if any remain."""
 

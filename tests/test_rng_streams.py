@@ -1,8 +1,8 @@
 """Per-client RNG stream derivation audit.
 
-The engine derives three RNG streams per device from one run seed: the
+The engine derives four RNG streams per device from one run seed: the
 base (mobility/traffic) stream at ``seed + stride·(index+1)`` and the
-selection/jitter streams as the base XOR a small salt.  A collision
+selection/jitter/backoff streams as the base XOR a small salt.  A collision
 between any two streams of any two devices would silently correlate
 "independent" devices, which at 100k–1M clients is a statistics bug, not
 a curiosity.  These tests pin the invariants the collision-freedom
@@ -13,6 +13,7 @@ and brute-force distinctness over representative index ranges.
 from __future__ import annotations
 
 from repro.workload.engine import (
+    _BACKOFF_SEED_SALT,
     _CLIENT_SEED_STRIDE,
     _JITTER_SEED_SALT,
     _SELECTION_SEED_SALT,
@@ -28,7 +29,9 @@ class TestSeedDerivationInvariants:
         two devices' base seeds at least that far apart."""
         assert 0 < _SELECTION_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
         assert 0 < _JITTER_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
-        assert _SELECTION_SEED_SALT != _JITTER_SEED_SALT
+        assert 0 < _BACKOFF_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
+        salts = (_SELECTION_SEED_SALT, _JITTER_SEED_SALT, _BACKOFF_SEED_SALT)
+        assert len(set(salts)) == len(salts)
 
     def test_base_seed_arithmetic_is_the_engine_stride(self):
         assert client_base_seed(7, 0) == 7 + _CLIENT_SEED_STRIDE
@@ -37,7 +40,7 @@ class TestSeedDerivationInvariants:
     def test_streams_within_one_device_are_distinct(self):
         for index in (0, 1, 2, 999, 123_456):
             streams = derived_seed_streams(0, index)
-            assert len(set(streams.values())) == 3
+            assert len(set(streams.values())) == 4
 
     def test_run_seed_never_collides_with_device_streams(self):
         """The POI-shuffle RNG uses the bare run seed; it must not equal any
