@@ -1,0 +1,143 @@
+"""Telemetry demo: render the federation's demand heatmap as ASCII / CSV.
+
+Run with::
+
+    python examples/telemetry_heatmap.py [--csv heatmap.csv]
+
+Builds the standard federated scenario, runs a telemetry-enabled fleet,
+and renders the spatial roll-up the pipeline accumulated: per-level
+demand heatmaps over the covering-cell hierarchy, drawn as an ASCII
+intensity grid (each glyph is one occupied cell, darker = more weighted
+requests) and optionally dumped as CSV (level, cell token, center
+lat/lng, weighted requests) for a real plotting tool.
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.core.config import FederationConfig
+from repro.spatialindex.cellid import CellId
+from repro.telemetry import TelemetryConfig
+from repro.workload import WorkloadConfig, WorkloadEngine
+from repro.worldgen.scenario import build_scenario
+
+INTENSITY = " .:-=+*#%@"
+"""Ten intensity buckets, blank (no demand) through heaviest."""
+
+
+def run_demo_fleet(clients: int = 48, steps: int = 6):
+    """A small telemetry-enabled fleet over the standard demo world."""
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=120.0,
+        client_tile_cache_entries=256,
+    )
+    scenario = build_scenario(
+        store_count=2, city_rows=5, city_cols=5, config=config, seed=9
+    )
+    engine = WorkloadEngine(
+        scenario,
+        WorkloadConfig(
+            clients=clients,
+            steps=steps,
+            seed=1,
+            telemetry=TelemetryConfig(window_seconds=60.0),
+        ),
+    )
+    return engine.run()
+
+
+def render_ascii(
+    cells: dict[str, float], width: int = 56, height: int = 18
+) -> str:
+    """Draw one heatmap level as a character grid.
+
+    Each occupied cell's center is quantized onto a ``width`` x ``height``
+    grid spanning the occupied cells' bounding box; colliding cells sum.
+    """
+    if not cells:
+        return "(no demand recorded)"
+    centers = {token: CellId(token).center() for token in cells}
+    lats = [center.latitude for center in centers.values()]
+    lngs = [center.longitude for center in centers.values()]
+    south, north = min(lats), max(lats)
+    west, east = min(lngs), max(lngs)
+    lat_span = (north - south) or 1.0
+    lng_span = (east - west) or 1.0
+    grid = [[0.0] * width for _ in range(height)]
+    for token, weight in cells.items():
+        center = centers[token]
+        # North on top: high latitude maps to row 0.
+        row = min(height - 1, int((north - center.latitude) / lat_span * height))
+        col = min(width - 1, int((center.longitude - west) / lng_span * width))
+        grid[row][col] += weight
+    heaviest = max(max(row) for row in grid)
+    lines = []
+    for row in grid:
+        glyphs = []
+        for weight in row:
+            bucket = (
+                0
+                if weight <= 0.0
+                else 1 + int(weight / heaviest * (len(INTENSITY) - 2))
+            )
+            glyphs.append(INTENSITY[min(bucket, len(INTENSITY) - 1)])
+        lines.append("".join(glyphs))
+    return "\n".join(lines)
+
+
+def csv_rows(heatmap: dict[int, dict[str, float]]) -> list[str]:
+    """Flatten every level into ``level,cell,lat,lng,requests`` rows."""
+    rows = ["level,cell,lat,lng,requests"]
+    for level in sorted(heatmap):
+        for token in sorted(heatmap[level]):
+            center = CellId(token).center()
+            rows.append(
+                f"{level},{token},{center.latitude:.6f},{center.longitude:.6f},"
+                f"{heatmap[level][token]:.1f}"
+            )
+    return rows
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--clients", type=int, default=48)
+    parser.add_argument("--steps", type=int, default=6)
+    parser.add_argument(
+        "--csv", type=Path, default=None, help="also dump every level as CSV"
+    )
+    args = parser.parse_args(argv)
+
+    report = run_demo_fleet(clients=args.clients, steps=args.steps)
+    telemetry = report.telemetry
+    heatmap = telemetry.demand_heatmap()
+
+    summary = telemetry.summary()
+    print("=== Telemetry ===")
+    print(
+        f"records: {summary['records']:.0f}, windows: {summary['windows']:.0f}, "
+        f"distinct cells: {summary['cells']:.0f}"
+    )
+
+    coarsest = min(heatmap)
+    print(f"\n=== Demand heatmap (cell level {coarsest}) ===")
+    print(render_ascii(heatmap[coarsest]))
+
+    rollup = telemetry.cell_rollup(coarsest)
+    top = sorted(rollup.items(), key=lambda kv: -kv[1]["requests"])[:5]
+    print(f"\n=== Hottest level-{coarsest} cells ===")
+    for token, stats in top:
+        print(
+            f"{token:>{coarsest}s}: {stats['requests']:7.1f} requests  "
+            f"p50={stats['p50_ms']:7.1f}ms  p95={stats['p95_ms']:7.1f}ms"
+        )
+
+    if args.csv is not None:
+        args.csv.write_text("\n".join(csv_rows(heatmap)) + "\n")
+        print(f"\nwrote {args.csv}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,10 +2,14 @@
 """Render the BENCH artifacts' headline numbers as a markdown summary.
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
-every run shows the disaster / scale / control-plane / availability /
-balancing / saturation headlines next to the uploaded ``BENCH_e13.json``
-.. ``BENCH_e17.json`` artifacts without anyone downloading them.
-Standalone use: ``python scripts/ci_summary.py``.
+every run shows the telemetry / disaster / scale / control-plane /
+availability / balancing / saturation headlines next to the uploaded
+``BENCH_e13.json`` .. ``BENCH_e18.json`` artifacts without anyone
+downloading them.  Standalone use: ``python scripts/ci_summary.py``.
+
+Rendering degrades gracefully: a missing or malformed artifact becomes a
+note in the summary rather than a traceback that kills the whole step —
+one corrupt benchmark file must never hide the other five tables.
 """
 
 from __future__ import annotations
@@ -14,6 +18,49 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e18_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E18 — federation-wide telemetry: roll-ups, SLO burn, overhead",
+        "",
+        "| probe | headline |",
+        "|---|---|",
+    ]
+    hotspot = payload.get("hotspot", {})
+    if hotspot:
+        lines.append(
+            "| hot-spot localization | top cell {cell} holds {share:.0%} of drops; "
+            "global p95 inflation {p95x:.2f}x |".format(
+                cell=hotspot.get("top_drop_cell", "?"),
+                share=hotspot.get("top_cell_drop_share", 0.0),
+                p95x=hotspot.get("global_p95_inflation", 0.0),
+            )
+        )
+    burn = payload.get("slo_burn", {})
+    if burn:
+        lines.append(
+            "| SLO burn alerting | region {region} max burn {burn:.1f}x, "
+            "{alerts} alert window(s); baseline max {base:.2f}x |".format(
+                region=burn.get("hit_region", 0),
+                burn=burn.get("max_burn", 0.0),
+                alerts=int(burn.get("alert_windows", 0)),
+                base=burn.get("baseline_max_burn", 0.0),
+            )
+        )
+    overhead = payload.get("overhead", {})
+    measured = overhead.get("measured", {})
+    if measured:
+        lines.append(
+            "| telemetry-on overhead | {clients} clients: {pct:+.1f}% wall clock, "
+            "{records:.0f} records into {windows} retained window(s) |".format(
+                clients=int(overhead.get("clients", 0)),
+                pct=measured.get("overhead_pct", 0.0),
+                records=overhead.get("records", 0.0),
+                windows=int(overhead.get("windows_retained", 0)),
+            )
+        )
+    return lines
 
 
 def e17_summary(payload: dict) -> list[str]:
@@ -149,22 +196,48 @@ def e13_summary(payload: dict) -> list[str]:
     return lines
 
 
-def main() -> int:
+RENDERERS: tuple[tuple[str, object], ...] = (
+    ("BENCH_e18.json", e18_summary),
+    ("BENCH_e17.json", e17_summary),
+    ("BENCH_e16.json", e16_summary),
+    ("BENCH_e15.json", e15_summary),
+    ("BENCH_e14.json", e14_summary),
+    ("BENCH_e13.json", e13_summary),
+)
+
+
+def summarize(root: Path) -> list[str]:
+    """Render every artifact under ``root`` into one markdown document.
+
+    Degrades gracefully instead of failing the CI summary step: a missing
+    artifact becomes a "missing" note, a malformed one (invalid JSON, or a
+    shape a renderer chokes on) becomes an "unreadable" note carrying the
+    exception, and every *other* artifact still renders in full.
+    """
     lines: list[str] = ["# Benchmark smoke headlines", ""]
-    for name, render in (
-        ("BENCH_e17.json", e17_summary),
-        ("BENCH_e16.json", e16_summary),
-        ("BENCH_e15.json", e15_summary),
-        ("BENCH_e14.json", e14_summary),
-        ("BENCH_e13.json", e13_summary),
-    ):
-        path = REPO_ROOT / name
+    for name, render in RENDERERS:
+        path = root / name
         if not path.is_file():
             lines += [f"## {name}", "", "_missing — smoke stage did not produce it_", ""]
             continue
-        lines += render(json.loads(path.read_text()))
+        try:
+            payload = json.loads(path.read_text())
+            rendered = render(payload)
+        except (OSError, ValueError, TypeError, AttributeError, KeyError) as exc:
+            lines += [
+                f"## {name}",
+                "",
+                f"_unreadable — {type(exc).__name__}: {exc}_",
+                "",
+            ]
+            continue
+        lines += rendered
         lines.append("")
-    print("\n".join(lines))
+    return lines
+
+
+def main() -> int:
+    print("\n".join(summarize(REPO_ROOT)))
     return 0
 
 

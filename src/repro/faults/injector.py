@@ -57,6 +57,14 @@ class FaultInjector:
     def state(self) -> NetworkFaultState:
         return self.federation.network.fault_state()
 
+    def active_fault_kinds(self) -> tuple[str, ...]:
+        """Every fault family currently in force, sorted — the network
+        layer's view plus flash crowds, which only the injector tracks."""
+        kinds = set(self.state.active_fault_kinds())
+        if self._active_crowds:
+            kinds.add("flash-crowd")
+        return tuple(sorted(kinds))
+
     def apply_until(self, now_seconds: float) -> list[AppliedFaultEvent]:
         """Apply every tape event due at or before ``now_seconds``."""
         performed: list[AppliedFaultEvent] = []

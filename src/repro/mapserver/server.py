@@ -113,6 +113,13 @@ class MapServer:
             self.queue.process(service.value)
         self.stats.record(service)
 
+    def telemetry_frame(self) -> dict[str, object] | None:
+        """Cumulative queue counters for windowed telemetry (``None`` when
+        this server runs without a load model — nothing to window)."""
+        if self.queue is None:
+            return None
+        return self.queue.telemetry_frame()
+
     # ------------------------------------------------------------------
     # Location-based services (policy enforced)
     # ------------------------------------------------------------------

@@ -214,6 +214,36 @@ class Histogram:
             cumulative += bucket_weight
         return self._maximum
 
+    def merge(self, other: "Histogram") -> None:
+        """Fold ``other``'s observations into this histogram.
+
+        Streaming histograms merge bucket-wise — all streaming histograms
+        share one global bucket layout, so the merge is exact with respect
+        to bucketing: merging two histograms yields byte-for-byte the
+        histogram that observing the union stream would have built.  That
+        mergeability is what lets the telemetry pipeline fold adjacent
+        windows together when downsampling retention.  A streaming
+        histogram can also absorb an exact one (its raw values are simply
+        observed); the reverse would silently fabricate raw values from
+        buckets, so it raises instead.
+        """
+        if self.streaming:
+            if other.streaming:
+                for index, weight in other._bucket_weights.items():
+                    self._bucket_weights[index] = self._bucket_weights.get(index, 0.0) + weight
+                self._total_weight += other._total_weight
+                self._weighted_sum += other._weighted_sum
+                self._minimum = min(self._minimum, other._minimum)
+                self._maximum = max(self._maximum, other._maximum)
+            else:
+                for value in other.values:
+                    self.observe(value)
+            return
+        if other.streaming:
+            raise ValueError("cannot merge a streaming histogram into an exact one")
+        self.values.extend(other.values)
+        self._sorted = None
+
     @property
     def p50(self) -> float:
         return self.quantile(0.50)

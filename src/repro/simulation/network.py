@@ -206,6 +206,24 @@ class NetworkFaultState:
             or self._authorities_down
         )
 
+    def active_fault_kinds(self) -> tuple[str, ...]:
+        """Fault families currently in force at the network layer, sorted.
+
+        The telemetry pipeline annotates each emission window with these so
+        post-run queries can line up burn-rate spikes and shed-rate maps
+        against what the world was doing.  Flash crowds live in the
+        injector, not here — :meth:`repro.faults.FaultInjector.active_fault_kinds`
+        adds that family on top.
+        """
+        kinds: list[str] = []
+        if self._authorities_down:
+            kinds.append("authority-outage")
+        if self._gray:
+            kinds.append("gray")
+        if self._blocked_all or self._blocked_regions:
+            kinds.append("partition")
+        return tuple(sorted(kinds))
+
 
 @dataclass
 class NetworkStats:

@@ -210,6 +210,12 @@ class ServerQueue:
     request to learn which kinds that request charged to this server, then
     replays them for the tracer's phantom cohort-mates.  Deliberately not
     part of :meth:`snapshot`, so committed artifacts keep their keys."""
+    kind_totals: dict[str, int] = field(default_factory=dict, repr=False)
+    """Per-request-kind count of *all* offered arrivals — individually
+    processed and phantom-batched alike, drops included.  The telemetry
+    pipeline diffs this (via :meth:`telemetry_frame`) per window to map
+    demand by kind; kept separate from :attr:`kind_arrivals` because the
+    cohort diff mechanism requires that one stays phantom-free."""
     _schedules: list[_WorkerSchedule] = field(default_factory=list, repr=False)
 
     def __post_init__(self) -> None:
@@ -249,6 +255,22 @@ class ServerQueue:
         data["workers"] = float(self.workers)
         return data
 
+    def telemetry_frame(self) -> dict[str, object]:
+        """Cumulative counters for the telemetry pipeline to diff per window.
+
+        Phantom cohort arrivals are included (they land in ``stats`` and
+        ``kind_totals``), so windowed deltas reflect the load the server
+        actually absorbed, not just the individually-simulated slice.
+        """
+        return {
+            "arrivals": float(self.stats.arrivals),
+            "served": float(self.stats.served),
+            "dropped": float(self.stats.dropped),
+            "wait_ms": self.stats.wait_ms_total,
+            "busy_ms": self.stats.busy_ms,
+            "kinds": {kind: float(count) for kind, count in self.kind_totals.items()},
+        }
+
     def process(self, kind: str) -> float:
         """Admit one request, wait out the backlog, and serve it.
 
@@ -261,6 +283,7 @@ class ServerQueue:
         now = self.network.clock.now()
         self.stats.arrivals += 1
         self.kind_arrivals[kind] = self.kind_arrivals.get(kind, 0) + 1
+        self.kind_totals[kind] = self.kind_totals.get(kind, 0) + 1
         if sum(len(schedule.ends) for schedule in self._schedules) > 1024:
             self._prune(now)
         service_ms = self.service_times.service_ms(kind)
@@ -329,6 +352,7 @@ class ServerQueue:
             return (0, 0)
         now = self.network.clock.now()
         self.stats.arrivals += count
+        self.kind_totals[kind] = self.kind_totals.get(kind, 0) + count
         if sum(len(schedule.ends) for schedule in self._schedules) > 1024:
             self._prune(now)
         service_ms = self.service_times.service_ms(kind)

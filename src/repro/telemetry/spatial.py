@@ -1,0 +1,120 @@
+"""Spatial roll-ups: zonal statistics aggregated up the cell hierarchy.
+
+The cell decomposition (:mod:`repro.spatialindex.cellid`) makes ancestry a
+string-prefix relation — a level-``L`` cell's token is the first ``L``
+digits of every descendant's token — so rolling telemetry up the hierarchy
+is token truncation plus mergeable-histogram folds.  Two map families come
+out of one window stream:
+
+* **demand-side** (client records): weighted request counts and latency
+  percentiles per cell at any level — the demand heatmap and the per-cell
+  p50/p95 maps;
+* **supply-side** (server queue deltas): queue-wait and shed-rate maps
+  attributed to each server's registered *covering cells* — zonal
+  statistics over the same cells the discovery DNS advertises.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from repro.simulation.metrics import Histogram
+from repro.telemetry.windows import TelemetryWindow
+
+
+def cell_ancestor(token: str, level: int) -> str:
+    """The level-``level`` ancestor of a cell token (the token itself when
+    it is already at or above that level)."""
+    if level < 0:
+        raise ValueError("cell level cannot be negative")
+    return token[:level]
+
+
+def demand_by_cell(
+    windows: Iterable[TelemetryWindow], level: int
+) -> dict[str, float]:
+    """Weighted request count per level-``level`` cell over the windows."""
+    demand: dict[str, float] = {}
+    for window in windows:
+        for (token, _region, _kind), stats in window.cells.items():
+            cell = cell_ancestor(token, level)
+            demand[cell] = demand.get(cell, 0.0) + stats.requests
+    return demand
+
+
+def latency_by_cell(
+    windows: Iterable[TelemetryWindow], level: int
+) -> dict[str, Histogram]:
+    """Merged latency histogram per level-``level`` cell over the windows."""
+    merged: dict[str, Histogram] = {}
+    for window in windows:
+        for (token, _region, _kind), stats in window.cells.items():
+            cell = cell_ancestor(token, level)
+            histogram = merged.get(cell)
+            if histogram is None:
+                histogram = merged[cell] = Histogram("latency_ms", streaming=True)
+            histogram.merge(stats.latency)
+    return merged
+
+
+def cell_percentiles(
+    windows: Sequence[TelemetryWindow], level: int
+) -> dict[str, dict[str, float]]:
+    """Per-cell demand + latency tail at one level, ready to print/emit."""
+    demand = demand_by_cell(windows, level)
+    latency = latency_by_cell(windows, level)
+    rollup: dict[str, dict[str, float]] = {}
+    for cell in sorted(demand):
+        histogram = latency.get(cell)
+        rollup[cell] = {
+            "requests": demand[cell],
+            "p50_ms": histogram.p50 if histogram is not None else 0.0,
+            "p95_ms": histogram.p95 if histogram is not None else 0.0,
+        }
+    return rollup
+
+
+def demand_heatmap(
+    windows: Sequence[TelemetryWindow], levels: Sequence[int]
+) -> dict[int, dict[str, float]]:
+    """The demand heatmap: weighted request count per cell per level."""
+    return {level: demand_by_cell(windows, level) for level in sorted(levels)}
+
+
+def server_zonal(
+    windows: Sequence[TelemetryWindow],
+    server_cells: Mapping[str, tuple[str, ...]],
+    level: int,
+) -> dict[str, dict[str, float]]:
+    """Queue-wait and shed-rate maps over servers' covering cells.
+
+    Each server's per-window queue deltas are attributed to every covering
+    cell its discovery registration advertises (truncated to ``level``),
+    then aggregated per cell — the zonal-statistics view of *where* the
+    federation's serving capacity queued, shed, and burned busy time.
+    Servers with no registered cells (never registered, or unknown to the
+    pipeline) are skipped rather than mapped to a synthetic zone.
+    """
+    zones: dict[str, dict[str, float]] = {}
+    for window in windows:
+        for server_id, stats in window.servers.items():
+            for token in server_cells.get(server_id, ()):
+                cell = cell_ancestor(token, level)
+                zone = zones.get(cell)
+                if zone is None:
+                    zone = zones[cell] = {
+                        "arrivals": 0.0,
+                        "served": 0.0,
+                        "dropped": 0.0,
+                        "wait_ms": 0.0,
+                        "busy_ms": 0.0,
+                    }
+                zone["arrivals"] += stats.arrivals
+                zone["served"] += stats.served
+                zone["dropped"] += stats.dropped
+                zone["wait_ms"] += stats.wait_ms
+                zone["busy_ms"] += stats.busy_ms
+    for zone in zones.values():
+        zone["shed_rate"] = zone["dropped"] / zone["arrivals"] if zone["arrivals"] else 0.0
+        zone["mean_wait_ms"] = zone["wait_ms"] / zone["served"] if zone["served"] else 0.0
+    return zones

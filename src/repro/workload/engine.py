@@ -44,8 +44,10 @@ from repro.localization.cues import CueBundle, GnssCue
 from repro.services.routing import FederatedRoutingError
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.queueing import load_cv
+from repro.spatialindex.cellid import CellId
+from repro.telemetry import TelemetryConfig, TelemetryPipeline
 from repro.workload.cohort import Cohort, plan_cohorts
-from repro.workload.events import EventHeap, EventKind
+from repro.workload.events import EventHeap, EventKind, RoundObserver, notify_round_end
 from repro.workload.mobility import (
     AisleWalk,
     CommuterHandoff,
@@ -159,6 +161,11 @@ class WorkloadConfig:
     failures, authority outages — and charging active flash crowds' load.
     ``None`` attaches no fault state at all, keeping fault-free runs
     byte-identical to the pre-fault engine."""
+    telemetry: TelemetryConfig | None = None
+    """Windowed-telemetry pipeline config.  ``None`` (default) collects no
+    telemetry and adds no snapshot keys, so telemetry-free runs stay
+    byte-identical to builds without the telemetry subsystem; set one and
+    the run's windows become queryable via ``WorkloadReport.telemetry``."""
     engine: str = "event"
     """Which execution loop drives the fleet: ``"event"`` (the heap-driven
     engine, default) or ``"legacy"`` (the retained round loop, kept as the
@@ -265,6 +272,11 @@ class WorkloadReport:
     """Fault-injection outcome: tape events applied/skipped, degraded
     (stale-served) requests and stale cache serves.  Empty when the run had
     no fault plan, so fault-free snapshots carry no extra keys."""
+    telemetry: TelemetryPipeline | None = None
+    """The run's sealed telemetry windows and their roll-up queries (demand
+    heatmaps, per-cell percentiles, zonal queue maps, per-region SLO burn).
+    ``None`` when the run collected no telemetry, so telemetry-free
+    snapshots carry no extra keys."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -374,6 +386,9 @@ class WorkloadReport:
             data[f"sampling.{key}"] = value
         for key, value in sorted(self.fault_stats.items()):
             data[f"faults.{key}"] = value
+        if self.telemetry is not None:
+            for key, value in sorted(self.telemetry.summary().items()):
+                data[f"telemetry.{key}"] = value
         return data
 
 
@@ -430,6 +445,25 @@ class WorkloadEngine:
         # (device index, server_id) -> (event instant, target (prio, weight)).
         self._pending_convergence: dict[tuple[int, str], tuple[float, tuple[int, int]]] = {}
         self._devices_tracked = 0
+        # Round-boundary observers, shared by both loops.  An empty list is
+        # a strict no-op, so observer-free runs stay byte-identical.
+        self._round_observers: list[RoundObserver] = []
+        self.telemetry: TelemetryPipeline | None = None
+        if self.config.telemetry is not None:
+            registry = scenario.federation.registry
+            self.telemetry = TelemetryPipeline(
+                config=self.config.telemetry,
+                server_cells={
+                    server_id: tuple(cell.token for cell in registration.cells)
+                    for server_id, registration in sorted(registry.registrations.items())
+                },
+            )
+            self.add_round_observer(self._telemetry_flush)
+
+    def add_round_observer(self, observer: RoundObserver) -> None:
+        """Register a hook called as ``observer(round_index, now_seconds)``
+        after each round's end-of-round observations, by either loop."""
+        self._round_observers.append(observer)
 
     # ------------------------------------------------------------------
     # Construction
@@ -621,8 +655,9 @@ class WorkloadEngine:
         network = self.scenario.federation.network
         clock = network.clock
         started_at = clock.now()
+        self._telemetry_begin(clock.now())
         try:
-            for _ in range(self.config.steps):
+            for round_index in range(self.config.steps):
                 self._apply_faults(clock.now())
                 self._apply_churn(clock.now())
                 self._apply_control(clock.now())
@@ -637,6 +672,7 @@ class WorkloadEngine:
                 clock.advance(slowest + self.config.step_seconds)
                 self._observe_rediscoveries(clock.now())
                 self._observe_convergence(clock.now())
+                notify_round_end(self._round_observers, round_index, clock.now())
         finally:
             # Leave the shared network on its default jitter stream: direct
             # (non-fleet) use after a run must not inherit the last device's.
@@ -675,6 +711,7 @@ class WorkloadEngine:
         rounds_remaining = self.config.steps
         self._round_start = clock.now()
         self._round_slowest = 0.0
+        self._telemetry_begin(clock.now())
         self._schedule_round(heap, clock.now())
         try:
             while heap:
@@ -703,6 +740,11 @@ class WorkloadEngine:
                     clock.advance(self._round_slowest + self.config.step_seconds)
                     self._observe_rediscoveries(clock.now())
                     self._observe_convergence(clock.now())
+                    notify_round_end(
+                        self._round_observers,
+                        self.config.steps - rounds_remaining,
+                        clock.now(),
+                    )
                     rounds_remaining -= 1
                     if rounds_remaining > 0:
                         self._schedule_round(heap, clock.now())
@@ -760,6 +802,42 @@ class WorkloadEngine:
                         # The clock is back at round_start, so phantom jobs
                         # land at the same instant their tracer's did.
                         queue.phantom_arrivals(kind, delta * (weight - 1))
+
+    # ------------------------------------------------------------------
+    # Telemetry
+    # ------------------------------------------------------------------
+    def _telemetry_begin(self, now: float) -> None:
+        """Open the pipeline's first window, priming server baselines so
+        queue activity predating the run is never attributed to it."""
+        if self.telemetry is not None:
+            self.telemetry.begin(now, self._telemetry_frames())
+
+    def _telemetry_frames(self) -> dict[str, dict[str, object]]:
+        """Cumulative queue frames for every server (offline ones included:
+        a server that crashed mid-window still emitted into it)."""
+        frames: dict[str, dict[str, object]] = {}
+        for server_id, server in sorted(self.scenario.federation.all_servers.items()):
+            frame = server.telemetry_frame()
+            if frame is not None:
+                frames[server_id] = frame
+        return frames
+
+    def _telemetry_flush(self, round_index: int, now: float) -> None:
+        """The pipeline's round observer: fold this round's server deltas
+        in, annotate active fault families, and seal the window if due."""
+        del round_index  # windows key on simulated time, not round count
+        assert self.telemetry is not None
+        self.telemetry.observe_servers(self._telemetry_frames())
+        faults_active: tuple[str, ...] = ()
+        if self.fault_injector is not None:
+            faults_active = self.fault_injector.active_fault_kinds()
+        self.telemetry.flush(now, faults_active)
+
+    def _device_cell(self, device: FleetClient) -> str:
+        """The covering-cell token request records key on: the device's
+        current position at the pipeline's configured (finest) level."""
+        assert self.telemetry is not None
+        return CellId.from_point(device.position, self.telemetry.config.cell_level).token
 
     # ------------------------------------------------------------------
     # Faults
@@ -915,6 +993,16 @@ class WorkloadEngine:
             # abort latency must not dilute the success-path percentiles.
             self.metrics.counter(f"errors.{kind.value}").increment(weight)
             self.metrics.counter("availability.failed_requests").increment(weight)
+            if self.telemetry is not None:
+                self.telemetry.record_request(
+                    self._device_cell(device),
+                    device.index % self.config.resolver_pools,
+                    kind.value,
+                    network.stats.total_latency_ms - latency_before,
+                    float(weight),
+                    ok=False,
+                    degraded=discoverer.stale_serves > stale_before,
+                )
             return
         finally:
             if faults is not None:
@@ -923,7 +1011,11 @@ class WorkloadEngine:
                 # The request got *degraded* service: at least one cell was
                 # answered from a stale-while-unreachable cached SRV view.
                 self.metrics.counter("degraded.requests").increment(weight)
-        if recorder.chains_failed > chains_failed_before and recorder.chains_ok == chains_ok_before:
+        chains_all_failed = (
+            recorder.chains_failed > chains_failed_before
+            and recorder.chains_ok == chains_ok_before
+        )
+        if chains_all_failed:
             # Every map server this request tried was unreachable or
             # overloaded past its whole replica chain: the user got nothing.
             self.metrics.counter("availability.failed_requests").increment(weight)
@@ -938,6 +1030,18 @@ class WorkloadEngine:
         latency_ms = network.stats.total_latency_ms - latency_before
         self.metrics.histogram("latency_ms.all").observe(latency_ms, weight)
         self.metrics.histogram(f"latency_ms.{kind.value}").observe(latency_ms, weight)
+        if self.telemetry is not None:
+            # A request whose every chain failed was *issued* (its latency
+            # counts) but got no service — for SLO purposes it is bad.
+            self.telemetry.record_request(
+                self._device_cell(device),
+                device.index % self.config.resolver_pools,
+                kind.value,
+                latency_ms,
+                float(weight),
+                ok=not chains_all_failed,
+                degraded=discoverer.stale_serves > stale_before,
+            )
 
     def _do_search(self, device: FleetClient) -> None:
         weight = self._active_weight
@@ -1007,6 +1111,9 @@ class WorkloadEngine:
     # Reporting
     # ------------------------------------------------------------------
     def _report(self, simulated_seconds: float) -> WorkloadReport:
+        if self.telemetry is not None:
+            # Seal a trailing partial window so short runs still report.
+            self.telemetry.finalize(self.scenario.federation.network.clock.now())
         requests = sum(
             counter.value
             for name, counter in self.metrics.counters.items()
@@ -1127,4 +1234,5 @@ class WorkloadEngine:
             sampling=sampling,
             degraded_requests=degraded,
             fault_stats=fault_stats,
+            telemetry=self.telemetry,
         )

@@ -24,7 +24,24 @@ from __future__ import annotations
 import heapq
 from dataclasses import dataclass, field
 from enum import IntEnum
-from typing import Any
+from typing import Any, Callable, Iterable
+
+RoundObserver = Callable[[int, float], None]
+"""A round-boundary hook: called with ``(round_index, now_seconds)`` after
+each round's end-of-round observations, by both engine loops.  Observers
+must not mutate engine state — they exist so subsystems like telemetry can
+snapshot at round granularity without either loop knowing about them."""
+
+
+def notify_round_end(observers: Iterable[RoundObserver], round_index: int, now_seconds: float) -> None:
+    """Invoke each round observer in registration order.
+
+    Shared by the legacy and event-driven loops so the two engines expose
+    byte-identical observation points: same round indices, same clock
+    instants, same ordering relative to the round's own bookkeeping.
+    """
+    for observer in observers:
+        observer(round_index, now_seconds)
 
 
 class EventKind(IntEnum):

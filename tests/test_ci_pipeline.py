@@ -79,6 +79,7 @@ class TestWorkflow:
             "BENCH_e15.json",
             "BENCH_e16.json",
             "BENCH_e17.json",
+            "BENCH_e18.json",
         ):
             assert artifact in paths, f"smoke job does not upload {artifact}"
         assert any("ci_summary" in s.get("run", "") for s in steps), "no step-summary step"
@@ -104,6 +105,7 @@ class TestCheckShStages:
             "BENCH_e15.json",
             "BENCH_e16.json",
             "BENCH_e17.json",
+            "BENCH_e18.json",
         ):
             assert artifact in script, f"check.sh does not gate {artifact}"
 
@@ -116,6 +118,7 @@ class TestCheckShStages:
             ("bench_e15_control.py", "E15_SMOKE_BUDGET_SECONDS"),
             ("bench_e16_scale.py", "E16_SMOKE_BUDGET_SECONDS"),
             ("bench_e17_faults.py", "E17_SMOKE_BUDGET_SECONDS"),
+            ("bench_e18_telemetry.py", "E18_SMOKE_BUDGET_SECONDS"),
         ):
             assert bench in script, f"check.sh does not run {bench}"
             assert budget in script, f"check.sh does not budget via {budget}"
@@ -128,6 +131,7 @@ class TestCheckShStages:
             "BENCH_e15.json",
             "BENCH_e16.json",
             "BENCH_e17.json",
+            "BENCH_e18.json",
         ):
             assert artifact in summary, f"ci_summary.py ignores {artifact}"
 

@@ -128,10 +128,54 @@ class TestByteIdenticalSnapshots:
         )
 
 
+class TestRoundObserverHook:
+    """The shared round-boundary observer hook must be byte-transparent."""
+
+    def _snapshot_with_observer(self, engine_kind: str, observe: bool) -> tuple[str, list]:
+        scenario = build_scenario(store_count=2, city_rows=4, city_cols=4, seed=33)
+        config = WorkloadConfig(engine=engine_kind, clients=24, steps=4, seed=7)
+        engine = WorkloadEngine(scenario, config)
+        seen: list[tuple[int, float]] = []
+        if observe:
+            engine.add_round_observer(lambda index, now: seen.append((index, now)))
+        report = engine.run()
+        return json.dumps(report.snapshot(), sort_keys=True), seen
+
+    def test_noop_observer_is_byte_transparent(self):
+        """A registered observer that does nothing changes no snapshot byte,
+        on either loop — the hook itself is free."""
+        for engine_kind in ("event", "legacy"):
+            bare, _ = self._snapshot_with_observer(engine_kind, observe=False)
+            observed, seen = self._snapshot_with_observer(engine_kind, observe=True)
+            assert observed == bare
+            assert [index for index, _ in seen] == [0, 1, 2, 3]
+
+    def test_both_loops_fire_identical_observations(self):
+        """Same round indices, same clock instants, from either loop."""
+        _, seen_event = self._snapshot_with_observer("event", observe=True)
+        _, seen_legacy = self._snapshot_with_observer("legacy", observe=True)
+        assert seen_event == seen_legacy
+
+    def test_telemetry_on_event_legacy_equivalence(self):
+        """With telemetry collecting, the two loops still agree byte-for-byte
+        (including every ``telemetry.*`` snapshot key)."""
+        from repro.telemetry import TelemetryConfig
+
+        kw = dict(seed=7, steps=5, telemetry=TelemetryConfig(window_seconds=4.0))
+        event = snapshot_for("event", **kw)
+        legacy = snapshot_for("legacy", **kw)
+        assert event == legacy
+        assert any(key.startswith("telemetry.") for key in json.loads(event))
+
+
 class TestEquivalenceBoundary:
     def test_snapshot_has_no_sampling_keys_below_threshold(self):
         data = json.loads(snapshot_for("event", seed=7))
         assert not any(key.startswith("sampling.") for key in data)
+
+    def test_snapshot_has_no_telemetry_keys_when_disabled(self):
+        data = json.loads(snapshot_for("event", seed=7))
+        assert not any(key.startswith("telemetry.") for key in data)
 
     def test_event_engine_is_the_default(self):
         assert WorkloadConfig().engine == "event"

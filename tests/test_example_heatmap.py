@@ -1,0 +1,70 @@
+"""Smoke test for the telemetry heatmap example.
+
+``examples/telemetry_heatmap.py`` is documentation that executes: it must
+keep running end-to-end (fleet, pipeline, ASCII render, CSV dump) as the
+telemetry API evolves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_example():
+    spec = importlib.util.spec_from_file_location(
+        "telemetry_heatmap", REPO_ROOT / "examples" / "telemetry_heatmap.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("telemetry_heatmap", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+example = _load_example()
+
+
+class TestHeatmapExample:
+    def test_end_to_end_with_csv(self, tmp_path, capsys):
+        csv_path = tmp_path / "heatmap.csv"
+        exit_code = example.main(
+            ["--clients", "16", "--steps", "3", "--csv", str(csv_path)]
+        )
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Demand heatmap" in out
+        assert "Hottest level-" in out
+
+        lines = csv_path.read_text().splitlines()
+        assert lines[0] == "level,cell,lat,lng,requests"
+        assert len(lines) > 1
+        for line in lines[1:]:
+            level, token, lat, lng, requests = line.split(",")
+            assert int(level) == len(token)
+            assert -90.0 <= float(lat) <= 90.0
+            assert -180.0 <= float(lng) <= 180.0
+            assert float(requests) > 0.0
+
+    def test_ascii_render_marks_occupied_cells(self):
+        report = example.run_demo_fleet(clients=16, steps=3)
+        heatmap = report.telemetry.demand_heatmap()
+        level = min(heatmap)
+        art = example.render_ascii(heatmap[level])
+        # Some glyph beyond blank space must appear, and the heaviest
+        # bucket is always awarded to the hottest cell.
+        assert any(glyph in art for glyph in example.INTENSITY[1:])
+        assert example.INTENSITY[-1] in art
+
+    def test_ascii_render_empty_heatmap(self):
+        assert "no demand" in example.render_ascii({})
+
+    def test_csv_mass_matches_heatmap(self):
+        report = example.run_demo_fleet(clients=16, steps=3)
+        heatmap = report.telemetry.demand_heatmap()
+        rows = example.csv_rows(heatmap)
+        total = sum(float(row.rsplit(",", 1)[1]) for row in rows[1:])
+        expected = sum(sum(level.values()) for level in heatmap.values())
+        assert abs(total - expected) < 1.0
