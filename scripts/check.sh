@@ -2,24 +2,27 @@
 # Repo check, split into the three stages the CI pipeline parallelizes:
 #
 #   --tier1   the tier-1 pytest suite
-#   --smoke   the E13 .. E18 benchmark smokes (wall-clock budgeted) plus
+#   --smoke   the E13 .. E19 benchmark smokes (wall-clock budgeted) plus
 #             the byte-for-byte reproducibility gate on ALL committed
-#             artifacts (BENCH_e13.json .. BENCH_e18.json are written by
+#             artifacts (BENCH_e13.json .. BENCH_e19.json are written by
 #             the smoke sweeps themselves, so a drifting simulation fails
 #             the gate)
 #   --lint    ruff check + ruff format --check (skipped with a notice when
 #             ruff is not installed, so offline containers stay one-command;
-#             CI installs ruff and enforces it)
+#             CI installs ruff and enforces it), plus the docs link
+#             checker (a dead relative link in README.md or docs/ fails)
 #
 # With no stage flag every stage runs in order — the local one-command check.
 # Budgets: E13_SMOKE_BUDGET_SECONDS / E14_SMOKE_BUDGET_SECONDS /
 # E15_SMOKE_BUDGET_SECONDS / E16_SMOKE_BUDGET_SECONDS /
-# E17_SMOKE_BUDGET_SECONDS (default 20s each) and
+# E17_SMOKE_BUDGET_SECONDS (default 20s each),
 # E18_SMOKE_BUDGET_SECONDS (default 40s: it runs the 100k-client fleet
-# twice, telemetry on and off).  The optimized smokes finish in a couple
-# of seconds — E16 runs 100,000 clients inside its budget on the cohort
-# fast path, E17 plays the whole disaster library — so only an
-# order-of-magnitude hot-path regression trips them.
+# twice, telemetry on and off) and E19_SMOKE_BUDGET_SECONDS (default
+# 40s: seven provisioning cells plus a determinism rerun).  The
+# optimized smokes finish in a couple of seconds — E16 runs 100,000
+# clients inside its budget on the cohort fast path, E17 plays the whole
+# disaster library — so only an order-of-magnitude hot-path regression
+# trips them.
 # Usage: scripts/check.sh [--tier1|--smoke|--lint]...
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -82,7 +85,12 @@ if $run_smoke; then
   python benchmarks/bench_e18_telemetry.py --smoke \
     --budget-seconds "${E18_SMOKE_BUDGET_SECONDS:-40}"
 
-  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json BENCH_e17.json BENCH_e18.json; do
+  echo
+  echo "== benchmark smoke: E19 autoscaler (budgeted) =="
+  python benchmarks/bench_e19_autoscale.py --smoke \
+    --budget-seconds "${E19_SMOKE_BUDGET_SECONDS:-40}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json BENCH_e17.json BENCH_e18.json BENCH_e19.json; do
     # `git diff` exits 0 for untracked paths, which would make the gate
     # vacuous for an artifact nobody committed — require the baseline.
     if ! git ls-files --error-unmatch "$artifact" >/dev/null 2>&1; then
@@ -107,6 +115,10 @@ if $run_lint; then
     echo "(CI installs ruff and enforces the full rule set)"
     python scripts/lint_fallback.py
   fi
+
+  echo
+  echo "== lint: docs relative links =="
+  python scripts/check_docs_links.py
 fi
 
 echo

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Fail the lint stage when README.md or docs/ carries a dead relative link.
+
+The docs layer (``docs/ARCHITECTURE.md``, ``docs/BENCHMARKS.md``) is wired
+into README.md and into each other with relative markdown links; a rename or
+file move silently strands those references.  This checker walks README.md
+plus every ``*.md`` under ``docs/``, extracts markdown link targets, and
+verifies that each *relative* target resolves to an existing file or
+directory from the linking file's location.
+
+External links (``http://``, ``https://``, ``mailto:``) and pure in-page
+anchors (``#section``) are out of scope — this is a filesystem check, not a
+crawler.  A ``path#anchor`` target is checked for the path part only.
+
+Standalone use: ``python scripts/check_docs_links.py`` (exit 0 clean,
+exit 1 with one line per dead link otherwise).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+# [text](target) — target ends at the first unescaped ')'; markdown titles
+# (`[t](path "title")`) are split off below.  Images (`![alt](path)`) match
+# too, which is what we want: a dead image reference is just as broken.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+_SKIP_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def doc_files(root: Path) -> list[Path]:
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("**/*.md")))
+    return [path for path in files if path.is_file()]
+
+
+def dead_links(root: Path) -> list[str]:
+    """Return ``path:line: target`` strings for every unresolvable link."""
+    failures: list[str] = []
+    for doc in doc_files(root):
+        for lineno, line in enumerate(doc.read_text().splitlines(), start=1):
+            for match in _LINK.finditer(line):
+                target = match.group(1)
+                if target.startswith(_SKIP_PREFIXES) or target.startswith("#"):
+                    continue
+                path_part = target.split("#", 1)[0]
+                if not path_part:
+                    continue
+                resolved = (doc.parent / path_part).resolve()
+                if not resolved.exists():
+                    rel = doc.relative_to(root)
+                    failures.append(f"{rel}:{lineno}: dead link target {target!r}")
+    return failures
+
+
+def main() -> int:
+    failures = dead_links(REPO_ROOT)
+    if failures:
+        for failure in failures:
+            print(failure)
+        print(f"{len(failures)} dead relative link(s) in README.md / docs/")
+        return 1
+    checked = ", ".join(str(p.relative_to(REPO_ROOT)) for p in doc_files(REPO_ROOT))
+    print(f"docs links OK ({checked})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

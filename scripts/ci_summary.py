@@ -3,9 +3,11 @@
 
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
 every run shows the telemetry / disaster / scale / control-plane /
-availability / balancing / saturation headlines next to the uploaded
-``BENCH_e13.json`` .. ``BENCH_e18.json`` artifacts without anyone
+availability / balancing / saturation / autoscaling headlines next to the
+uploaded ``BENCH_e13.json`` .. ``BENCH_e19.json`` artifacts without anyone
 downloading them.  Standalone use: ``python scripts/ci_summary.py``.
+Column definitions and regeneration commands for every table live in
+``docs/BENCHMARKS.md``.
 
 Rendering degrades gracefully: a missing or malformed artifact becomes a
 note in the summary rather than a traceback that kills the whole step —
@@ -18,6 +20,51 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e19_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E19 — closed-loop autoscaling: elastic warm pool vs static provisioning",
+        "",
+        "| pattern | cell | attainment | replica-seconds | promotions | ramp steps | parks | flaps |",
+        "|---|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    for pattern in ("flash", "diurnal"):
+        cells = payload.get(pattern, {})
+        for mode in ("static-lean", "auto", "static-over"):
+            cell = cells.get(mode)
+            if not cell:
+                continue
+            lines.append(
+                "| {pattern} | {mode} | {att:.4f} | {cost:.0f} | {promos} "
+                "| {ramps} | {parks} | {flaps} |".format(
+                    pattern=pattern,
+                    mode=mode,
+                    att=cell.get("attainment", 0.0),
+                    cost=cell.get("replica_seconds", 0.0),
+                    promos=int(cell.get("promotions", 0)),
+                    ramps=int(cell.get("ramp_steps", 0)),
+                    parks=int(cell.get("parks", 0)),
+                    flaps=int(cell.get("flaps", 0)),
+                )
+            )
+    osc = payload.get("oscillation", {})
+    if osc:
+        lines += [
+            "",
+            "Stability cell (device TTL {dev:g}s / DNS TTL {dns:g}s): "
+            "{changes} weight change(s) of ≤{cap} allowed, {flaps} flap(s), "
+            "{promos} promotion(s), attainment {att:.4f}.".format(
+                dev=osc.get("device_ttl_seconds", 0.0),
+                dns=osc.get("dns_ttl_seconds", 0.0),
+                changes=int(osc.get("weight_changes", 0)),
+                cap=int(osc.get("max_weight_changes", 0)),
+                flaps=int(osc.get("flaps", 0)),
+                promos=int(osc.get("promotions", 0)),
+                att=osc.get("attainment", 0.0),
+            ),
+        ]
+    return lines
 
 
 def e18_summary(payload: dict) -> list[str]:
@@ -197,6 +244,7 @@ def e13_summary(payload: dict) -> list[str]:
 
 
 RENDERERS: tuple[tuple[str, object], ...] = (
+    ("BENCH_e19.json", e19_summary),
     ("BENCH_e18.json", e18_summary),
     ("BENCH_e17.json", e17_summary),
     ("BENCH_e16.json", e16_summary),
@@ -214,7 +262,13 @@ def summarize(root: Path) -> list[str]:
     shape a renderer chokes on) becomes an "unreadable" note carrying the
     exception, and every *other* artifact still renders in full.
     """
-    lines: list[str] = ["# Benchmark smoke headlines", ""]
+    lines: list[str] = [
+        "# Benchmark smoke headlines",
+        "",
+        "Column definitions, full-mode commands and byte-gate semantics: "
+        "[docs/BENCHMARKS.md](docs/BENCHMARKS.md).",
+        "",
+    ]
     for name, render in RENDERERS:
         path = root / name
         if not path.is_file():

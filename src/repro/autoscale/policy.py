@@ -1,0 +1,193 @@
+"""Autoscaler decision machinery: thresholds, debouncing, cooldowns.
+
+Everything here is pure state-machine code with no federation or
+telemetry dependencies, so the stability properties — how many
+consecutive breaching evaluations arm an action, how long after an action
+the loop must hold still — are unit-testable in isolation.
+
+The central hazard this machinery exists for is *delayed actuation*:
+a weight change lands at the authority instantly, but clients converge
+only as their cached TTLs lapse (22–67 s measured in E15).  A controller
+that re-evaluates inside that lag sees its own action as "no effect" and,
+naively, acts again — the classic weight oscillator.  The cure is the
+combination used here: :class:`HysteresisGate` separates the breach and
+recover thresholds *and* requires consecutive confirmations, while
+:class:`Cooldown` spaces actions at least a convergence window apart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Tunables of one closed-loop autoscaler run.
+
+    Signal inputs (all read from telemetry roll-ups over the trailing
+    ``signal_windows`` sealed windows):
+
+    * ``wait_high_ms`` / ``wait_low_ms`` — zonal mean queue-wait
+      hysteresis band (breach above high, recover below low);
+    * ``shed_high`` — zonal shed rate that counts as pressure on its own;
+    * ``burn_high`` / ``burn_low`` — per-window SLO error-budget burn
+      band (0 disables the burn trigger);
+    * ``p95_high_ms`` — global latency p95 that counts as pressure
+      (``None`` disables the trigger).
+
+    Actuation:
+
+    * ``promote_weight`` — the SRV weight a promoted standby serves at;
+    * ``ramp_weights`` — the gradual drain ladder a retiring standby
+      steps down (must be strictly decreasing and end at 0; the classic
+      4→2→1→0 default sheds load in halves instead of a step drain);
+    * ``slope_fast_per_s`` — when the zone's demand slope (requests/s per
+      window, from the telemetry reader) is at or below this, a retiring
+      standby takes two ramp steps per evaluation instead of one (load is
+      ebbing fast, drain fast);
+    * ``outlier_wait_ratio`` — protective drain: inside a pressured zone,
+      a member whose own telemetry mean wait exceeds this multiple of the
+      zone mean is drained (0 disables), and undrained once the zone
+      recovers.
+
+    Stability:
+
+    * ``breach_evals`` / ``recover_evals`` — consecutive evaluations the
+      pressure signal must hold before the gate arms (evaluations happen
+      once per *sealed telemetry window*, not per round);
+    * ``cooldown_seconds`` — minimum spacing between scale-direction
+      actions on one group; must cover the client convergence window or
+      the loop oscillates;
+    * ``ramp_cooldown_seconds`` — spacing between successive down-ramp
+      steps (shorter: each step only sheds part of the standby's share);
+    * ``park_delay_seconds`` — how long a fully drained standby stays
+      registered (at weight 0) before being deregistered back into the
+      pool, giving stale clients time to converge off it.
+
+    Determinism: the config is frozen and every threshold comparison in
+    the scaler is pure arithmetic over telemetry floats, so identical
+    runs make identical decisions.
+    """
+
+    zone_level: int = 12
+    signal_windows: int = 1
+    wait_high_ms: float = 25.0
+    wait_low_ms: float = 5.0
+    shed_high: float = 0.2
+    burn_high: float = 1.0
+    burn_low: float = 0.25
+    p95_high_ms: float | None = None
+    breach_evals: int = 2
+    recover_evals: int = 3
+    promote_weight: int = 4
+    ramp_weights: tuple[int, ...] = (4, 2, 1, 0)
+    slope_fast_per_s: float = -0.5
+    outlier_wait_ratio: float = 0.0
+    cooldown_seconds: float = 90.0
+    ramp_cooldown_seconds: float = 40.0
+    park_delay_seconds: float = 60.0
+
+    def __post_init__(self) -> None:
+        if not (0 <= self.zone_level <= 30):
+            raise ValueError("zone level must be in [0, 30]")
+        if self.signal_windows < 1:
+            raise ValueError("signals need at least one trailing window")
+        if self.wait_low_ms < 0.0 or self.wait_high_ms <= self.wait_low_ms:
+            raise ValueError("need 0 <= wait_low_ms < wait_high_ms (hysteresis band)")
+        if self.burn_high > 0.0 and not (0.0 <= self.burn_low < self.burn_high):
+            raise ValueError("need 0 <= burn_low < burn_high (hysteresis band)")
+        if not (0.0 <= self.shed_high <= 1.0):
+            raise ValueError("shed_high is a rate in [0, 1]")
+        if self.p95_high_ms is not None and self.p95_high_ms <= 0.0:
+            raise ValueError("p95_high_ms must be positive (or None to disable)")
+        if self.breach_evals < 1 or self.recover_evals < 1:
+            raise ValueError("gate streaks need at least one evaluation")
+        if self.promote_weight < 1:
+            raise ValueError("promoted standbys need a positive weight")
+        if len(self.ramp_weights) < 2 or self.ramp_weights[-1] != 0:
+            raise ValueError("ramp_weights must end at 0 (a completed drain)")
+        if any(b >= a for a, b in zip(self.ramp_weights, self.ramp_weights[1:])):
+            raise ValueError("ramp_weights must be strictly decreasing")
+        if any(weight < 0 for weight in self.ramp_weights):
+            raise ValueError("ramp weights cannot be negative")
+        if self.outlier_wait_ratio < 0.0:
+            raise ValueError("outlier_wait_ratio cannot be negative")
+        if self.cooldown_seconds < 0.0 or self.ramp_cooldown_seconds < 0.0:
+            raise ValueError("cooldowns cannot be negative")
+        if self.park_delay_seconds < 0.0:
+            raise ValueError("park delay cannot be negative")
+
+
+@dataclass
+class HysteresisGate:
+    """Debounces a pressure signal into ``breach`` / ``recover`` / ``hold``.
+
+    Each :meth:`update` takes the two band comparisons for one evaluation
+    (``pressed``: above the high threshold; ``relaxed``: below the low
+    threshold; both False in the dead band between them) and returns the
+    armed decision:
+
+    * ``"breach"`` once ``breach_evals`` *consecutive* pressed
+      evaluations have been seen (and for every consecutive pressed
+      evaluation after that — pairing with a :class:`Cooldown` spaces the
+      resulting actions);
+    * ``"recover"`` symmetrically after ``recover_evals`` consecutive
+      relaxed evaluations;
+    * ``"hold"`` otherwise.  A dead-band evaluation resets *both*
+      streaks: hysteresis means flapping around either threshold never
+      arms anything.
+
+    Determinism: pure counters, no time, no randomness.
+    """
+
+    breach_evals: int
+    recover_evals: int
+    breach_streak: int = 0
+    recover_streak: int = 0
+
+    def __post_init__(self) -> None:
+        if self.breach_evals < 1 or self.recover_evals < 1:
+            raise ValueError("gate streaks need at least one evaluation")
+
+    def update(self, pressed: bool, relaxed: bool) -> str:
+        """Fold one evaluation in; returns ``breach``/``recover``/``hold``."""
+        if pressed and relaxed:
+            raise ValueError("a signal cannot be above high and below low at once")
+        if pressed:
+            self.breach_streak += 1
+            self.recover_streak = 0
+        elif relaxed:
+            self.recover_streak += 1
+            self.breach_streak = 0
+        else:
+            self.breach_streak = 0
+            self.recover_streak = 0
+        if self.breach_streak >= self.breach_evals:
+            return "breach"
+        if self.recover_streak >= self.recover_evals:
+            return "recover"
+        return "hold"
+
+
+@dataclass
+class Cooldown:
+    """Minimum simulated-time spacing between actions.
+
+    :meth:`ready` answers whether enough time has passed since the last
+    :meth:`stamp` (always true before the first stamp); the caller stamps
+    only when it actually acts, so a blocked decision retries at the next
+    evaluation rather than resetting its own timer.
+    """
+
+    seconds: float
+    last_at: float | None = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.seconds < 0.0:
+            raise ValueError("a cooldown cannot be negative")
+
+    def ready(self, now: float) -> bool:
+        return self.last_at is None or now - self.last_at >= self.seconds
+
+    def stamp(self, now: float) -> None:
+        self.last_at = now

@@ -119,3 +119,31 @@ class ReplicaGroup:
         prospective = list(self.priorities)
         prospective[index] = priority
         self.priorities = tuple(prospective)
+
+    def extend(
+        self, server_ids: tuple[str, ...], weight: int = 0, priority: int = 0
+    ) -> None:
+        """Add replicas to a live group, all at one ``(priority, weight)``.
+
+        This is the warm-pool provisioning hook: standbys join the group at
+        weight 0 (healthy-but-last-resort) so a later promotion is a pure
+        weight change.  The new ids must be fresh; weight/priority must be
+        non-negative (the all-zero-weight guard cannot trigger here because
+        extension never removes an existing positive weight).
+        """
+        if not server_ids:
+            return
+        if weight < 0:
+            raise ValueError("replica weights cannot be negative")
+        if priority < 0:
+            raise ValueError("replica priorities cannot be negative")
+        for server_id in server_ids:
+            if server_id in self._membership:
+                raise ValueError(
+                    f"replica {server_id!r} is already a member of group {self.group_id!r}"
+                )
+        self.server_ids = self.server_ids + tuple(server_ids)
+        self.weights = self.weights + tuple(weight for _ in server_ids)
+        self.priorities = self.priorities + tuple(priority for _ in server_ids)
+        for server_id in server_ids:
+            self._membership[server_id] = True

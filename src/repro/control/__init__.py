@@ -18,7 +18,7 @@ clients are live:
   ``WorkloadReport.control_stats`` measures.
 """
 
-from repro.control.plane import AppliedControlEvent, ControlPlane
+from repro.control.plane import AppliedControlEvent, ControlOp, ControlPlane
 from repro.control.schedule import ControlEvent, ControlEventKind, ControlSchedule
 from repro.control.view import DeviceSrvView
 
@@ -26,6 +26,7 @@ __all__ = [
     "AppliedControlEvent",
     "ControlEvent",
     "ControlEventKind",
+    "ControlOp",
     "ControlPlane",
     "ControlSchedule",
     "DeviceSrvView",

@@ -28,12 +28,17 @@ doubles as the scripted-incident player, mirroring
 every due event, recording an :class:`AppliedControlEvent` per action
 (``applied=False`` for actions the federation rejected, e.g. an unknown
 server or draining a group's last positive weight).
+
+Programmatic controllers (the autoscaler) use :meth:`apply_batch` instead
+of a schedule: a list of :class:`ControlOp` values applied together at one
+instant, with the same record-don't-raise semantics — one decision cycle
+lands as one audited batch.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING
+from typing import TYPE_CHECKING, Sequence
 
 from repro.churn.replicas import DEFAULT_REPLICA_WEIGHT
 from repro.control.schedule import ControlEventKind, ControlSchedule
@@ -41,6 +46,20 @@ from repro.core.errors import FederationConfigError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.federation import Federation
+
+
+@dataclass(frozen=True, slots=True)
+class ControlOp:
+    """One imperative operator action, ready for :meth:`ControlPlane.apply_batch`.
+
+    ``value`` is the weight for ``SET_WEIGHT``/``UNDRAIN`` (``None`` lets
+    undrain restore the remembered pre-drain weight) and the target tier
+    for ``PROMOTE``; ``DRAIN`` ignores it.
+    """
+
+    kind: ControlEventKind
+    server_id: str
+    value: int | None = None
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,6 +140,51 @@ class ControlPlane:
         return len(self.schedule.events) - self._cursor
 
     # ------------------------------------------------------------------
+    # Shared application core
+    # ------------------------------------------------------------------
+    def _perform(
+        self,
+        at_seconds: float,
+        kind: ControlEventKind,
+        server_id: str,
+        value: int | None,
+    ) -> AppliedControlEvent:
+        """Apply one action, returning its audit record.
+
+        An action the live federation rejects (unknown server, draining a
+        group's last positive weight) is recorded with ``applied=False``,
+        not raised: tapes keep playing and controller batches keep landing,
+        mirroring the churn controller's inapplicable events.
+        """
+        try:
+            if kind == ControlEventKind.SET_WEIGHT:
+                priority, weight = self.set_weight(server_id, value)
+            elif kind == ControlEventKind.DRAIN:
+                priority, weight = self.drain(server_id)
+            elif kind == ControlEventKind.UNDRAIN:
+                priority, weight = self.undrain(server_id, value)
+            else:
+                priority, weight = self.promote(server_id, value)
+        except (FederationConfigError, ValueError):
+            return AppliedControlEvent(at_seconds, kind.value, server_id, applied=False)
+        return AppliedControlEvent(
+            at_seconds, kind.value, server_id, priority=priority, weight=weight
+        )
+
+    def apply_batch(self, now: float, ops: Sequence[ControlOp]) -> list[AppliedControlEvent]:
+        """Apply a batch of imperative ops at one instant, in order.
+
+        The batch is a controller's one decision cycle (e.g. two ramp
+        steps plus a promotion): every op is attempted — a rejected op is
+        recorded ``applied=False`` and does not stop the rest — and all
+        records land in :attr:`applied` together, so the audit trail shows
+        which cycle issued what.  Returns the batch's records.
+        """
+        performed = [self._perform(now, op.kind, op.server_id, op.value) for op in ops]
+        self.applied.extend(performed)
+        return performed
+
+    # ------------------------------------------------------------------
     # Scheduled application (round boundaries, via the workload engine)
     # ------------------------------------------------------------------
     def apply_until(self, now: float) -> list[AppliedControlEvent]:
@@ -132,34 +196,8 @@ class ControlPlane:
         while self._cursor < len(events) and events[self._cursor].at_seconds <= now:
             event = events[self._cursor]
             self._cursor += 1
-            try:
-                if event.kind == ControlEventKind.SET_WEIGHT:
-                    priority, weight = self.set_weight(event.server_id, event.value)
-                elif event.kind == ControlEventKind.DRAIN:
-                    priority, weight = self.drain(event.server_id)
-                elif event.kind == ControlEventKind.UNDRAIN:
-                    priority, weight = self.undrain(event.server_id, event.value)
-                else:
-                    priority, weight = self.promote(event.server_id, event.value)
-            except (FederationConfigError, ValueError):
-                # A scripted action the live federation rejects (unknown
-                # server, draining a group's last positive weight) is
-                # recorded, not fatal: the tape keeps playing, mirroring
-                # the churn controller's inapplicable events.
-                performed.append(
-                    AppliedControlEvent(
-                        event.at_seconds, event.kind.value, event.server_id, applied=False
-                    )
-                )
-                continue
             performed.append(
-                AppliedControlEvent(
-                    event.at_seconds,
-                    event.kind.value,
-                    event.server_id,
-                    priority=priority,
-                    weight=weight,
-                )
+                self._perform(event.at_seconds, event.kind, event.server_id, event.value)
             )
         self.applied.extend(performed)
         return performed

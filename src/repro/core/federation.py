@@ -60,6 +60,10 @@ class Federation:
     """Servers currently crashed or gracefully departed, kept for revival.
     They are absent from ``servers`` (the reachable directory every client
     context shares), so requests addressed to them fail like real timeouts."""
+    warm_pools: dict[str, "object"] = field(default_factory=dict)
+    """Replica group id → its attached :class:`repro.autoscale.WarmPool` of
+    standby replicas (empty unless :meth:`attach_warm_pool` was called).
+    The autoscaler discovers its scaling domains here."""
 
     def __post_init__(self) -> None:
         clock = SimulatedClock()
@@ -244,6 +248,99 @@ class Federation:
     def group_for(self, server_id: str) -> ReplicaGroup | None:
         group_id = self._group_of.get(server_id)
         return self.replica_groups.get(group_id) if group_id is not None else None
+
+    # ------------------------------------------------------------------
+    # Elastic capacity (warm-pool lifecycle)
+    # ------------------------------------------------------------------
+    def extend_replica_group(
+        self, group_id: str, count: int = 1, weight: int = 0, priority: int = 0
+    ) -> tuple[str, ...]:
+        """Deploy ``count`` additional replicas into an existing group.
+
+        The new replicas share the group's map data, access policy, and
+        routing algorithm (taken from an existing member — online or
+        offline), advertise the same coverage, and continue the group's
+        ``rN.`` id sequence.  They register immediately at the given
+        ``(priority, weight)`` — the default weight 0 makes them
+        *pre-registered standbys*: present in every discovery answer but
+        last-resort for selection, so a later promotion is a pure weight
+        change that clients converge to as TTLs lapse.  Returns the new
+        server ids in deployment order.
+        """
+        if count < 1:
+            raise FederationConfigError("extending a group needs at least one replica")
+        group = self.replica_groups.get(group_id)
+        if group is None:
+            raise FederationConfigError(f"replica group {group_id!r} does not exist")
+        template: MapServer | None = None
+        for server_id in group.server_ids:
+            template = self.servers.get(server_id) or self._offline.get(server_id)
+            if template is not None:
+                break
+        if template is None:
+            raise FederationConfigError(
+                f"replica group {group_id!r} has no member left to clone"
+            )
+        start = len(group.server_ids)
+        new_ids = tuple(replica_server_id(group_id, start + i) for i in range(count))
+        for server_id in new_ids:
+            self.add_map_server(
+                server_id,
+                template.map_data,
+                policy=template.policy,
+                routing_algorithm=template.routing_algorithm,
+                srv_priority=priority,
+                srv_weight=weight,
+            )
+        group.extend(new_ids, weight=weight, priority=priority)
+        for server_id in new_ids:
+            self._group_of[server_id] = group_id
+        return new_ids
+
+    def park_map_server(self, server_id: str) -> int:
+        """Withdraw a server's discovery records while keeping it reachable.
+
+        The pool-retirement counterpart of :meth:`leave_map_server`: the
+        authority stops advertising the server (fresh discoveries no longer
+        see it) but the server object stays in the reachable directory, so
+        devices holding stale cached answers drain off it gracefully as
+        their TTLs lapse instead of hitting timeouts.  Idempotent for an
+        already-parked server.  Returns the number of records withdrawn.
+        """
+        if server_id not in self.servers:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        return self.registry.deregister(server_id)
+
+    def unpark_map_server(self, server_id: str) -> None:
+        """Re-register a parked server with its current SRV values.
+
+        The promotion-from-pool counterpart of :meth:`park_map_server`; a
+        no-op when the server is already registered, so controllers can
+        call it unconditionally before re-weighting.
+        """
+        if server_id not in self.servers:
+            raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        if server_id not in self.registry.registrations:
+            server = self.servers[server_id]
+            priority, weight = self._srv_of.get(server_id, (0, 0))
+            self.registry.register_region(
+                server_id, server.coverage, priority=priority, weight=weight
+            )
+
+    def attach_warm_pool(self, group_id: str, size: int) -> "object":
+        """Provision a :class:`repro.autoscale.WarmPool` of ``size``
+        standby replicas for one group and remember it in
+        :attr:`warm_pools` (one pool per group).  Imported lazily so the
+        core federation stays importable without the autoscale package."""
+        from repro.autoscale.warmpool import WarmPool
+
+        if group_id in self.warm_pools:
+            raise FederationConfigError(
+                f"replica group {group_id!r} already has a warm pool"
+            )
+        pool = WarmPool.provision(self, group_id, size)
+        self.warm_pools[group_id] = pool
+        return pool
 
     # ------------------------------------------------------------------
     # Live SRV mutation (operator control plane)

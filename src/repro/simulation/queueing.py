@@ -261,6 +261,12 @@ class ServerQueue:
         Phantom cohort arrivals are included (they land in ``stats`` and
         ``kind_totals``), so windowed deltas reflect the load the server
         actually absorbed, not just the individually-simulated slice.
+
+        ``workers`` is a *gauge*, not a counter: the pipeline keeps the
+        latest value per window instead of diffing it, so supply-side
+        roll-ups can normalize busy time into utilization
+        (``busy_ms / (workers × window span)``) without reaching back into
+        the queue object.
         """
         return {
             "arrivals": float(self.stats.arrivals),
@@ -268,6 +274,7 @@ class ServerQueue:
             "dropped": float(self.stats.dropped),
             "wait_ms": self.stats.wait_ms_total,
             "busy_ms": self.stats.busy_ms,
+            "workers": float(self.workers),
             "kinds": {kind: float(count) for kind, count in self.kind_totals.items()},
         }
 

@@ -20,6 +20,11 @@ fixes that:
   keeps retention bounded (a million-client run produces bounded output),
   and the sealed windows are queryable after the run via
   ``WorkloadReport.telemetry``.
+* :mod:`repro.telemetry.reader` — the :class:`TelemetryReader` query
+  surface closed-loop controllers consume *during* a run: trailing-window
+  zonal stats, demand slopes, burn rates, latency tails, and SLO
+  attainment, all computed from sealed windows only (a controller sees
+  what monitoring emitted, never the raw simulation state).
 
 Telemetry is **off by default**: a :class:`repro.workload.WorkloadConfig`
 without a ``telemetry`` config runs byte-identically to a build without
@@ -27,6 +32,7 @@ this package.
 """
 
 from repro.telemetry.pipeline import TelemetryConfig, TelemetryPipeline
+from repro.telemetry.reader import TelemetryReader
 from repro.telemetry.slo import SLOConfig, alert_windows, burn_rate, burn_series
 from repro.telemetry.spatial import (
     cell_ancestor,
@@ -44,6 +50,7 @@ __all__ = [
     "ServerWindowStats",
     "TelemetryConfig",
     "TelemetryPipeline",
+    "TelemetryReader",
     "TelemetryWindow",
     "alert_windows",
     "burn_rate",

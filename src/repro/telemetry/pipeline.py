@@ -68,6 +68,10 @@ class TelemetryConfig:
 
 _FRAME_FIELDS = ("arrivals", "served", "dropped", "wait_ms", "busy_ms")
 
+_GAUGE_FIELDS = ("workers",)
+"""Frame fields carried as gauges: the latest value is kept per window
+instead of diffing against the baseline (diffing a constant would yield 0)."""
+
 
 @dataclass
 class TelemetryPipeline:
@@ -148,6 +152,8 @@ class TelemetryPipeline:
             for name in _FRAME_FIELDS:
                 value = float(frame.get(name, 0.0)) - float(baseline.get(name, 0.0))
                 setattr(delta, name, value)
+            for name in _GAUGE_FIELDS:
+                setattr(delta, name, float(frame.get(name, 0.0)))
             kinds: dict[str, float] = dict(frame.get("kinds", {}))
             base_kinds: dict[str, float] = baseline.get("kinds", {})
             for kind in sorted(kinds):

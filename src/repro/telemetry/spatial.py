@@ -94,9 +94,17 @@ def server_zonal(
     federation's serving capacity queued, shed, and burned busy time.
     Servers with no registered cells (never registered, or unknown to the
     pipeline) are skipped rather than mapped to a synthetic zone.
+
+    Besides the raw sums, each zone carries two derived rates —
+    ``shed_rate`` (dropped/arrivals) and ``mean_wait_ms`` (wait/served) —
+    and, when the frames carried the ``workers`` gauge, ``capacity_ms``
+    (workers × window span, summed over the zone's active server-windows)
+    with the ``utilization`` ratio ``busy_ms / capacity_ms``.  Idle servers
+    emit no window delta, so capacity covers *active* servers only.
     """
     zones: dict[str, dict[str, float]] = {}
     for window in windows:
+        span_ms = (window.end_seconds - window.start_seconds) * 1000.0
         for server_id, stats in window.servers.items():
             for token in server_cells.get(server_id, ()):
                 cell = cell_ancestor(token, level)
@@ -108,13 +116,16 @@ def server_zonal(
                         "dropped": 0.0,
                         "wait_ms": 0.0,
                         "busy_ms": 0.0,
+                        "capacity_ms": 0.0,
                     }
                 zone["arrivals"] += stats.arrivals
                 zone["served"] += stats.served
                 zone["dropped"] += stats.dropped
                 zone["wait_ms"] += stats.wait_ms
                 zone["busy_ms"] += stats.busy_ms
+                zone["capacity_ms"] += stats.workers * span_ms
     for zone in zones.values():
         zone["shed_rate"] = zone["dropped"] / zone["arrivals"] if zone["arrivals"] else 0.0
         zone["mean_wait_ms"] = zone["wait_ms"] / zone["served"] if zone["served"] else 0.0
+        zone["utilization"] = zone["busy_ms"] / zone["capacity_ms"] if zone["capacity_ms"] else 0.0
     return zones

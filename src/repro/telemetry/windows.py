@@ -84,6 +84,10 @@ class ServerWindowStats:
     dropped: float = 0.0
     wait_ms: float = 0.0
     busy_ms: float = 0.0
+    workers: float = 0.0
+    """Gauge, not a counter: the server's worker count as last observed in
+    the window (0 when the frame predates the gauge).  Supply-side roll-ups
+    multiply it by the window span to get serving capacity."""
     kinds: dict[str, float] = field(default_factory=dict)
 
     def merge_from(self, other: "ServerWindowStats") -> None:
@@ -92,6 +96,7 @@ class ServerWindowStats:
         self.dropped += other.dropped
         self.wait_ms += other.wait_ms
         self.busy_ms += other.busy_ms
+        self.workers = max(self.workers, other.workers)
         for kind, count in other.kinds.items():
             self.kinds[kind] = self.kinds.get(kind, 0.0) + count
 

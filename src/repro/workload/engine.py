@@ -30,6 +30,8 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.autoscale.policy import AutoscalerConfig
+from repro.autoscale.scaler import Autoscaler
 from repro.churn.controller import ChurnController
 from repro.churn.failover import FailoverRecorder
 from repro.churn.schedule import ChurnSchedule
@@ -166,6 +168,14 @@ class WorkloadConfig:
     telemetry and adds no snapshot keys, so telemetry-free runs stay
     byte-identical to builds without the telemetry subsystem; set one and
     the run's windows become queryable via ``WorkloadReport.telemetry``."""
+    autoscale: AutoscalerConfig | None = None
+    """Closed-loop autoscaler config.  Requires ``telemetry`` (the scaler
+    reads only telemetry roll-ups); it evaluates once per sealed window at
+    round boundaries and drives the federation's warm pools
+    (``Federation.attach_warm_pool``) through its own control plane.
+    ``None`` (default) builds no scaler, registers no observer and adds no
+    snapshot keys, so autoscaler-off runs stay byte-identical to builds
+    without the autoscale subsystem."""
     engine: str = "event"
     """Which execution loop drives the fleet: ``"event"`` (the heap-driven
     engine, default) or ``"legacy"`` (the retained round loop, kept as the
@@ -198,6 +208,11 @@ class WorkloadConfig:
             raise ValueError("cohort threshold must be positive")
         if self.tracers_per_cohort < 1:
             raise ValueError("a cohort needs at least one tracer")
+        if self.autoscale is not None and self.telemetry is None:
+            raise ValueError(
+                "the autoscaler reads only telemetry roll-ups; "
+                "set WorkloadConfig.telemetry alongside autoscale"
+            )
 
 
 @dataclass
@@ -277,6 +292,11 @@ class WorkloadReport:
     heatmaps, per-cell percentiles, zonal queue maps, per-region SLO burn).
     ``None`` when the run collected no telemetry, so telemetry-free
     snapshots carry no extra keys."""
+    autoscale_stats: dict[str, float] = field(default_factory=dict)
+    """Autoscaler outcome: evaluations, applied/rejected ops, promotions,
+    ramp steps, parks, flaps, and the replica-seconds cost integral.  Empty
+    when the run had no autoscaler, so scaler-free snapshots carry no
+    extra keys."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -389,6 +409,8 @@ class WorkloadReport:
         if self.telemetry is not None:
             for key, value in sorted(self.telemetry.summary().items()):
                 data[f"telemetry.{key}"] = value
+        for key, value in sorted(self.autoscale_stats.items()):
+            data[f"autoscale.{key}"] = value
         return data
 
 
@@ -459,6 +481,19 @@ class WorkloadEngine:
                 },
             )
             self.add_round_observer(self._telemetry_flush)
+        self.autoscaler: Autoscaler | None = None
+        if self.config.autoscale is not None:
+            # Registered after the telemetry flush observer, so each
+            # evaluation sees the window that round just sealed.
+            from repro.telemetry.reader import TelemetryReader
+
+            assert self.telemetry is not None  # enforced by WorkloadConfig
+            self.autoscaler = Autoscaler(
+                federation=scenario.federation,
+                reader=TelemetryReader(pipeline=self.telemetry),
+                config=self.config.autoscale,
+            )
+            self.add_round_observer(self.autoscaler.observe)
 
     def add_round_observer(self, observer: RoundObserver) -> None:
         """Register a hook called as ``observer(round_index, now_seconds)``
@@ -811,6 +846,8 @@ class WorkloadEngine:
         queue activity predating the run is never attributed to it."""
         if self.telemetry is not None:
             self.telemetry.begin(now, self._telemetry_frames())
+        if self.autoscaler is not None:
+            self.autoscaler.begin(now)
 
     def _telemetry_frames(self) -> dict[str, dict[str, object]]:
         """Cumulative queue frames for every server (offline ones included:
@@ -1235,4 +1272,7 @@ class WorkloadEngine:
             degraded_requests=degraded,
             fault_stats=fault_stats,
             telemetry=self.telemetry,
+            autoscale_stats=(
+                self.autoscaler.stats() if self.autoscaler is not None else {}
+            ),
         )

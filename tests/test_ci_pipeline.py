@@ -80,6 +80,7 @@ class TestWorkflow:
             "BENCH_e16.json",
             "BENCH_e17.json",
             "BENCH_e18.json",
+            "BENCH_e19.json",
         ):
             assert artifact in paths, f"smoke job does not upload {artifact}"
         assert any("ci_summary" in s.get("run", "") for s in steps), "no step-summary step"
@@ -106,6 +107,7 @@ class TestCheckShStages:
             "BENCH_e16.json",
             "BENCH_e17.json",
             "BENCH_e18.json",
+            "BENCH_e19.json",
         ):
             assert artifact in script, f"check.sh does not gate {artifact}"
 
@@ -119,6 +121,7 @@ class TestCheckShStages:
             ("bench_e16_scale.py", "E16_SMOKE_BUDGET_SECONDS"),
             ("bench_e17_faults.py", "E17_SMOKE_BUDGET_SECONDS"),
             ("bench_e18_telemetry.py", "E18_SMOKE_BUDGET_SECONDS"),
+            ("bench_e19_autoscale.py", "E19_SMOKE_BUDGET_SECONDS"),
         ):
             assert bench in script, f"check.sh does not run {bench}"
             assert budget in script, f"check.sh does not budget via {budget}"
@@ -132,8 +135,16 @@ class TestCheckShStages:
             "BENCH_e16.json",
             "BENCH_e17.json",
             "BENCH_e18.json",
+            "BENCH_e19.json",
         ):
             assert artifact in summary, f"ci_summary.py ignores {artifact}"
+        # The step summary points readers at the docs layer for column
+        # definitions and regeneration commands.
+        assert "docs/BENCHMARKS.md" in summary
+
+    def test_lint_stage_runs_the_docs_link_checker(self):
+        script = CHECK_SH.read_text()
+        assert "check_docs_links.py" in script, "lint stage skips the docs link checker"
 
     def test_requirements_file_exists_for_pip_cache(self):
         requirements = (REPO_ROOT / "requirements-dev.txt").read_text()
@@ -141,7 +152,37 @@ class TestCheckShStages:
             assert package in requirements
 
 
-class TestRuffConfig:
+class TestDocsLinks:
+    """The docs link checker the lint stage runs: clean on the real tree,
+    and actually capable of flagging a dead relative link."""
+
+    def _checker(self):
+        import importlib.util
+
+        spec = importlib.util.spec_from_file_location(
+            "check_docs_links", REPO_ROOT / "scripts" / "check_docs_links.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_repo_docs_have_no_dead_links(self):
+        checker = self._checker()
+        assert checker.dead_links(REPO_ROOT) == []
+
+    def test_checker_flags_a_dead_relative_link(self, tmp_path):
+        (tmp_path / "docs").mkdir()
+        (tmp_path / "README.md").write_text(
+            "See [architecture](docs/ARCHITECTURE.md) and [gone](docs/missing.md).\n"
+        )
+        (tmp_path / "docs" / "ARCHITECTURE.md").write_text(
+            "Back to the [README](../README.md); [web](https://example.com) "
+            "and [anchor](#section) are skipped.\n"
+        )
+        checker = self._checker()
+        failures = checker.dead_links(tmp_path)
+        assert len(failures) == 1
+        assert "docs/missing.md" in failures[0]
     def test_pyproject_configures_ruff(self):
         pyproject = (REPO_ROOT / "pyproject.toml").read_text()
         assert "[tool.ruff]" in pyproject

@@ -167,6 +167,55 @@ class TestRoundObserverHook:
         assert event == legacy
         assert any(key.startswith("telemetry.") for key in json.loads(event))
 
+    def test_autoscaler_on_event_legacy_equivalence(self):
+        """With a live autoscaler driving warm-pool weights mid-run, the two
+        loops still agree byte-for-byte (including every ``autoscale.*``
+        snapshot key): both loops fire the scaler's round observer at the
+        same instants, so the whole decision tape is identical."""
+        from repro.autoscale import AutoscalerConfig
+        from repro.telemetry import TelemetryConfig
+
+        def snapshot(engine_kind: str) -> str:
+            scenario = build_scenario(
+                store_count=2,
+                city_rows=4,
+                city_cols=4,
+                seed=33,
+                store_replicas=2,
+                config=FederationConfig(
+                    service_times=ServiceTimeModel(default_ms=2.0),
+                    server_queue_capacity=64,
+                ),
+            )
+            scenario.federation.attach_warm_pool(
+                sorted(scenario.federation.replica_groups)[0], 1
+            )
+            config = WorkloadConfig(
+                engine=engine_kind,
+                clients=24,
+                steps=6,
+                seed=7,
+                step_seconds=10.0,
+                telemetry=TelemetryConfig(window_seconds=20.0),
+                autoscale=AutoscalerConfig(
+                    wait_high_ms=1.0,
+                    wait_low_ms=0.5,
+                    burn_high=0.0,
+                    breach_evals=1,
+                    recover_evals=1,
+                    cooldown_seconds=10.0,
+                    ramp_cooldown_seconds=10.0,
+                    park_delay_seconds=10.0,
+                ),
+            )
+            report = WorkloadEngine(scenario, config).run()
+            return json.dumps(report.snapshot(), sort_keys=True)
+
+        event = snapshot("event")
+        legacy = snapshot("legacy")
+        assert event == legacy
+        assert any(key.startswith("autoscale.") for key in json.loads(event))
+
 
 class TestEquivalenceBoundary:
     def test_snapshot_has_no_sampling_keys_below_threshold(self):

@@ -1,0 +1,51 @@
+"""Smoke test for the autoscaling flash-crowd example.
+
+``examples/autoscale_flashcrowd.py`` is documentation that executes: the
+pressure timeline, the control-plane action log, and the closing stats
+must keep rendering end-to-end as the autoscale API evolves.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def _load_example():
+    spec = importlib.util.spec_from_file_location(
+        "autoscale_flashcrowd", REPO_ROOT / "examples" / "autoscale_flashcrowd.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("autoscale_flashcrowd", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+example = _load_example()
+
+
+class TestAutoscaleExample:
+    def test_end_to_end(self, capsys):
+        # Long enough for promote AND the first ramp-down, short enough
+        # for tier-1: the crowd ebbs at 240 s = step 12 of 20 s steps.
+        exit_code = example.main(["--steps", "24"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Zone pressure per telemetry window" in out
+        assert "action log" in out
+        assert "promotions" in out
+        # The crowd actually registered as pressure and the scaler acted.
+        assert example.BAR_GLYPH * 4 in out
+        assert "set-weight" in out
+        assert "[REJECTED]" not in out
+
+    def test_timeline_marks_crowd_windows_and_capacity(self):
+        engine, report = example.build_run(steps=24)
+        lines = example.pressure_timeline(engine)
+        crowd_rows = [line for line in lines[1:] if "yes" in line]
+        assert crowd_rows, "no telemetry window overlapped the crowd"
+        assert report.autoscale_stats["promotions"] >= 1.0
+        assert report.autoscale_stats["flaps"] == 0.0
