@@ -1,0 +1,668 @@
+"""E20 — the operator API layer: control ops as messages on the wire.
+
+E15 measured the control plane as in-process method calls; E19 closed the
+autoscaling loop the same way.  This experiment puts the *operator* on
+the network: every control op travels as an authenticated, schema-
+validated request through :mod:`repro.operator`, charged real (simulated)
+latency, loss, and partitions on the control hop.  Four claims are
+pinned:
+
+* **drain convergence lag** — the same one-event drain tape is played
+  three ways: ``direct`` (in-process API, the byte-identity transport),
+  ``net-healthy`` (every request pays the control-hop RTT) and
+  ``net-lossy`` (a gray-failing control endpoint: retransmits, timeouts,
+  and same-token retries at later rounds).  Delivery lag — scripted
+  instant to the op landing at the authority — must be *strictly* above
+  the direct baseline once the wire is real, and grow again under loss;
+  the tape must still fully deliver, and a networked drain is still not
+  an outage (zero failed requests, fleet convergence intact).
+* **partitioned operator** — two operator consoles in different regions
+  issue *conflicting* drains on a two-replica group while a region-scoped
+  partition cuts one console off.  The partition heals, the cut-off
+  console's same-token retry arrives late, and the shared audit log's
+  sequence order resolves the race: one audited winner, the loser's
+  record shows ``conflict``, the group keeps a registered positive-weight
+  member throughout (zero NXDOMAIN windows).
+* **autoscaler reaction lag** — the E19 flash-crowd cell re-run with the
+  autoscaler's batches routed through the operator API.  Over the network
+  transport its first capacity action lands measurably later than over
+  the direct transport — the control hop's RTT is now part of the
+  reaction time — while the loop still promotes and still beats the
+  crowd.
+* **audit replay determinism** — replaying the partitioned cell's audit
+  log through a fresh API over a fresh federation reproduces the exact
+  final SRV state (equal state digests).
+
+Runs three ways, like E13–E19:
+
+* under pytest-benchmark;
+* standalone smoke: ``python benchmarks/bench_e20_operator.py --smoke``
+  — used by ``scripts/check.sh`` (wall-clock budgeted via
+  ``--budget-seconds``); the smoke sweep *is* the committed artifact, so
+  every check run re-verifies that ``BENCH_e20.json`` reproduces;
+* the full sweep (no flags) re-runs the cells with a larger fleet and
+  writes ``BENCH_e20_full.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+try:
+    import repro  # noqa: F401
+except ImportError:  # standalone invocation without PYTHONPATH=src
+    sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.control.schedule import ControlEvent, ControlEventKind, ControlSchedule
+from repro.core.config import FederationConfig
+from repro.faults.scenarios import RETRY_POLICY, SERVICE_TIMES
+from repro.operator import (
+    AuditLog,
+    OperatorApi,
+    OperatorClient,
+    OperatorConfig,
+    PrincipalRegistry,
+    replay_audit,
+    state_digest,
+)
+from repro.operator.permissions import ALL_PERMISSIONS
+from repro.simulation.network import GrayFailure
+from repro.workload import WorkloadConfig, WorkloadEngine
+from repro.worldgen.scenario import build_scenario
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+from _util import print_table  # noqa: E402
+from bench_e19_autoscale import (  # noqa: E402
+    AUTOSCALE,
+    FLASH_STEPS,
+    POOL_SIZE,
+    RESOLVER_POOLS,
+    TELEMETRY,
+    build_world,
+    flash_plan,
+)
+
+WORLD_SEED = 33
+WORKLOAD_SEED = 7
+
+SMOKE_CLIENTS = 16
+FULL_CLIENTS = 32
+AUTOSCALE_SMOKE_CLIENTS = 24
+AUTOSCALE_FULL_CLIENTS = 48
+STEP_SECONDS = 20.0
+DRAIN_STEPS = 14
+REPLICAS = 4
+
+CONTROL_LOSS = 0.95
+"""The lossy cell's gray loss probability on the control endpoint.  High
+enough that the retransmit budget (8) is exhausted on a meaningful
+fraction of exchanges (~63% per exchange), forcing full timeouts and
+next-round same-token retries — not just padded latencies."""
+
+OPERATOR_TIMEOUT_MS = 400.0
+
+DEFAULT_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e20.json"
+"""The committed, check.sh-gated artifact — written by the *smoke* sweep."""
+FULL_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_e20_full.json"
+"""Default output of the full sweep, so exploratory runs never clobber the
+byte-for-byte-gated smoke artifact."""
+
+
+def _digest(snapshot: dict[str, float]) -> str:
+    """A short stable fingerprint of a run's full snapshot (determinism)."""
+    import hashlib
+
+    payload = json.dumps(snapshot, sort_keys=True).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+# ----------------------------------------------------------------------
+# Drain-convergence cells
+# ----------------------------------------------------------------------
+def drain_world():
+    """One store, four replicas, the E17 service-time/retry models — the
+    same control-plane regime E15 measured, now with an operator door."""
+    config = FederationConfig(
+        device_discovery_cache_ttl_seconds=20.0,
+        registration_ttl_seconds=60.0,
+        client_tile_cache_entries=256,
+        service_times=SERVICE_TIMES,
+        server_queue_capacity=256,
+        retry_policy=RETRY_POLICY,
+    )
+    return build_scenario(
+        store_count=1,
+        city_rows=5,
+        city_cols=5,
+        config=config,
+        seed=WORLD_SEED,
+        reuse_worlds=True,
+        store_replicas=REPLICAS,
+    )
+
+
+def drain_tape(server_id: str) -> ControlSchedule:
+    """Drain → undrain → drain again: three operator requests, so the
+    lossy cell gets several independent chances to lose one."""
+    return ControlSchedule.from_events(
+        [
+            ControlEvent(2 * STEP_SECONDS, ControlEventKind.DRAIN, server_id),
+            ControlEvent(6 * STEP_SECONDS, ControlEventKind.UNDRAIN, server_id),
+            ControlEvent(9 * STEP_SECONDS, ControlEventKind.DRAIN, server_id),
+        ]
+    )
+
+
+def run_drain_cell(mode: str, clients: int) -> dict[str, object]:
+    """One transport mode over the drain tape.
+
+    ``direct`` routes the tape through the API in-process; ``net-healthy``
+    pays the control-hop RTT per request; ``net-lossy`` additionally gray-
+    fails the control endpoint at :data:`CONTROL_LOSS`.
+    """
+    scenario = drain_world()
+    drained = scenario.store_replica_ids(0)[0]
+    transport = "direct" if mode == "direct" else "network"
+    engine = WorkloadEngine(
+        scenario,
+        WorkloadConfig(
+            clients=clients,
+            steps=DRAIN_STEPS,
+            seed=WORKLOAD_SEED,
+            step_seconds=STEP_SECONDS,
+            control=drain_tape(drained),
+            operator=OperatorConfig(transport=transport, timeout_ms=OPERATOR_TIMEOUT_MS),
+        ),
+    )
+    if mode == "net-lossy":
+        scenario.federation.network.fault_state().set_gray(
+            scenario.federation.discovery_authority_id,
+            GrayFailure(loss_probability=CONTROL_LOSS),
+        )
+    report = engine.run()
+    stats = report.operator_stats
+    network = scenario.federation.network
+    player = engine.control_plane
+    # The three transports run byte-identically until the first tape event
+    # fires, so its delivery lag isolates the pure transport delta; later
+    # events also carry round-position drift from the diverged clocks.
+    lag_first = player.delivery_lags[0] if player.delivery_lags else float("inf")
+    return {
+        "mode": mode,
+        "lag_first_s": lag_first,
+        "lag_mean_s": stats["delivery_lag_mean"],
+        "lag_max_s": stats["delivery_lag_max"],
+        "requests": stats["requests"],
+        "delivered": stats["delivered"],
+        "timeouts": stats["timeouts"],
+        "retransmits": float(network.stats.retransmissions),
+        "tape_retries": stats["tape_retries"],
+        "applied": report.control_stats["events_applied"],
+        "converge_p95_s": report.control_stats["converge_p95_s"],
+        "failed": float(report.failed_requests),
+        "_tape_pending": stats["tape_pending"],
+        "_unconverged": report.control_stats["devices_unconverged"],
+        "_audit_records": stats["audit_records"],
+        "_snapshot_digest": _digest(report.snapshot()),
+    }
+
+
+def run_drain_cells(clients: int) -> list[dict[str, object]]:
+    return [run_drain_cell(mode, clients) for mode in ("direct", "net-healthy", "net-lossy")]
+
+
+# ----------------------------------------------------------------------
+# Partitioned-operator cell
+# ----------------------------------------------------------------------
+def run_partition_cell() -> dict[str, object]:
+    """Two consoles, one partition, one audited winner.
+
+    Operator ``east`` (region 0) and operator ``west`` (region 1) target
+    the two replicas of one group with conflicting drains.  A region-
+    scoped partition cuts ``west`` off from the control endpoint first:
+    its request burns the full timeout and goes *pending* — the API never
+    saw it.  ``east``'s drain lands.  The partition heals, ``west``
+    retries with the same idempotency token, and the group guard turns
+    the late arrival into an audited ``conflict``.  Throughout, the group
+    keeps a registered positive-weight member — no NXDOMAIN window."""
+    scenario = build_scenario(
+        store_count=1,
+        city_rows=5,
+        city_cols=5,
+        config=FederationConfig(
+            device_discovery_cache_ttl_seconds=20.0,
+            registration_ttl_seconds=60.0,
+            service_times=SERVICE_TIMES,
+            retry_policy=RETRY_POLICY,
+        ),
+        seed=WORLD_SEED,
+        reuse_worlds=True,
+        store_replicas=2,
+    )
+    federation = scenario.federation
+    first, second = scenario.store_replica_ids(0)
+    group_id = sorted(federation.replica_groups)[0]
+    endpoint = federation.discovery_authority_id
+    audit = AuditLog()
+
+    def console(name: str, region: int) -> OperatorClient:
+        principals = PrincipalRegistry()
+        principals.register(name, ALL_PERMISSIONS)
+        api = OperatorApi(federation=federation, principals=principals, audit=audit)
+        return OperatorClient(
+            api=api,
+            principal=name,
+            transport="network",
+            endpoint_id=endpoint,
+            region=region,
+            timeout_ms=OPERATOR_TIMEOUT_MS,
+        )
+
+    east = console("east", 0)
+    west = console("west", 1)
+    faults = federation.network.fault_state()
+
+    def registered_positive() -> bool:
+        return any(
+            server_id in federation.registry.registrations
+            and federation.srv_of(server_id)[1] > 0
+            for server_id in federation.replica_groups[group_id].server_ids
+        )
+
+    nxdomain_free = registered_positive()
+    # Partition the west console's region away from the control endpoint.
+    faults.block(endpoint, regions=(1,))
+    west_token = west.next_token()
+    cut_off = west.request("drain", second, token=west_token)
+    nxdomain_free = nxdomain_free and registered_positive()
+    won = east.request("drain", first)
+    nxdomain_free = nxdomain_free and registered_positive()
+    # Heal; the west console retries the *same* logical request.
+    faults.unblock(endpoint, regions=(1,))
+    lost = west.request("drain", second, token=west_token)
+    nxdomain_free = nxdomain_free and registered_positive()
+
+    weights = sorted(federation.srv_of(server_id)[1] for server_id in (first, second))
+    digest = state_digest(federation)
+
+    # Replay determinism: the shared audit log, replayed through a fresh
+    # API over a fresh federation, must land the identical state digest.
+    fresh = build_scenario(
+        store_count=1,
+        city_rows=5,
+        city_cols=5,
+        config=FederationConfig(
+            device_discovery_cache_ttl_seconds=20.0,
+            registration_ttl_seconds=60.0,
+            service_times=SERVICE_TIMES,
+            retry_policy=RETRY_POLICY,
+        ),
+        seed=WORLD_SEED,
+        reuse_worlds=True,
+        store_replicas=2,
+    )
+    replay_principals = PrincipalRegistry()
+    replay_principals.register("east", ALL_PERMISSIONS)
+    replay_principals.register("west", ALL_PERMISSIONS)
+    replay_api = OperatorApi(federation=fresh.federation, principals=replay_principals)
+    replay_audit(audit.records, replay_api)
+    replay_digest = state_digest(fresh.federation)
+
+    return {
+        "cut_off_arrived": cut_off.arrived,
+        "winner": "east" if won.response.ok else "west",
+        "winner_seq": won.response.seq,
+        "loser_seq": lost.response.seq,
+        "loser_error": lost.response.error or "",
+        "west_timeouts": float(west.counters["unreachable"] + west.counters["timeouts"]),
+        "drained_weights": weights,
+        "nxdomain_free": nxdomain_free,
+        "audit_outcomes": [record.outcome for record in audit.records],
+        "state_digest": digest,
+        "replay_digest": replay_digest,
+    }
+
+
+# ----------------------------------------------------------------------
+# Autoscaler reaction-lag cells
+# ----------------------------------------------------------------------
+def run_reaction_cell(transport: str, clients: int) -> dict[str, object]:
+    """The E19 flash-crowd auto cell, scaler batches routed through the
+    operator API over ``transport``."""
+    scenario = build_world()
+    federation = scenario.federation
+    group_id = sorted(federation.replica_groups)[0]
+    federation.attach_warm_pool(group_id, POOL_SIZE)
+    engine = WorkloadEngine(
+        scenario,
+        WorkloadConfig(
+            clients=clients,
+            steps=FLASH_STEPS,
+            seed=WORKLOAD_SEED,
+            step_seconds=STEP_SECONDS,
+            resolver_pools=RESOLVER_POOLS,
+            faults=flash_plan(scenario),
+            telemetry=TELEMETRY,
+            autoscale=AUTOSCALE,
+            operator=OperatorConfig(transport=transport, timeout_ms=OPERATOR_TIMEOUT_MS),
+        ),
+    )
+    report = engine.run()
+    assert engine.operator_api is not None
+    first_action_at = next(
+        (
+            record.at_seconds
+            for record in engine.operator_api.audit
+            if record.outcome == "applied"
+        ),
+        float("inf"),
+    )
+    stats = report.autoscale_stats
+    return {
+        "transport": transport,
+        "first_action_s": first_action_at,
+        "promotions": stats["promotions"],
+        "ops_applied": stats["ops_applied"],
+        "ops_rejected": stats["ops_rejected"],
+        "audited": report.operator_stats["audit_records"],
+        "_snapshot_digest": _digest(report.snapshot()),
+    }
+
+
+def run_reaction_cells(clients: int) -> list[dict[str, object]]:
+    return [run_reaction_cell(transport, clients) for transport in ("direct", "network")]
+
+
+# ----------------------------------------------------------------------
+# Verification
+# ----------------------------------------------------------------------
+def by_mode(rows: list[dict[str, object]], key: str = "mode") -> dict[str, dict[str, object]]:
+    return {str(row[key]): row for row in rows}
+
+
+def table_rows(rows: list[dict[str, object]]) -> list[dict[str, object]]:
+    return [
+        {key: value for key, value in row.items() if not key.startswith("_")}
+        for row in rows
+    ]
+
+
+def verify(
+    drain: list[dict[str, object]],
+    partition: dict[str, object],
+    reaction: list[dict[str, object]],
+) -> list[str]:
+    """The experiment's claims, checked against the measured cells."""
+    failures: list[str] = []
+    cells = by_mode(drain)
+    direct, healthy, lossy = cells["direct"], cells["net-healthy"], cells["net-lossy"]
+
+    for row in drain:
+        if row["_tape_pending"] != 0.0:
+            failures.append(f"{row['mode']}: tape never fully delivered")
+        if row["applied"] != 3.0:
+            failures.append(
+                f"{row['mode']}: {row['applied']:.0f} of 3 tape events applied"
+            )
+        if row["failed"] != 0.0:
+            failures.append(
+                f"{row['mode']}: {row['failed']:.0f} failed requests — a drain "
+                "became an outage"
+            )
+        if row["_unconverged"] != 0.0:
+            failures.append(f"{row['mode']}: fleet never converged on the tape")
+    if direct["timeouts"] != 0.0 or direct["retransmits"] != 0.0:
+        failures.append("direct: charged network failures on an in-process transport")
+    if healthy["lag_first_s"] <= direct["lag_first_s"]:
+        failures.append(
+            f"net-healthy first-event lag {healthy['lag_first_s']:.3f}s not "
+            f"strictly above the direct baseline {direct['lag_first_s']:.3f}s"
+        )
+    if lossy["lag_first_s"] <= healthy["lag_first_s"]:
+        failures.append(
+            f"net-lossy first-event lag {lossy['lag_first_s']:.3f}s not above "
+            f"net-healthy {healthy['lag_first_s']:.3f}s"
+        )
+    if lossy["retransmits"] < 1.0:
+        failures.append("net-lossy: the gray control endpoint lost nothing")
+    if lossy["timeouts"] < 1.0 or lossy["tape_retries"] < 1.0:
+        failures.append(
+            "net-lossy: no request ever timed out and retried — the loss "
+            "rate is not exercising the retry path"
+        )
+
+    if partition["cut_off_arrived"]:
+        failures.append("partition: the cut-off console's request reached the API")
+    if partition["winner"] != "east":
+        failures.append("partition: the unpartitioned console did not win")
+    if partition["loser_error"] != "conflict":
+        failures.append(
+            f"partition: the late retry resolved to {partition['loser_error']!r}, "
+            "not an audited conflict"
+        )
+    if not partition["winner_seq"] < partition["loser_seq"]:
+        failures.append("partition: audit sequence does not order the winner first")
+    if partition["drained_weights"][0] != 0 or partition["drained_weights"][1] <= 0:
+        failures.append(
+            f"partition: group weights {partition['drained_weights']} — exactly "
+            "one replica must be drained"
+        )
+    if not partition["nxdomain_free"]:
+        failures.append("partition: the group lost its last registered member")
+    if partition["replay_digest"] != partition["state_digest"]:
+        failures.append(
+            "partition: audit replay did not reproduce the state digest "
+            f"({partition['replay_digest']} != {partition['state_digest']})"
+        )
+
+    reaction_cells = by_mode(reaction, key="transport")
+    r_direct, r_net = reaction_cells["direct"], reaction_cells["network"]
+    for row in reaction:
+        if row["promotions"] < 1.0:
+            failures.append(
+                f"reaction[{row['transport']}]: the autoscaler never promoted"
+            )
+    if r_net["first_action_s"] <= r_direct["first_action_s"]:
+        failures.append(
+            f"reaction: networked first action at {r_net['first_action_s']:.3f}s "
+            f"is not after the direct transport's {r_direct['first_action_s']:.3f}s"
+        )
+    return failures
+
+
+# ----------------------------------------------------------------------
+# pytest-benchmark entry points
+# ----------------------------------------------------------------------
+def test_e20_networked_drain_lags_direct(benchmark):
+    rows = run_drain_cells(SMOKE_CLIENTS)
+    print_table("E20 drain transports", table_rows(rows))
+    cells = by_mode(rows)
+    assert cells["net-healthy"]["lag_first_s"] > cells["direct"]["lag_first_s"]
+    assert cells["net-lossy"]["lag_first_s"] > cells["net-healthy"]["lag_first_s"]
+    assert all(row["failed"] == 0.0 for row in rows)
+    benchmark(lambda: run_drain_cell("net-healthy", SMOKE_CLIENTS))
+
+
+def test_e20_partitioned_operators_resolve_by_audit_order(benchmark):
+    cell = run_partition_cell()
+    assert cell["winner"] == "east"
+    assert cell["loser_error"] == "conflict"
+    assert cell["winner_seq"] < cell["loser_seq"]
+    assert cell["nxdomain_free"]
+    assert cell["replay_digest"] == cell["state_digest"]
+    benchmark(run_partition_cell)
+
+
+def test_e20_deterministic(benchmark):
+    first = run_drain_cell("net-lossy", SMOKE_CLIENTS)
+    second = run_drain_cell("net-lossy", SMOKE_CLIENTS)
+    assert first["_snapshot_digest"] == second["_snapshot_digest"]
+    benchmark(lambda: run_drain_cell("direct", SMOKE_CLIENTS))
+
+
+# ----------------------------------------------------------------------
+# Standalone mode
+# ----------------------------------------------------------------------
+def emit_json(
+    drain: list[dict[str, object]],
+    partition: dict[str, object],
+    reaction: list[dict[str, object]],
+    clients: int,
+    path: Path,
+) -> None:
+    def drain_block(row: dict[str, object]) -> dict[str, object]:
+        return {
+            "delivery_lag_first_s": row["lag_first_s"],
+            "delivery_lag_mean_s": row["lag_mean_s"],
+            "delivery_lag_max_s": row["lag_max_s"],
+            "requests": row["requests"],
+            "delivered": row["delivered"],
+            "timeouts": row["timeouts"],
+            "retransmits": row["retransmits"],
+            "tape_retries": row["tape_retries"],
+            "events_applied": row["applied"],
+            "converge_p95_s": row["converge_p95_s"],
+            "failed_requests": row["failed"],
+            "audit_records": row["_audit_records"],
+            "snapshot_digest": row["_snapshot_digest"],
+        }
+
+    def reaction_block(row: dict[str, object]) -> dict[str, object]:
+        return {
+            "first_action_s": row["first_action_s"],
+            "promotions": row["promotions"],
+            "ops_applied": row["ops_applied"],
+            "ops_rejected": row["ops_rejected"],
+            "audit_records": row["audited"],
+            "snapshot_digest": row["_snapshot_digest"],
+        }
+
+    payload = {
+        "experiment": "E20",
+        "description": "the operator API layer: control ops as "
+        "authenticated, schema-validated messages over the simulated "
+        "network — drain delivery lag per transport, partitioned "
+        "operators resolved by audit-log order, autoscaler reaction lag, "
+        "audit replay determinism",
+        "world_seed": WORLD_SEED,
+        "workload_seed": WORKLOAD_SEED,
+        "clients": clients,
+        "control_loss": CONTROL_LOSS,
+        "operator_timeout_ms": OPERATOR_TIMEOUT_MS,
+        "drain": {row["mode"]: drain_block(row) for row in drain},
+        "partition": {
+            "winner": partition["winner"],
+            "winner_seq": partition["winner_seq"],
+            "loser_seq": partition["loser_seq"],
+            "loser_error": partition["loser_error"],
+            "west_timeouts": partition["west_timeouts"],
+            "drained_weights": partition["drained_weights"],
+            "nxdomain_free": partition["nxdomain_free"],
+            "audit_outcomes": partition["audit_outcomes"],
+            "state_digest": partition["state_digest"],
+            "replay_digest": partition["replay_digest"],
+        },
+        "autoscaler": {row["transport"]: reaction_block(row) for row in reaction},
+    }
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="the calibrated small-fleet cells (finishes in seconds) for CI "
+        "smoke checks",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help=f"where to write the cell artifact (smoke default {DEFAULT_JSON_PATH.name} "
+        f"— the committed, byte-for-byte-gated artifact; full-sweep default "
+        f"{FULL_JSON_PATH.name} so exploration never clobbers the gated file)",
+    )
+    parser.add_argument(
+        "--no-json", action="store_true", help="skip writing the JSON artifact"
+    )
+    parser.add_argument(
+        "--budget-seconds",
+        type=float,
+        default=None,
+        help="fail (exit 1) if the cells take longer than this wall-clock budget",
+    )
+    args = parser.parse_args(argv)
+    clients = SMOKE_CLIENTS if args.smoke else FULL_CLIENTS
+    reaction_clients = AUTOSCALE_SMOKE_CLIENTS if args.smoke else AUTOSCALE_FULL_CLIENTS
+
+    started = time.perf_counter()
+    drain = run_drain_cells(clients)
+    partition = run_partition_cell()
+    reaction = run_reaction_cells(reaction_clients)
+    elapsed = time.perf_counter() - started
+    print_table("E20 drain transports", table_rows(drain))
+    print_table(
+        "E20 partitioned operators",
+        [
+            {
+                key: partition[key]
+                for key in (
+                    "winner",
+                    "winner_seq",
+                    "loser_seq",
+                    "loser_error",
+                    "west_timeouts",
+                    "nxdomain_free",
+                )
+            }
+        ],
+    )
+    print_table("E20 autoscaler reaction", table_rows(reaction))
+
+    failures = verify(drain, partition, reaction)
+
+    # Determinism: the richest cell (lossy control hop: RNG-drawn
+    # retransmits, timeouts, and round retries) must reproduce exactly.
+    repeat = run_drain_cell("net-lossy", clients)
+    if repeat["_snapshot_digest"] != by_mode(drain)["net-lossy"]["_snapshot_digest"]:
+        failures.append("rerun with fixed seed produced a different snapshot")
+
+    json_path = args.json if args.json is not None else (
+        DEFAULT_JSON_PATH if args.smoke else FULL_JSON_PATH
+    )
+    if not args.no_json:
+        emit_json(drain, partition, reaction, clients, json_path)
+        print(f"\nwrote {json_path}")
+
+    if args.budget_seconds is not None and elapsed > args.budget_seconds:
+        failures.append(
+            f"cells took {elapsed:.1f}s, over the {args.budget_seconds:.1f}s "
+            "budget (hot-path regression?)"
+        )
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    cells = by_mode(drain)
+    reaction_cells = by_mode(reaction, key="transport")
+    print(
+        f"\nOK: first-event drain lag direct {cells['direct']['lag_first_s']:.2f}s "
+        f"→ healthy {cells['net-healthy']['lag_first_s']:.2f}s → lossy "
+        f"{cells['net-lossy']['lag_first_s']:.2f}s; partition winner seq "
+        f"{partition['winner_seq']} < loser {partition['loser_seq']} "
+        f"({partition['loser_error']}); autoscaler first action "
+        f"{reaction_cells['direct']['first_action_s']:.1f}s → "
+        f"{reaction_cells['network']['first_action_s']:.1f}s networked; "
+        f"replay digest {partition['replay_digest']} ({elapsed:.1f}s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,9 +2,9 @@
 # Repo check, split into the three stages the CI pipeline parallelizes:
 #
 #   --tier1   the tier-1 pytest suite
-#   --smoke   the E13 .. E19 benchmark smokes (wall-clock budgeted) plus
+#   --smoke   the E13 .. E20 benchmark smokes (wall-clock budgeted) plus
 #             the byte-for-byte reproducibility gate on ALL committed
-#             artifacts (BENCH_e13.json .. BENCH_e19.json are written by
+#             artifacts (BENCH_e13.json .. BENCH_e20.json are written by
 #             the smoke sweeps themselves, so a drifting simulation fails
 #             the gate)
 #   --lint    ruff check + ruff format --check (skipped with a notice when
@@ -17,8 +17,11 @@
 # E15_SMOKE_BUDGET_SECONDS / E16_SMOKE_BUDGET_SECONDS /
 # E17_SMOKE_BUDGET_SECONDS (default 20s each),
 # E18_SMOKE_BUDGET_SECONDS (default 40s: it runs the 100k-client fleet
-# twice, telemetry on and off) and E19_SMOKE_BUDGET_SECONDS (default
-# 40s: seven provisioning cells plus a determinism rerun).  The
+# twice, telemetry on and off), E19_SMOKE_BUDGET_SECONDS (default
+# 40s: seven provisioning cells plus a determinism rerun) and
+# E20_SMOKE_BUDGET_SECONDS (default 40s: three drain transports, the
+# partitioned-operator race, two autoscaler reaction cells and a
+# determinism rerun).  The
 # optimized smokes finish in a couple of seconds — E16 runs 100,000
 # clients inside its budget on the cohort fast path, E17 plays the whole
 # disaster library — so only an order-of-magnitude hot-path regression
@@ -90,7 +93,12 @@ if $run_smoke; then
   python benchmarks/bench_e19_autoscale.py --smoke \
     --budget-seconds "${E19_SMOKE_BUDGET_SECONDS:-40}"
 
-  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json BENCH_e17.json BENCH_e18.json BENCH_e19.json; do
+  echo
+  echo "== benchmark smoke: E20 operator API (budgeted) =="
+  python benchmarks/bench_e20_operator.py --smoke \
+    --budget-seconds "${E20_SMOKE_BUDGET_SECONDS:-40}"
+
+  for artifact in BENCH_e13.json BENCH_e14.json BENCH_e15.json BENCH_e16.json BENCH_e17.json BENCH_e18.json BENCH_e19.json BENCH_e20.json; do
     # `git diff` exits 0 for untracked paths, which would make the gate
     # vacuous for an artifact nobody committed — require the baseline.
     if ! git ls-files --error-unmatch "$artifact" >/dev/null 2>&1; then

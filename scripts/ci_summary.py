@@ -4,7 +4,7 @@
 CI appends the output to ``$GITHUB_STEP_SUMMARY`` after the smoke stage, so
 every run shows the telemetry / disaster / scale / control-plane /
 availability / balancing / saturation / autoscaling headlines next to the
-uploaded ``BENCH_e13.json`` .. ``BENCH_e19.json`` artifacts without anyone
+uploaded ``BENCH_e13.json`` .. ``BENCH_e20.json`` artifacts without anyone
 downloading them.  Standalone use: ``python scripts/ci_summary.py``.
 Column definitions and regeneration commands for every table live in
 ``docs/BENCHMARKS.md``.
@@ -20,6 +20,64 @@ import json
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def e20_summary(payload: dict) -> list[str]:
+    lines = [
+        "## E20 — operator API: control ops as messages on the wire",
+        "",
+        "| transport | first-event lag (s) | mean lag (s) | timeouts | retransmits | tape retries | failed |",
+        "|---|---:|---:|---:|---:|---:|---:|",
+    ]
+    for mode in ("direct", "net-healthy", "net-lossy"):
+        cell = payload.get("drain", {}).get(mode)
+        if not cell:
+            continue
+        lines.append(
+            "| {mode} | {first:.2f} | {mean:.2f} | {timeouts} | {rtx} "
+            "| {retries} | {failed} |".format(
+                mode=mode,
+                first=cell.get("delivery_lag_first_s", 0.0),
+                mean=cell.get("delivery_lag_mean_s", 0.0),
+                timeouts=int(cell.get("timeouts", 0)),
+                rtx=int(cell.get("retransmits", 0)),
+                retries=int(cell.get("tape_retries", 0)),
+                failed=int(cell.get("failed_requests", 0)),
+            )
+        )
+    partition = payload.get("partition", {})
+    if partition:
+        lines += [
+            "",
+            "Partitioned operators: {winner} wins at audit seq {wseq}, loser "
+            "seq {lseq} resolved as `{error}`; NXDOMAIN-free {nx}; replay "
+            "digest match {match}.".format(
+                winner=partition.get("winner", "?"),
+                wseq=int(partition.get("winner_seq", 0)),
+                lseq=int(partition.get("loser_seq", 0)),
+                error=partition.get("loser_error", "?"),
+                nx="yes" if partition.get("nxdomain_free") else "NO",
+                match="yes"
+                if partition.get("replay_digest") == partition.get("state_digest")
+                else "NO",
+            ),
+        ]
+    scaler = payload.get("autoscaler", {})
+    if scaler:
+        direct = scaler.get("direct", {})
+        net = scaler.get("network", {})
+        lines += [
+            "",
+            "Autoscaler reaction: first capacity action at "
+            "{direct:.1f}s direct vs {net:.1f}s networked "
+            "({dp}/{np} promotion(s)).".format(
+                direct=direct.get("first_action_s", 0.0),
+                net=net.get("first_action_s", 0.0),
+                dp=int(direct.get("promotions", 0)),
+                np=int(net.get("promotions", 0)),
+            ),
+        ]
+    return lines
 
 
 def e19_summary(payload: dict) -> list[str]:
@@ -244,6 +302,7 @@ def e13_summary(payload: dict) -> list[str]:
 
 
 RENDERERS: tuple[tuple[str, object], ...] = (
+    ("BENCH_e20.json", e20_summary),
     ("BENCH_e19.json", e19_summary),
     ("BENCH_e18.json", e18_summary),
     ("BENCH_e17.json", e17_summary),

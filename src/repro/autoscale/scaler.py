@@ -214,6 +214,14 @@ class Autoscaler:
     def _evaluate(self, group_id: str, now: float) -> None:
         config = self.config
         state = self._states[group_id]
+        if not self.reader.has_signal(last=config.signal_windows):
+            # Zero-sample window(s): missing telemetry is "no signal", not
+            # pressure 0.0.  Hold the gate in its dead band — this resets
+            # both streaks, so an empty window can neither advance a breach
+            # nor fake the quiet streak that triggers a scale-down.
+            state.gate.update(False, False)
+            self.counters["evals"] += 1
+            return
         wait, shed, slope = self._group_pressure(group_id)
         burn = self.reader.max_burn(last=config.signal_windows)
         p95 = self.reader.p95_ms(last=config.signal_windows)

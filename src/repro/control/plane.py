@@ -166,7 +166,22 @@ class ControlPlane:
             else:
                 priority, weight = self.promote(server_id, value)
         except (FederationConfigError, ValueError):
-            return AppliedControlEvent(at_seconds, kind.value, server_id, applied=False)
+            # Record the server's *live* SRV state, not a fabricated (0, 0):
+            # a later op in the same batch (or a replaying audit consumer)
+            # must see the true convergence target even for rejected ops.
+            # Unknown / undeployed servers have no live state — keep (0, 0).
+            try:
+                priority, weight = self.federation.srv_of(server_id)
+            except FederationConfigError:
+                priority, weight = 0, 0
+            return AppliedControlEvent(
+                at_seconds,
+                kind.value,
+                server_id,
+                applied=False,
+                priority=priority,
+                weight=weight,
+            )
         return AppliedControlEvent(
             at_seconds, kind.value, server_id, priority=priority, weight=weight
         )

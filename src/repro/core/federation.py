@@ -60,6 +60,11 @@ class Federation:
     """Servers currently crashed or gracefully departed, kept for revival.
     They are absent from ``servers`` (the reachable directory every client
     context shares), so requests addressed to them fail like real timeouts."""
+    _parked: set[str] = field(default_factory=set)
+    """Servers an operator deliberately parked (records withdrawn, object
+    reachable).  Tracked explicitly so the parked state survives a
+    crash/expire/revive interleaving: a revive must not resurrect a parked
+    server's discovery records just because they happen to be absent."""
     warm_pools: dict[str, "object"] = field(default_factory=dict)
     """Replica group id → its attached :class:`repro.autoscale.WarmPool` of
     standby replicas (empty unless :meth:`attach_warm_pool` was called).
@@ -165,6 +170,7 @@ class Federation:
         del self.servers[server_id]
         self.registry.deregister(server_id)
         self._srv_of.pop(server_id, None)
+        self._parked.discard(server_id)
         if self.world_provider_id == server_id:
             self.world_provider_id = None
         group_id = self._group_of.pop(server_id, None)
@@ -306,9 +312,18 @@ class Federation:
         devices holding stale cached answers drain off it gracefully as
         their TTLs lapse instead of hitting timeouts.  Idempotent for an
         already-parked server.  Returns the number of records withdrawn.
+
+        Parking a crashed or departed server is rejected explicitly (it is
+        not reachable, so "parked but reachable" would be a lie); revive it
+        first.  The rejection changes no state.
         """
+        if server_id in self._offline:
+            raise FederationConfigError(
+                f"map server {server_id!r} is offline — revive it before parking"
+            )
         if server_id not in self.servers:
             raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        self._parked.add(server_id)
         return self.registry.deregister(server_id)
 
     def unpark_map_server(self, server_id: str) -> None:
@@ -317,9 +332,19 @@ class Federation:
         The promotion-from-pool counterpart of :meth:`park_map_server`; a
         no-op when the server is already registered, so controllers can
         call it unconditionally before re-weighting.
+
+        Unparking a server that crashed (or left) while parked is rejected
+        explicitly — an unreachable server must not be re-advertised; the
+        parked state is kept so a later revive stays unregistered until the
+        operator unparks it again.
         """
+        if server_id in self._offline:
+            raise FederationConfigError(
+                f"map server {server_id!r} is offline — revive it before unparking"
+            )
         if server_id not in self.servers:
             raise FederationConfigError(f"map server {server_id!r} is not deployed")
+        self._parked.discard(server_id)
         if server_id not in self.registry.registrations:
             server = self.servers[server_id]
             priority, weight = self._srv_of.get(server_id, (0, 0))
@@ -423,11 +448,19 @@ class Federation:
         self.registry.deregister(server_id)
 
     def revive_map_server(self, server_id: str) -> MapServer:
-        """Bring an offline server back: reachable again and re-registered."""
+        """Bring an offline server back: reachable again and re-registered.
+
+        A server that was *parked* when it went offline comes back reachable
+        but stays unregistered — reviving restores reachability, it does not
+        overrule the operator's parking decision (that is what
+        :meth:`unpark_map_server` is for).
+        """
         server = self._offline.pop(server_id, None)
         if server is None:
             raise FederationConfigError(f"map server {server_id!r} is not offline")
         self.servers[server_id] = server
+        if server_id in self._parked:
+            return server
         if server_id not in self.registry.registrations:
             priority, weight = self._srv_of.get(server_id, (0, 0))
             self.registry.register_region(
@@ -441,6 +474,11 @@ class Federation:
 
     def is_offline(self, server_id: str) -> bool:
         return server_id in self._offline
+
+    def is_parked(self, server_id: str) -> bool:
+        """Whether an operator parked this server (records deliberately
+        withdrawn; survives crash/revive until unparked)."""
+        return server_id in self._parked
 
     @property
     def offline_server_ids(self) -> tuple[str, ...]:

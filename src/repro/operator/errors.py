@@ -1,0 +1,63 @@
+"""Structured error taxonomy for the operator API layer.
+
+Every failure the API can hand back to an operator belongs to exactly one
+of four families, mirroring the coarse HTTP classes a real control plane
+would use without dragging HTTP itself into the simulation:
+
+* :class:`UnauthorizedError` — the caller is unknown, or known but not
+  granted the permission the route demands (401/403 territory).
+* :class:`MalformedError` — the payload failed schema validation before
+  any route logic ran (400 territory).
+* :class:`ConflictError` — the request was well-formed and authorized but
+  lost to the federation's current state: a group guard (draining the last
+  positive weight), a lifecycle conflict (parking an offline server), or a
+  competing operator's earlier op (409 territory).
+* :class:`UnavailableError` — the endpoint or its target cannot serve the
+  request *right now* (unknown/undeployed server, control queue full).
+  This is the only retryable family: clients may re-issue with the same
+  idempotency token; the API deliberately does not cache these responses.
+
+The ``code`` attribute is the wire-visible error family carried in
+:class:`~repro.operator.schemas.ControlResponse.error` and in audit
+records, so replay and tests match on stable strings, not exception
+identities.
+"""
+
+from __future__ import annotations
+
+
+class ApiError(Exception):
+    """Base class for operator API failures; ``code`` names the family."""
+
+    code = "error"
+    retryable = False
+
+
+class UnauthorizedError(ApiError):
+    """Unknown principal, or one lacking the action's permission."""
+
+    code = "unauthorized"
+
+
+class MalformedError(ApiError):
+    """The request failed schema validation before reaching any route."""
+
+    code = "malformed"
+
+
+class ConflictError(ApiError):
+    """Valid request, but the federation's current state wins.
+
+    Conflicts are *terminal* for an idempotency token: the response is
+    cached, so a retried request replays the same rejection instead of
+    racing whatever state change caused it.
+    """
+
+    code = "conflict"
+
+
+class UnavailableError(ApiError):
+    """The request cannot be served right now — the one retryable family."""
+
+    code = "unavailable"
+    retryable = True

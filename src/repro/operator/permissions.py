@@ -1,0 +1,88 @@
+"""Principals and per-route permissions for the operator API.
+
+Authentication here is deliberately simple — a principal is a name the
+registry knows — because the interesting property is *authorization*:
+every route demands exactly one permission, and the middleware rejects a
+known principal without it just like an unknown one, with the same
+``unauthorized`` code, before any route logic or state mutation runs.
+
+Permissions are coarse capability families, not per-server ACLs: SRV
+mutation (``control.write``), warm-pool lifecycle (``pool.write``),
+health gossip ingest (``health.report``), and audit reads
+(``audit.read``).  A human operator typically holds all four; an
+autoscaler acting through the API needs only ``control.write``; a health
+prober only ``health.report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.operator.errors import UnauthorizedError
+
+CONTROL_WRITE = "control.write"
+POOL_WRITE = "pool.write"
+HEALTH_REPORT = "health.report"
+AUDIT_READ = "audit.read"
+
+ALL_PERMISSIONS = (CONTROL_WRITE, POOL_WRITE, HEALTH_REPORT, AUDIT_READ)
+
+ACTION_PERMISSIONS = {
+    "set-weight": CONTROL_WRITE,
+    "drain": CONTROL_WRITE,
+    "undrain": CONTROL_WRITE,
+    "promote": CONTROL_WRITE,
+    "park": POOL_WRITE,
+    "unpark": POOL_WRITE,
+    "health": HEALTH_REPORT,
+    "events": AUDIT_READ,
+}
+"""One permission per route; a route absent here would be a programming
+error, surfaced loudly by :meth:`PrincipalRegistry.authorize`."""
+
+
+@dataclass(frozen=True, slots=True)
+class Principal:
+    """One authenticated caller and the permissions it holds."""
+
+    name: str
+    permissions: tuple[str, ...]
+
+    def can(self, permission: str) -> bool:
+        return permission in self.permissions
+
+
+@dataclass
+class PrincipalRegistry:
+    """The API's caller directory: authenticate names, authorize actions."""
+
+    _principals: dict[str, Principal] = field(default_factory=dict)
+
+    def register(self, name: str, permissions: tuple[str, ...]) -> Principal:
+        """Add (or replace) a principal; returns it for convenience."""
+        if not name:
+            raise ValueError("principals need a non-empty name")
+        principal = Principal(name=name, permissions=tuple(permissions))
+        self._principals[name] = principal
+        return principal
+
+    def authenticate(self, name: str) -> Principal:
+        """Resolve a caller name, or raise ``UnauthorizedError``."""
+        principal = self._principals.get(name)
+        if principal is None:
+            raise UnauthorizedError(f"unknown principal {name!r}")
+        return principal
+
+    def authorize(self, principal: Principal, action: str) -> None:
+        """Check the principal holds the action's permission, or raise.
+
+        The error message names the missing permission, not the denied
+        action alone — an operator reading the audit log should know what
+        grant to request."""
+        required = ACTION_PERMISSIONS.get(action)
+        if required is None:
+            raise UnauthorizedError(f"no route for action {action!r}")
+        if not principal.can(required):
+            raise UnauthorizedError(
+                f"principal {principal.name!r} lacks {required!r} for {action!r}"
+            )

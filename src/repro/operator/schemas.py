@@ -1,0 +1,150 @@
+"""Wire schemas for the operator API: requests in, responses out.
+
+Control operations stop being Python method calls here and become
+*messages*: a plain payload dict an operator could have typed into a CLI,
+validated once at the API edge (:meth:`ControlRequest.from_payload`) so
+every route downstream can trust its fields.  Validation failures raise
+:class:`~repro.operator.errors.MalformedError` with a message naming the
+offending field — the API turns that into a ``malformed`` response and an
+audit record, never a stack trace.
+
+Both classes are frozen plain data with ``to_payload`` dict encodings, so
+the audit log can persist exactly what travelled and a replay can re-issue
+it byte-for-byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+from repro.operator.errors import MalformedError
+
+ACTIONS = (
+    "set-weight",
+    "drain",
+    "undrain",
+    "promote",
+    "park",
+    "unpark",
+    "health",
+    "events",
+)
+"""Every route the API serves.  The first four mirror
+:class:`~repro.control.schedule.ControlEventKind` values exactly, so a
+:class:`~repro.control.schedule.ControlSchedule` tape translates to
+requests without a mapping table; ``park``/``unpark`` are the warm-pool
+lifecycle, ``health`` is gossip ingest, ``events`` reads the audit tail."""
+
+_VALUE_REQUIRED = frozenset({"set-weight", "promote", "health"})
+_SERVER_OPTIONAL = frozenset({"events"})
+_ALLOWED_KEYS = frozenset({"principal", "action", "token", "server_id", "value"})
+
+
+@dataclass(frozen=True, slots=True)
+class ControlRequest:
+    """One validated operator request.
+
+    ``token`` is the caller-chosen idempotency token: retries of the same
+    logical request MUST reuse it, so the API can replay the original
+    response instead of double-applying the op.
+    """
+
+    principal: str
+    action: str
+    token: str
+    server_id: str | None = None
+    value: int | None = None
+
+    @classmethod
+    def from_payload(cls, payload: Any) -> "ControlRequest":
+        """Validate a raw payload into a request, or raise ``MalformedError``."""
+        if not isinstance(payload, Mapping):
+            raise MalformedError("request payload must be a mapping")
+        unknown = set(payload) - _ALLOWED_KEYS
+        if unknown:
+            raise MalformedError(f"unknown request fields: {sorted(unknown)}")
+        principal = payload.get("principal")
+        if not isinstance(principal, str) or not principal:
+            raise MalformedError("'principal' must be a non-empty string")
+        action = payload.get("action")
+        if action not in ACTIONS:
+            raise MalformedError(f"'action' must be one of {list(ACTIONS)}")
+        token = payload.get("token")
+        if not isinstance(token, str) or not token:
+            raise MalformedError("'token' must be a non-empty idempotency token")
+        server_id = payload.get("server_id")
+        if server_id is not None and (not isinstance(server_id, str) or not server_id):
+            raise MalformedError("'server_id' must be a non-empty string when given")
+        if server_id is None and action not in _SERVER_OPTIONAL:
+            raise MalformedError(f"'{action}' requests need a 'server_id'")
+        value = payload.get("value")
+        if value is not None:
+            if isinstance(value, bool) or not isinstance(value, int):
+                raise MalformedError("'value' must be an integer when given")
+            if value < 0:
+                raise MalformedError("'value' cannot be negative")
+        elif action in _VALUE_REQUIRED:
+            raise MalformedError(f"'{action}' requests need a 'value'")
+        return cls(
+            principal=principal,
+            action=action,
+            token=token,
+            server_id=server_id,
+            value=value,
+        )
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "principal": self.principal,
+            "action": self.action,
+            "token": self.token,
+        }
+        if self.server_id is not None:
+            payload["server_id"] = self.server_id
+        if self.value is not None:
+            payload["value"] = self.value
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class ControlResponse:
+    """What the API hands back for one request.
+
+    ``seq`` is the audit-log sequence number assigned to this request's
+    record — the total order that resolves concurrent operators.
+    ``replayed`` marks an idempotency-cache hit: the op did *not* apply a
+    second time; the original outcome is being echoed.  ``priority`` and
+    ``weight`` carry the target server's live SRV state after the request
+    (its convergence target even for rejections).  ``events`` is populated
+    only by the ``events`` route (the audit tail as payload dicts).
+    """
+
+    status: str
+    error: str | None = None
+    detail: str = ""
+    priority: int = 0
+    weight: int = 0
+    seq: int = 0
+    replayed: bool = False
+    events: tuple[dict[str, Any], ...] | None = field(default=None)
+
+    @property
+    def ok(self) -> bool:
+        return self.status == "ok"
+
+    def to_payload(self) -> dict[str, Any]:
+        payload: dict[str, Any] = {
+            "status": self.status,
+            "priority": self.priority,
+            "weight": self.weight,
+            "seq": self.seq,
+            "replayed": self.replayed,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        if self.detail:
+            payload["detail"] = self.detail
+        if self.events is not None:
+            payload["events"] = list(self.events)
+        return payload

@@ -76,6 +76,10 @@ class LatencyModel:
     jitter_sigma: float = 0.0
     loss_probability: float = 0.0
     max_retransmits: int = DEFAULT_MAX_RETRANSMITS
+    operator_to_control_ms: float = DEFAULT_WAN_LATENCY_MS
+    """Operator console → control endpoint hop, used only by the operator
+    API's ``transport="network"`` path.  Appended last so existing
+    positional constructions keep their meaning."""
 
     def __post_init__(self) -> None:
         if self.jitter_sigma < 0.0:
@@ -296,6 +300,15 @@ class SimulatedNetwork:
         """
         self._jitter_rng = rng
 
+    def current_jitter_stream(self) -> random.Random | None:
+        """The installed jitter RNG (for save/restore around a borrower).
+
+        An operator client that injects its own stream for a control
+        exchange uses this to put the fleet's stream back afterwards, so
+        device draw sequences are untouched by control traffic.
+        """
+        return self._jitter_rng
+
     def _jittered(
         self,
         latency_ms: float,
@@ -372,6 +385,32 @@ class SimulatedNetwork:
 
     def client_central_exchange(self) -> float:
         return self.round_trip("central.request", self.latency.client_to_central_ms)
+
+    def operator_control_exchange(
+        self, endpoint_id: str | None = None, fail_on_exhaustion: bool = False
+    ) -> float:
+        """Charge one operator → control-endpoint request/response exchange.
+
+        ``endpoint_id`` names the control endpoint so gray failures and
+        partitions scoped to it apply, exactly as they do to data traffic.
+        """
+        return self.round_trip(
+            "control.request",
+            self.latency.operator_to_control_ms,
+            server_id=endpoint_id,
+            fail_on_exhaustion=fail_on_exhaustion,
+        )
+
+    def control_timeout(self, timeout_ms: float) -> float:
+        """Charge one abandoned operator request (counted under
+        ``control.timeout``): the operator paid its full patience and got
+        no response, mirroring :meth:`dead_server_timeout` for the control
+        hop."""
+        if timeout_ms <= 0.0:
+            return 0.0
+        self.clock.advance_ms(timeout_ms)
+        self.stats.record("control.timeout", timeout_ms)
+        return timeout_ms
 
     def local_compute(self) -> float:
         """Charge a small local computation (no message is counted)."""

@@ -59,6 +59,22 @@ class TelemetryReader:
             raise ValueError("a reader query needs at least one window")
         return tuple(self.pipeline.windows[-last:])
 
+    def has_signal(self, last: int = 1) -> bool:
+        """Whether the trailing sealed windows carry any samples at all
+        (a request sample or a server frame delta).
+
+        A window can seal with *zero* samples — an all-quiet cell, an
+        all-shed round where nothing reached a queue, a fleet that went
+        dark.  Every accessor below answers such windows with its neutral
+        fallback (0.0 / empty map / attainment 1.0), which is correct for
+        *display* but poison for *control*: zero pressure and "no data"
+        must not look alike to a controller deciding to scale down.  This
+        is the distinguishing predicate — missing data is no signal.
+        """
+        return any(
+            window.cells or window.servers for window in self.last_windows(last)
+        )
+
     # ------------------------------------------------------------------
     # Supply side (zonal roll-ups)
     # ------------------------------------------------------------------

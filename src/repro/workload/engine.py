@@ -43,6 +43,14 @@ from repro.faults.schedule import FaultPlan
 from repro.geometry.bbox import BoundingBox
 from repro.geometry.point import LatLng
 from repro.localization.cues import CueBundle, GnssCue
+from repro.operator.api import OperatorApi
+from repro.operator.client import (
+    NetworkedControlPlayer,
+    OperatorClient,
+    OperatorControlAdapter,
+)
+from repro.operator.config import OperatorConfig
+from repro.operator.permissions import ALL_PERMISSIONS, PrincipalRegistry
 from repro.services.routing import FederatedRoutingError
 from repro.simulation.metrics import MetricsRegistry
 from repro.simulation.queueing import load_cv
@@ -71,6 +79,16 @@ _JITTER_SEED_SALT = 0x5EED
 
 _BACKOFF_SEED_SALT = 0xB0FF
 """XOR salt deriving a device's retry-backoff jitter stream."""
+
+_OPERATOR_SEED_SALT = 0xC7A1
+"""XOR salt deriving the operator console's control-hop jitter/loss stream
+(bare run seed, not a device base, so it collides with no device stream
+under the same argument as the POI shuffle)."""
+
+
+def operator_seed(seed: int) -> int:
+    """The operator client's network-draw stream seed for a run seed."""
+    return seed ^ _OPERATOR_SEED_SALT
 
 
 def client_base_seed(seed: int, index: int) -> int:
@@ -176,6 +194,17 @@ class WorkloadConfig:
     ``None`` (default) builds no scaler, registers no observer and adds no
     snapshot keys, so autoscaler-off runs stay byte-identical to builds
     without the autoscale subsystem."""
+    operator: OperatorConfig | None = None
+    """Route the run's control traffic through the operator API layer
+    (:mod:`repro.operator`): the control tape is replayed as authenticated
+    ``ControlRequest`` messages by a
+    :class:`~repro.operator.client.NetworkedControlPlayer`, and (by
+    default) the autoscaler's batches travel the same door.  With
+    ``transport="network"`` every request pays simulated control-hop
+    latency/loss/partitions; ``"direct"`` keeps the exchange in-process.
+    ``None`` (default) builds no API, charges nothing, and adds no
+    snapshot keys, so operator-free runs stay byte-identical to builds
+    without the operator subsystem."""
     engine: str = "event"
     """Which execution loop drives the fleet: ``"event"`` (the heap-driven
     engine, default) or ``"legacy"`` (the retained round loop, kept as the
@@ -297,6 +326,13 @@ class WorkloadReport:
     ramp steps, parks, flaps, and the replica-seconds cost integral.  Empty
     when the run had no autoscaler, so scaler-free snapshots carry no
     extra keys."""
+    operator_stats: dict[str, float] = field(default_factory=dict)
+    """Operator-API outcome: requests issued/delivered, replays, per-family
+    rejections, timeouts, audit-log length, and — when a control tape rode
+    the API — tape retries and the delivery-lag tail (seconds from an
+    event's scripted instant to its op landing at the authority).  Empty
+    when the run had no operator config, so operator-free snapshots carry
+    no extra keys."""
 
     @property
     def discovery_cache_hit_rate(self) -> float:
@@ -411,6 +447,8 @@ class WorkloadReport:
                 data[f"telemetry.{key}"] = value
         for key, value in sorted(self.autoscale_stats.items()):
             data[f"autoscale.{key}"] = value
+        for key, value in sorted(self.operator_stats.items()):
+            data[f"operator.{key}"] = value
         return data
 
 
@@ -458,11 +496,46 @@ class WorkloadEngine:
         # Rejoined servers whose return traffic has not been seen yet:
         # server_id -> (rejoin instant, served-requests baseline).
         self._pending_rediscovery: dict[str, tuple[float, int]] = {}
-        self.control_plane: ControlPlane | None = None
-        if self.config.control is not None:
-            self.control_plane = ControlPlane(
-                federation=scenario.federation, schedule=self.config.control
+        self.operator_api: OperatorApi | None = None
+        self.operator_client: OperatorClient | None = None
+        self._operator_adapter: OperatorControlAdapter | None = None
+        if self.config.operator is not None:
+            op_config = self.config.operator
+            principals = PrincipalRegistry()
+            principals.register(op_config.principal, ALL_PERMISSIONS)
+            self.operator_api = OperatorApi(
+                federation=scenario.federation,
+                principals=principals,
+                contend_for_queue=op_config.contend_for_queue,
             )
+            endpoint_id = op_config.endpoint_id
+            if endpoint_id is None:
+                endpoint_id = scenario.federation.discovery_authority_id
+            self.operator_client = OperatorClient(
+                api=self.operator_api,
+                principal=op_config.principal,
+                transport=op_config.transport,
+                endpoint_id=endpoint_id,
+                region=op_config.region,
+                timeout_ms=op_config.timeout_ms,
+                # The console's own network-draw stream: save/restored
+                # around each exchange, so device streams never shift.
+                jitter_rng=(
+                    random.Random(operator_seed(self.config.seed))
+                    if op_config.transport == "network"
+                    else None
+                ),
+            )
+        self.control_plane: ControlPlane | NetworkedControlPlayer | None = None
+        if self.config.control is not None:
+            if self.operator_client is not None:
+                self.control_plane = NetworkedControlPlayer(
+                    schedule=self.config.control, client=self.operator_client
+                )
+            else:
+                self.control_plane = ControlPlane(
+                    federation=scenario.federation, schedule=self.config.control
+                )
         # Devices holding a stale SRV view of a re-weighted server:
         # (device index, server_id) -> (event instant, target (prio, weight)).
         self._pending_convergence: dict[tuple[int, str], tuple[float, tuple[int, int]]] = {}
@@ -488,10 +561,24 @@ class WorkloadEngine:
             from repro.telemetry.reader import TelemetryReader
 
             assert self.telemetry is not None  # enforced by WorkloadConfig
+            scaler_control = None
+            if (
+                self.operator_client is not None
+                and self.config.operator is not None
+                and self.config.operator.route_autoscaler
+            ):
+                # The autoscaler's batches travel the operator API like any
+                # console's: authenticated, audited, and (over the network
+                # transport) paying the same control-hop latency and loss.
+                self._operator_adapter = OperatorControlAdapter(
+                    client=self.operator_client
+                )
+                scaler_control = self._operator_adapter
             self.autoscaler = Autoscaler(
                 federation=scenario.federation,
                 reader=TelemetryReader(pipeline=self.telemetry),
                 config=self.config.autoscale,
+                control=scaler_control,
             )
             self.add_round_observer(self.autoscaler.observe)
 
@@ -751,7 +838,11 @@ class WorkloadEngine:
         try:
             while heap:
                 event = heap.pop()
-                clock.advance_to(event.at_seconds)
+                # Networked control exchanges advance the clock *during* a
+                # CONTROL event, so a same-instant sibling (ROUND_BEGIN)
+                # can pop with its scheduled time already in the past;
+                # time only moves forward.
+                clock.advance_to(max(event.at_seconds, clock.now()))
                 if event.kind is EventKind.FAULT:
                     self._apply_faults(clock.now())
                 elif event.kind is EventKind.CHURN:
@@ -1237,6 +1328,19 @@ class WorkloadEngine:
                 "degraded_requests": float(degraded),
                 "stale_serves": float(stale_serves),
             }
+        operator_stats: dict[str, float] = {}
+        if self.operator_client is not None and self.operator_api is not None:
+            operator_stats = {
+                key: float(value)
+                for key, value in self.operator_client.counters.items()
+            }
+            operator_stats["audit_records"] = float(len(self.operator_api.audit))
+            if isinstance(self.control_plane, NetworkedControlPlayer):
+                player = self.control_plane
+                operator_stats["tape_retries"] = float(player.retries)
+                operator_stats["tape_pending"] = float(player.pending_events)
+                for key, value in player.lag_stats().items():
+                    operator_stats[f"delivery_lag_{key}"] = value
         sampling: dict[str, float] = {}
         if self._cohort_mode:
             sampling = {
@@ -1275,4 +1379,5 @@ class WorkloadEngine:
             autoscale_stats=(
                 self.autoscaler.stats() if self.autoscaler is not None else {}
             ),
+            operator_stats=operator_stats,
         )

@@ -19,12 +19,14 @@ import json
 import pytest
 
 from repro.autoscale import AutoscalerConfig, Cooldown, HysteresisGate, WarmPool
+from repro.autoscale.scaler import Autoscaler
 from repro.churn.retry import RetryPolicy
 from repro.core.config import FederationConfig
 from repro.core.errors import FederationConfigError
 from repro.faults.schedule import FaultPlan
 from repro.simulation.queueing import ServiceTimeModel
 from repro.telemetry import SLOConfig, TelemetryConfig
+from repro.telemetry.pipeline import TelemetryPipeline
 from repro.telemetry.reader import TelemetryReader
 from repro.workload import WorkloadConfig, WorkloadEngine
 from repro.worldgen.scenario import build_scenario
@@ -236,6 +238,101 @@ class TestTelemetryReader:
     def test_p95_reads_from_windows(self):
         reader = self._reader()
         assert reader.p95_ms(last=reader.window_count) > 0.0
+
+
+class TestReaderEmptyWindow:
+    """Every accessor on a sealed window holding *zero* samples (empty
+    cell, all-shed round): neutral fallbacks for display, and a
+    ``has_signal`` predicate so controllers can tell "quiet" from "blind"."""
+
+    def _empty_reader(self, windows: int = 1) -> TelemetryReader:
+        pipeline = TelemetryPipeline(config=TelemetryConfig(window_seconds=10.0))
+        pipeline.begin(0.0)
+        for index in range(windows):
+            pipeline.flush(10.0 * (index + 1))
+        assert len(pipeline.windows) == windows
+        assert all(not w.cells and not w.servers for w in pipeline.windows)
+        return TelemetryReader(pipeline=pipeline)
+
+    def test_has_signal_is_false_on_empty_windows(self):
+        reader = self._empty_reader(windows=2)
+        assert not reader.has_signal()
+        assert not reader.has_signal(last=2)
+
+    def test_has_signal_turns_true_with_a_single_sample(self):
+        reader = self._empty_reader()
+        reader.pipeline.record_request(
+            cell="89c25a31", region=0, kind="search", latency_ms=5.0
+        )
+        reader.pipeline.flush(20.0)
+        assert reader.has_signal()
+
+    def test_zonal_is_empty(self):
+        assert self._empty_reader().zonal(level=12) == {}
+
+    def test_zone_stats_reads_all_zero(self):
+        stats = self._empty_reader().zone_stats("anyzone", level=12)
+        assert all(value == 0.0 for value in stats.values())
+
+    def test_server_rollup_is_empty(self):
+        assert self._empty_reader().server_rollup() == {}
+
+    def test_demand_is_empty_and_rate_zero(self):
+        reader = self._empty_reader()
+        assert reader.demand(level=12) == {}
+        assert reader.demand_rate("anyzone", 12, reader.pipeline.windows[-1]) == 0.0
+
+    def test_demand_slope_is_zero(self):
+        assert self._empty_reader(windows=2).demand_slope("anyzone", 12) == 0.0
+
+    def test_burn_and_max_burn_are_zero(self):
+        reader = self._empty_reader()
+        assert reader.burn(region=0) == 0.0
+        assert reader.max_burn() == 0.0
+
+    def test_p95_is_zero(self):
+        assert self._empty_reader().p95_ms() == 0.0
+
+    def test_attainment_is_one(self):
+        assert self._empty_reader().attainment() == 1.0
+
+
+class TestScalerNoSignal:
+    def test_empty_window_resets_gate_streaks_not_scales_down(self):
+        """Regression: an all-quiet sealed window used to read as pressure
+        0.0 — wait 0 ≤ wait_low — advancing the *recovery* streak toward a
+        scale-down.  Missing data must land in the gate's dead band."""
+        scenario = _scenario()
+        federation = scenario.federation
+        group_id = sorted(federation.replica_groups)[0]
+        federation.attach_warm_pool(group_id, 1)
+        pipeline = TelemetryPipeline(
+            config=TelemetryConfig(window_seconds=10.0, slo=SLOConfig(latency_ms=250.0))
+        )
+        pipeline.begin(0.0)
+        scaler = Autoscaler(
+            federation,
+            TelemetryReader(pipeline=pipeline),
+            config=AutoscalerConfig(breach_evals=2, recover_evals=2),
+        )
+        state = scaler._states[group_id]
+        # One genuinely quiet (observed) evaluation has the recovery streak
+        # one step from firing…
+        state.gate.update(False, True)
+        # …then a zero-sample window seals and the scaler evaluates it.
+        pipeline.flush(10.0)
+        scaler.begin(0.0)
+        scaler.observe(0, 10.0)
+        assert scaler.counters["evals"] == 1
+        assert scaler.counters["actions"] == 0
+        # The streak was reset: one more quiet evaluation holds rather than
+        # completing the (now voided) recover pair.
+        assert state.gate.update(False, True) == "hold"
+        # Symmetrically, a pressed streak is voided too.
+        state.gate.update(True, False)
+        pipeline.flush(20.0)
+        scaler.observe(1, 20.0)
+        assert state.gate.update(True, False) == "hold"
 
 
 class TestWarmPool:

@@ -81,6 +81,7 @@ class TestWorkflow:
             "BENCH_e17.json",
             "BENCH_e18.json",
             "BENCH_e19.json",
+            "BENCH_e20.json",
         ):
             assert artifact in paths, f"smoke job does not upload {artifact}"
         assert any("ci_summary" in s.get("run", "") for s in steps), "no step-summary step"
@@ -108,6 +109,7 @@ class TestCheckShStages:
             "BENCH_e17.json",
             "BENCH_e18.json",
             "BENCH_e19.json",
+            "BENCH_e20.json",
         ):
             assert artifact in script, f"check.sh does not gate {artifact}"
 
@@ -122,6 +124,7 @@ class TestCheckShStages:
             ("bench_e17_faults.py", "E17_SMOKE_BUDGET_SECONDS"),
             ("bench_e18_telemetry.py", "E18_SMOKE_BUDGET_SECONDS"),
             ("bench_e19_autoscale.py", "E19_SMOKE_BUDGET_SECONDS"),
+            ("bench_e20_operator.py", "E20_SMOKE_BUDGET_SECONDS"),
         ):
             assert bench in script, f"check.sh does not run {bench}"
             assert budget in script, f"check.sh does not budget via {budget}"
@@ -136,6 +139,7 @@ class TestCheckShStages:
             "BENCH_e17.json",
             "BENCH_e18.json",
             "BENCH_e19.json",
+            "BENCH_e20.json",
         ):
             assert artifact in summary, f"ci_summary.py ignores {artifact}"
         # The step summary points readers at the docs layer for column

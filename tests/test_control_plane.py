@@ -20,6 +20,7 @@ from repro.churn.schedule import ChurnEvent, ChurnEventKind, ChurnSchedule
 from repro.control import (
     ControlEvent,
     ControlEventKind,
+    ControlOp,
     ControlPlane,
     ControlSchedule,
     DeviceSrvView,
@@ -166,6 +167,86 @@ class TestControlPlaneOps:
         ControlPlane(federation).set_weight("solo.example", 4)
         assert federation.srv_of("solo.example") == (0, 4)
         assert advertised_srv(federation, "solo.example").weight == 4
+
+
+# ----------------------------------------------------------------------
+# Batched application (the autoscaler's path)
+# ----------------------------------------------------------------------
+class TestApplyBatch:
+    def test_second_op_on_same_server_sees_the_firsts_result(self):
+        """Two ops targeting one server in one batch apply sequentially:
+        the drain must remember the weight the batch's own set_weight just
+        installed, not the pre-batch value."""
+        federation = replicated_federation(weights=(3, 1, 1))
+        plane = ControlPlane(federation)
+        records = plane.apply_batch(
+            10.0,
+            [
+                ControlOp(ControlEventKind.SET_WEIGHT, "r0.shop.example", 2),
+                ControlOp(ControlEventKind.DRAIN, "r0.shop.example"),
+            ],
+        )
+        assert [record.applied for record in records] == [True, True]
+        assert federation.srv_of("r0.shop.example") == (0, 0)
+        plane.undrain("r0.shop.example")
+        assert federation.srv_of("r0.shop.example") == (0, 2)
+
+    def test_drain_then_undrain_in_one_batch_round_trips(self):
+        federation = replicated_federation(weights=(5, 1, 1))
+        plane = ControlPlane(federation)
+        records = plane.apply_batch(
+            0.0,
+            [
+                ControlOp(ControlEventKind.DRAIN, "r0.shop.example"),
+                ControlOp(ControlEventKind.UNDRAIN, "r0.shop.example"),
+            ],
+        )
+        assert [(r.applied, r.weight) for r in records] == [(True, 0), (True, 5)]
+        assert federation.srv_of("r0.shop.example") == (0, 5)
+
+    def test_rejected_op_records_the_live_srv_state(self):
+        """Regression: a rejected op used to fabricate ``(0, 0)`` in its
+        audit record.  Conflicting drains in one batch (autoscaler ramp vs
+        operator drain) must record the loser against the server's *true*
+        live state — replay consumers and convergence tracking depend on
+        the record, and (0, 0) is indistinguishable from a drained win."""
+        federation = replicated_federation(weights=(1, 4))
+        plane = ControlPlane(federation)
+        records = plane.apply_batch(
+            5.0,
+            [
+                ControlOp(ControlEventKind.DRAIN, "r0.shop.example"),
+                ControlOp(ControlEventKind.DRAIN, "r1.shop.example"),
+            ],
+        )
+        assert records[0].applied and records[0].weight == 0
+        loser = records[1]
+        assert not loser.applied
+        # The record carries r1's real live SRV state, not (0, 0).
+        assert (loser.priority, loser.weight) == federation.srv_of("r1.shop.example")
+        assert loser.weight == 4
+
+    def test_rejected_op_on_unknown_server_still_records_zeros(self):
+        federation = replicated_federation()
+        plane = ControlPlane(federation)
+        [record] = plane.apply_batch(
+            0.0, [ControlOp(ControlEventKind.DRAIN, "ghost.example")]
+        )
+        assert not record.applied
+        assert (record.priority, record.weight) == (0, 0)
+
+    def test_rejected_scheduled_event_records_live_state_too(self):
+        """The tape path funnels through the same ``_perform``."""
+        federation = replicated_federation(weights=(1, 0, 0))
+        plane = ControlPlane(
+            federation,
+            schedule=ControlSchedule.from_events(
+                [ControlEvent(0.0, ControlEventKind.DRAIN, "r0.shop.example")]
+            ),
+        )
+        [record] = plane.apply_until(1.0)
+        assert not record.applied
+        assert (record.priority, record.weight) == (0, 1)
 
 
 # ----------------------------------------------------------------------

@@ -186,18 +186,22 @@ class TestRandomFederationLifecycleOps:
             server_id = rng.choice(replicas)
             op = rng.random()
             try:
-                if op < 0.35:
+                if op < 0.3:
                     federation.set_srv(
                         server_id,
                         priority=rng.randint(0, 2) if rng.random() < 0.3 else None,
                         weight=rng.randint(0, 4) if rng.random() < 0.9 else None,
                     )
-                elif op < 0.55:
+                elif op < 0.45:
                     federation.crash_map_server(server_id)
-                elif op < 0.7:
+                elif op < 0.6:
                     federation.expire_registration(server_id)
-                elif op < 0.9:
+                elif op < 0.75:
                     federation.revive_map_server(server_id)
+                elif op < 0.85:
+                    federation.park_map_server(server_id)
+                elif op < 0.95:
+                    federation.unpark_map_server(server_id)
                 else:
                     federation.leave_map_server(server_id)
             except (FederationConfigError, ValueError):
@@ -213,6 +217,75 @@ class TestRandomFederationLifecycleOps:
             if federation.registration_for(server_id) is not None:
                 registration = federation.registry.registrations[server_id]
                 assert (registration.priority, registration.weight) == (priority, weight)
+            # A parked server's records stay withdrawn no matter which
+            # crash/expire/revive path the interleaving took it through.
+            if federation.is_parked(server_id):
+                assert federation.registration_for(server_id) is None
+
+
+class TestParkLifecycleInterleavings:
+    """Park/unpark vs crash/expire/revive: explicit, rejected-not-corrupting."""
+
+    def _federation(self) -> Federation:
+        federation = Federation()
+        store = generate_store("shop.example", ANCHOR, seed=4)
+        federation.add_replica_group(
+            "shop.example", store.map_data, replica_count=3, weights=(2, 2, 2)
+        )
+        return federation
+
+    def test_revive_does_not_resurrect_a_parked_servers_records(self):
+        """Regression: park → crash → revive used to re-register the parked
+        server (revive saw no registration and 'helpfully' recreated it),
+        silently overruling the operator."""
+        federation = self._federation()
+        federation.park_map_server("r0.shop.example")
+        federation.crash_map_server("r0.shop.example")
+        federation.revive_map_server("r0.shop.example")
+        assert federation.is_parked("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is None
+        assert_zone_invariants(federation.registry)
+        # The operator's unpark is still what brings the records back.
+        federation.unpark_map_server("r0.shop.example")
+        assert not federation.is_parked("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is not None
+
+    def test_parking_an_offline_server_is_rejected_without_corruption(self):
+        federation = self._federation()
+        federation.crash_map_server("r0.shop.example")
+        with pytest.raises(FederationConfigError, match="offline"):
+            federation.park_map_server("r0.shop.example")
+        # The rejection changed nothing: records linger until lease expiry,
+        # and the server is not considered parked.
+        assert not federation.is_parked("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is not None
+        federation.revive_map_server("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is not None
+
+    def test_unparking_an_offline_server_is_rejected_and_state_kept(self):
+        federation = self._federation()
+        federation.park_map_server("r0.shop.example")
+        federation.leave_map_server("r0.shop.example")
+        with pytest.raises(FederationConfigError, match="offline"):
+            federation.unpark_map_server("r0.shop.example")
+        assert federation.is_parked("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is None
+
+    def test_park_expire_interleaving_is_idempotent(self):
+        federation = self._federation()
+        federation.park_map_server("r0.shop.example")
+        # Lease expiry racing the park finds the records already gone.
+        assert federation.expire_registration("r0.shop.example") == 0
+        assert federation.is_parked("r0.shop.example")
+        federation.unpark_map_server("r0.shop.example")
+        assert federation.registration_for("r0.shop.example") is not None
+        assert_zone_invariants(federation.registry)
+
+    def test_remove_clears_the_parked_flag(self):
+        federation = self._federation()
+        federation.park_map_server("r0.shop.example")
+        federation.remove_map_server("r0.shop.example")
+        assert not federation.is_parked("r0.shop.example")
 
 
 class TestReweightMechanics:

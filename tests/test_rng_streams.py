@@ -16,9 +16,11 @@ from repro.workload.engine import (
     _BACKOFF_SEED_SALT,
     _CLIENT_SEED_STRIDE,
     _JITTER_SEED_SALT,
+    _OPERATOR_SEED_SALT,
     _SELECTION_SEED_SALT,
     client_base_seed,
     derived_seed_streams,
+    operator_seed,
 )
 
 
@@ -30,7 +32,13 @@ class TestSeedDerivationInvariants:
         assert 0 < _SELECTION_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
         assert 0 < _JITTER_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
         assert 0 < _BACKOFF_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
-        salts = (_SELECTION_SEED_SALT, _JITTER_SEED_SALT, _BACKOFF_SEED_SALT)
+        assert 0 < _OPERATOR_SEED_SALT < 2**16 < _CLIENT_SEED_STRIDE
+        salts = (
+            _SELECTION_SEED_SALT,
+            _JITTER_SEED_SALT,
+            _BACKOFF_SEED_SALT,
+            _OPERATOR_SEED_SALT,
+        )
         assert len(set(salts)) == len(salts)
 
     def test_base_seed_arithmetic_is_the_engine_stride(self):
@@ -48,6 +56,17 @@ class TestSeedDerivationInvariants:
         for seed in (0, 7, 33):
             for index in range(2000):
                 assert seed not in derived_seed_streams(seed, index).values()
+
+    def test_operator_stream_collides_with_nothing(self):
+        """The operator console's control-hop stream is the bare run seed
+        XOR its own salt — like the POI shuffle, a "device −1" stream, so
+        it must avoid the bare seed and every device stream."""
+        for seed in (0, 7, 33):
+            derived = operator_seed(seed)
+            assert derived == seed ^ _OPERATOR_SEED_SALT
+            assert derived != seed
+            for index in range(2000):
+                assert derived not in derived_seed_streams(seed, index).values()
 
 
 class TestStreamDistinctnessAtScale:
